@@ -1,0 +1,113 @@
+"""Throughput benchmarks for the two substitution substrates.
+
+The paper's toolchain leans on Z3 and a stabilizer simulator; our
+replacements (pure-Python CDCL, Pauli-frame runner, CHP tableau) have to be
+fast enough for the synthesis loops and the Fig.-4 sampling volumes. These
+benchmarks document where the time goes and pin the frame-vs-tableau
+speedup that justifies using the frame runner for sampling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sat.cnf import CNF
+from repro.sat.solver import Solver
+from repro.sim.frame import ProtocolRunner, protocol_locations
+from repro.sim.noise import sample_injections
+from repro.sim.reference import TableauProtocolRunner
+
+from .conftest import bench_protocol
+
+
+class TestSatSolver:
+    def test_solve_correction_style_instance(self, benchmark):
+        """A representative correction-synthesis CNF (Steane class)."""
+        from repro.codes.catalog import steane_code
+        from repro.core.correction import synthesize_correction
+        from repro.core.errors import (
+            dangerous_errors,
+            detection_basis,
+            error_reducer,
+        )
+        from repro.synth.prep import prepare_zero_heuristic
+
+        code = steane_code()
+        prep = prepare_zero_heuristic(code)
+        errors = dangerous_errors(prep, "X")
+        errors.append(np.zeros(7, dtype=np.uint8))
+        for q in range(7):
+            single = np.zeros(7, dtype=np.uint8)
+            single[q] = 1
+            errors.append(single)
+
+        benchmark(
+            synthesize_correction,
+            errors,
+            detection_basis(code, "X"),
+            error_reducer(code, "X"),
+        )
+
+    def test_solve_pigeonhole_7_6(self, benchmark):
+        """A classic hard UNSAT instance: conflict-analysis throughput."""
+
+        def build_and_solve():
+            holes, pigeons = 6, 7
+            cnf = CNF()
+            var = [
+                [cnf.new_var() for _ in range(holes)] for _ in range(pigeons)
+            ]
+            for p in range(pigeons):
+                cnf.add_clause([var[p][h] for h in range(holes)])
+            for h in range(holes):
+                for p1 in range(pigeons):
+                    for p2 in range(p1 + 1, pigeons):
+                        cnf.add_clause([-var[p1][h], -var[p2][h]])
+            assert not Solver(cnf).solve().sat
+
+        benchmark(build_and_solve)
+
+
+class TestSimulators:
+    @pytest.mark.parametrize("code_key", ["steane", "carbon"])
+    def test_frame_runner_throughput(self, benchmark, code_key):
+        protocol = bench_protocol(code_key)
+        runner = ProtocolRunner(protocol)
+        locations = protocol_locations(protocol)
+        rng = np.random.default_rng(0)
+        injection_sets = [
+            sample_injections(locations, 0.05, rng) for _ in range(100)
+        ]
+
+        def run_batch():
+            for injections in injection_sets:
+                runner.run(injections)
+
+        benchmark(run_batch)
+
+    @pytest.mark.parametrize("code_key", ["steane"])
+    def test_tableau_runner_throughput(self, benchmark, code_key):
+        """Reference runner on the same workload — expect ~10-100x slower;
+        this gap is why Fig. 4 sampling uses the frame runner."""
+        protocol = bench_protocol(code_key)
+        runner = TableauProtocolRunner(protocol)
+        locations = protocol_locations(protocol)
+        rng = np.random.default_rng(0)
+        injection_sets = [
+            sample_injections(locations, 0.05, rng) for _ in range(20)
+        ]
+
+        def run_batch():
+            for injections in injection_sets:
+                runner.run(injections, rng=rng, readout=False)
+
+        benchmark(run_batch)
+
+    def test_ftcheck_throughput(self, benchmark):
+        """Exhaustive FT certification of the Steane protocol."""
+        from repro.core.ftcheck import check_fault_tolerance
+
+        protocol = bench_protocol("steane")
+        result = benchmark(check_fault_tolerance, protocol)
+        assert result == []

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Bring your own code: synthesis for a CSS code outside the paper's table.
+
+The paper's closing pitch is that the method is *automatic*: it applies to
+any [[n, k, d < 5]] CSS code without manual circuit design. This example
+
+1. discovers a fresh [[10, 1, 3]] CSS code by randomized search (the same
+   machinery that pinned our [[11,1,3]] / Carbon stand-ins),
+2. synthesizes its full deterministic FT preparation protocol,
+3. certifies fault tolerance exhaustively,
+4. prints the Table-I-style metrics row for the new code.
+
+Run:  python examples/custom_code.py
+"""
+
+from repro.codes.search import find_css_code
+from repro.core.ftcheck import check_fault_tolerance
+from repro.core.metrics import protocol_metrics
+from repro.core.protocol import synthesize_protocol
+
+
+def main():
+    print("Searching for a [[10,1,3]] CSS code (seeded, deterministic)...")
+    code = find_css_code(10, 1, 3, seed=11, max_row_weight=6, name="custom")
+    print(f"Found {code.name} with parameters {code.parameters()}")
+    print(f"Hx =\n{code.hx}")
+    print(f"Hz =\n{code.hz}")
+
+    print("\nSynthesizing the deterministic FT preparation protocol...")
+    protocol = synthesize_protocol(code)
+    metrics = protocol_metrics(protocol)
+
+    print(f"Layers: {[layer.kind for layer in protocol.layers]}")
+    print(
+        f"Verification: {metrics.total_verification_ancillas} ancillas, "
+        f"{metrics.total_verification_cnots} CNOTs"
+    )
+    for index, layer in enumerate(metrics.layers, start=1):
+        print(f"  layer {index}: {layer.format_fragment()}")
+    print(
+        f"Expected conditional correction cost: "
+        f"{metrics.average_correction_ancillas:.2f} ancillas, "
+        f"{metrics.average_correction_cnots:.2f} CNOTs per triggered run"
+    )
+
+    print("\nExhaustive single-fault FT check...")
+    violations = check_fault_tolerance(protocol)
+    if violations:
+        raise SystemExit(f"NOT fault tolerant: {violations[0]}")
+    print("FT check: PASS — the synthesized protocol satisfies Definition 1.")
+    print(
+        "\nNo part of this required manual analysis of the code — "
+        "exactly the paper's point."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Deterministic vs repeat-until-success: the trade-off the paper targets.
+
+The non-deterministic scheme discards triggered states and retries — the
+number of attempts is stochastic, which breaks synchronization in real
+experiments (paper Sec. III, Ref. [17]). The deterministic scheme applies
+a SAT-synthesized correction instead and always finishes in one pass.
+
+This example quantifies the trade on the Steane and Carbon codes:
+
+* expected attempts of the baseline as p grows (diverges),
+* the deterministic protocol's fixed cost: verification every run plus the
+  *conditional* correction (average cost from Table I),
+* both schemes' logical error rates (same O(p^2) order).
+
+Run:  python examples/determinism_tradeoff.py
+"""
+
+import numpy as np
+
+from repro.codes.catalog import get_code
+from repro.core.metrics import protocol_metrics
+from repro.core.nondeterministic import NonDeterministicRunner
+from repro.core.protocol import synthesize_protocol
+from repro.sim.frame import ProtocolRunner, protocol_locations
+from repro.sim.logical import LogicalJudge
+from repro.sim.noise import sample_injections
+
+
+def deterministic_stats(protocol, p, shots, rng):
+    runner = ProtocolRunner(protocol)
+    judge = LogicalJudge(protocol.code)
+    locations = protocol_locations(protocol)
+    failures = 0
+    corrections = 0
+    for _ in range(shots):
+        result = runner.run(sample_injections(locations, p, rng))
+        corrections += len(result.branches_taken)
+        if judge.is_logical_failure(result):
+            failures += 1
+    return failures / shots, corrections / shots
+
+
+def main():
+    shots = 3000
+    for key in ("steane", "carbon"):
+        code = get_code(key)
+        protocol = synthesize_protocol(code)
+        metrics = protocol_metrics(protocol)
+        baseline = NonDeterministicRunner(protocol)
+        print(f"\n=== {code.name} {code.parameters()} ===")
+        print(
+            f"deterministic overhead: verification "
+            f"{metrics.total_verification_ancillas} anc / "
+            f"{metrics.total_verification_cnots} CX every run; correction "
+            f"averages {metrics.average_correction_ancillas:.2f} anc / "
+            f"{metrics.average_correction_cnots:.2f} CX when triggered"
+        )
+        print(f"{'p':>8} {'E[attempts]':>12} {'accept':>8} "
+              f"{'pL (RUS)':>10} {'pL (det)':>10} {'corr/run':>9}")
+        for p in (0.001, 0.01, 0.05, 0.1):
+            rng = np.random.default_rng(42)
+            rus = baseline.simulate(p, shots, rng)
+            det_pl, det_corrections = deterministic_stats(
+                protocol, p, shots, np.random.default_rng(43)
+            )
+            print(
+                f"{p:>8.3f} {rus.expected_attempts:>12.2f} "
+                f"{rus.acceptance_rate:>8.3f} "
+                f"{rus.logical_error_rate:>10.2e} {det_pl:>10.2e} "
+                f"{det_corrections:>9.3f}"
+            )
+        print(
+            "-> the baseline's E[attempts] grows with p (stochastic "
+            "latency); the deterministic protocol always finishes in one "
+            "pass at comparable logical fidelity."
+        )
+
+
+if __name__ == "__main__":
+    main()

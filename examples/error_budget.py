@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Exact error budgets and device-flavoured noise (beyond the paper).
+
+Fig. 4 says the logical error rate is ~ c2 * p^2; this example answers
+two follow-up questions an experimentalist would ask:
+
+1. *Where does c2 come from?* — exact two-fault enumeration attributes
+   the failing-pair probability mass to circuit segments and location
+   kinds (``repro.core.analysis``).
+2. *What if my gates aren't uniform?* — re-simulate under a scaled noise
+   model (two-qubit gates 5x worse, measurements 10x worse — a
+   trapped-ion-flavoured budget) and compare against the uniform E1_1
+   curve.
+
+Run:  python examples/error_budget.py
+"""
+
+import numpy as np
+
+from repro.codes.catalog import get_code
+from repro.core.analysis import two_fault_error_budget
+from repro.core.protocol import synthesize_protocol
+from repro.sim.frame import ProtocolRunner, protocol_locations
+from repro.sim.logical import LogicalJudge
+from repro.sim.noise import ScaledNoiseModel, sample_injections_model
+
+
+def scaled_logical_rate(protocol, model, shots, rng):
+    runner = ProtocolRunner(protocol)
+    judge = LogicalJudge(protocol.code)
+    locations = protocol_locations(protocol)
+    failures = sum(
+        judge.is_logical_failure(
+            runner.run(sample_injections_model(locations, model, rng))
+        )
+        for _ in range(shots)
+    )
+    return failures / shots
+
+
+def main():
+    for key in ("steane", "surface_3"):
+        protocol = synthesize_protocol(get_code(key))
+        print(f"\n=== {protocol.code.name} ===")
+
+        budget = two_fault_error_budget(protocol)
+        print(budget.render())
+
+        print("\nuniform vs device-flavoured noise (p = 0.005, 6000 shots):")
+        shots = 6000
+        uniform = ScaledNoiseModel(p=0.005)
+        skewed = ScaledNoiseModel(p=0.005, two_qubit=5.0, measurement=10.0)
+        rate_uniform = scaled_logical_rate(
+            protocol, uniform, shots, np.random.default_rng(1)
+        )
+        rate_skewed = scaled_logical_rate(
+            protocol, skewed, shots, np.random.default_rng(2)
+        )
+        print(f"  E1_1 uniform:            p_L = {rate_uniform:.2e}")
+        print(f"  2q x5, measurement x10:  p_L = {rate_skewed:.2e}")
+        print(
+            f"  ratio {rate_skewed / max(rate_uniform, 1e-12):.1f}x — "
+            "consistent with the 2q-dominated budget above"
+        )
+
+
+if __name__ == "__main__":
+    main()

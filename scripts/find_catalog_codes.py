@@ -1,0 +1,76 @@
+"""Regenerate the pinned catalog stand-in matrices (see catalog.py).
+
+The [[11,1,3]] instance comes from ``find_css_code`` (seed 0); the Carbon
+[[12,2,4]] instance from a local search pairing odd-weight columns so that
+``Hx @ Hz.T = 0`` while both distances stay >= 4 by construction.
+"""
+import random
+
+import numpy as np
+
+from repro.codes.css import CSSCode
+from repro.codes.search import find_css_code
+from repro.pauli.symplectic import rank
+
+
+def show(code):
+    print(f"# {code.name}: [[{code.n},{code.k},{code.distance()}]]")
+    for label, mat in [("HX", code.hx), ("HZ", code.hz)]:
+        print(f"{label} = [")
+        for row in mat:
+            print('    "%s",' % "".join(str(int(b)) for b in row))
+        print("]")
+
+
+def find_carbon(seed=12):
+    odd = [v for v in range(32) if bin(v).count("1") % 2 == 1]
+    vecs = {
+        v: np.array([(v >> j) & 1 for j in range(5)], dtype=np.uint8)
+        for v in odd
+    }
+    rng = random.Random(seed)
+
+    def energy(cols_a, cols_b):
+        m = np.zeros((5, 5), dtype=np.uint8)
+        for a, b in zip(cols_a, cols_b):
+            m ^= np.outer(vecs[a], vecs[b])
+        return int(m.sum())
+
+    def pick12():
+        while True:
+            r = rng.sample(odd, 3)
+            s = r[0] ^ r[1] ^ r[2]
+            if s in odd and s not in r:
+                removed = set(r + [s])
+                return [v for v in odd if v not in removed]
+
+    while True:
+        cols_a, cols_b = pick12(), pick12()
+        rng.shuffle(cols_a)
+        rng.shuffle(cols_b)
+        e = energy(cols_a, cols_b)
+        for _ in range(300):
+            if e == 0:
+                break
+            i, j = rng.sample(range(12), 2)
+            cols_b[i], cols_b[j] = cols_b[j], cols_b[i]
+            e2 = energy(cols_a, cols_b)
+            if e2 <= e:
+                e = e2
+            else:
+                cols_b[i], cols_b[j] = cols_b[j], cols_b[i]
+        if e != 0:
+            continue
+        hx = np.array([[vecs[a][r] for a in cols_a] for r in range(5)], np.uint8)
+        hz = np.array([[vecs[b][r] for b in cols_b] for r in range(5)], np.uint8)
+        if rank(hx) != 5 or rank(hz) != 5:
+            continue
+        code = CSSCode("Carbon", hx, hz)
+        if code.k == 2 and code.x_distance() == 4 and code.z_distance() == 4:
+            code.validate()
+            return code
+
+
+if __name__ == "__main__":
+    show(find_css_code(11, 1, 3, seed=0, max_tries=20000, max_row_weight=6))
+    show(find_carbon())

@@ -1,0 +1,39 @@
+"""Circuit IR substrate: instructions, circuits, measurement gadget builders."""
+
+from .builder import (
+    append_measurement,
+    append_x_measurement,
+    append_z_measurement,
+    support_order,
+)
+from .circuit import Circuit
+from .draw import draw
+from .gates import (
+    CX,
+    ConditionalPauli,
+    GATE_KINDS,
+    H,
+    Instruction,
+    MeasureX,
+    MeasureZ,
+    ResetX,
+    ResetZ,
+)
+
+__all__ = [
+    "CX",
+    "Circuit",
+    "ConditionalPauli",
+    "GATE_KINDS",
+    "H",
+    "Instruction",
+    "MeasureX",
+    "MeasureZ",
+    "ResetX",
+    "ResetZ",
+    "append_measurement",
+    "append_x_measurement",
+    "append_z_measurement",
+    "draw",
+    "support_order",
+]

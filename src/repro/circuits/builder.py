@@ -1,0 +1,140 @@
+"""Builders for (optionally flagged) stabilizer measurement gadgets.
+
+A Z-type operator ``Z_{q1} ... Z_{qw}`` is measured with an ancilla prepared
+in |0> that receives a CNOT from every support qubit and is read out in the Z
+basis. An X-type operator uses a |+> ancilla controlling CNOTs onto the
+support and an X-basis readout.
+
+The flagged variants add one flag ancilla wired into the gadget with two
+CNOTs (Chamberland-Beverland style): ancilla faults occurring between the
+two flag CNOTs — exactly the ones that become dangerous multi-qubit *hook*
+errors on the data — also flip the flag, heralding the hook. Faults outside
+the window propagate to weight <= 1 data errors (or the measured stabilizer
+itself, which acts trivially).
+
+All data CNOTs follow the caller-supplied ``order``; hook analysis in
+``repro.core.hooks`` depends on this order, and the protocol synthesizer may
+permute it to weaken hooks.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..pauli.symplectic import as_bit_vector
+from .circuit import Circuit
+
+__all__ = [
+    "append_z_measurement",
+    "append_x_measurement",
+    "append_measurement",
+    "support_order",
+]
+
+
+def support_order(support, order: Sequence[int] | None = None) -> list[int]:
+    """Resolve the data-qubit CNOT order for a measured operator.
+
+    ``support`` is a bit vector; ``order``, if given, must be a permutation
+    of the support's qubit indices.
+    """
+    support = as_bit_vector(support)
+    qubits = [int(q) for q in support.nonzero()[0]]
+    if order is None:
+        return qubits
+    order = [int(q) for q in order]
+    if sorted(order) != qubits:
+        raise ValueError(f"order {order} is not a permutation of {qubits}")
+    return order
+
+
+def append_z_measurement(
+    circuit: Circuit,
+    support,
+    ancilla: int,
+    bit: str,
+    *,
+    flag_ancilla: int | None = None,
+    flag_bit: str | None = None,
+    order: Sequence[int] | None = None,
+) -> Circuit:
+    """Append a gadget measuring the Z-type operator with ``support``.
+
+    With a flag, the gadget detects Z faults on the measurement ancilla that
+    would otherwise propagate onto the tail of the data support.
+    """
+    qubits = support_order(support, order)
+    if not qubits:
+        raise ValueError("cannot measure an empty operator")
+    flagged = flag_ancilla is not None
+    if flagged and flag_bit is None:
+        raise ValueError("flagged measurement needs a flag_bit name")
+    if flagged and len(qubits) < 3:
+        raise ValueError("flagging a weight<3 measurement is never needed")
+    circuit.reset_z(ancilla)
+    if flagged:
+        circuit.reset_x(flag_ancilla)
+    for position, qubit in enumerate(qubits):
+        circuit.cx(qubit, ancilla)
+        if flagged and position == 0:
+            circuit.cx(flag_ancilla, ancilla)
+        if flagged and position == len(qubits) - 2:
+            circuit.cx(flag_ancilla, ancilla)
+    if flagged:
+        circuit.measure_x(flag_ancilla, flag_bit)
+    circuit.measure_z(ancilla, bit)
+    return circuit
+
+
+def append_x_measurement(
+    circuit: Circuit,
+    support,
+    ancilla: int,
+    bit: str,
+    *,
+    flag_ancilla: int | None = None,
+    flag_bit: str | None = None,
+    order: Sequence[int] | None = None,
+) -> Circuit:
+    """Append a gadget measuring the X-type operator with ``support``.
+
+    With a flag, the gadget detects X faults on the measurement ancilla that
+    would otherwise propagate onto the tail of the data support.
+    """
+    qubits = support_order(support, order)
+    if not qubits:
+        raise ValueError("cannot measure an empty operator")
+    flagged = flag_ancilla is not None
+    if flagged and flag_bit is None:
+        raise ValueError("flagged measurement needs a flag_bit name")
+    if flagged and len(qubits) < 3:
+        raise ValueError("flagging a weight<3 measurement is never needed")
+    circuit.reset_x(ancilla)
+    if flagged:
+        circuit.reset_z(flag_ancilla)
+    for position, qubit in enumerate(qubits):
+        circuit.cx(ancilla, qubit)
+        if flagged and position == 0:
+            circuit.cx(ancilla, flag_ancilla)
+        if flagged and position == len(qubits) - 2:
+            circuit.cx(ancilla, flag_ancilla)
+    if flagged:
+        circuit.measure_z(flag_ancilla, flag_bit)
+    circuit.measure_x(ancilla, bit)
+    return circuit
+
+
+def append_measurement(
+    circuit: Circuit,
+    support,
+    basis: str,
+    ancilla: int,
+    bit: str,
+    **kwargs,
+) -> Circuit:
+    """Dispatch to the Z- or X-type measurement builder by ``basis``."""
+    if basis == "Z":
+        return append_z_measurement(circuit, support, ancilla, bit, **kwargs)
+    if basis == "X":
+        return append_x_measurement(circuit, support, ancilla, bit, **kwargs)
+    raise ValueError(f"basis must be 'X' or 'Z', got {basis!r}")

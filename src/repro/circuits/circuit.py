@@ -1,0 +1,137 @@
+"""A flat Clifford circuit: an ordered list of instructions on one register.
+
+The register holds ``num_qubits`` wires; by convention the first ``n`` wires
+of a protocol circuit are the code's data qubits and the rest are ancillae.
+Measurement results are recorded under string names, so downstream segments
+(conditional corrections) can reference them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from .gates import (
+    CX,
+    ConditionalPauli,
+    H,
+    Instruction,
+    MeasureX,
+    MeasureZ,
+    ResetX,
+    ResetZ,
+)
+
+__all__ = ["Circuit"]
+
+
+@dataclass
+class Circuit:
+    """An ordered instruction list over ``num_qubits`` wires."""
+
+    num_qubits: int
+    instructions: list[Instruction] = field(default_factory=list)
+
+    # -- construction -------------------------------------------------------
+
+    def append(self, instruction: Instruction) -> "Circuit":
+        for q in instruction.qubits():
+            if not 0 <= q < self.num_qubits:
+                raise ValueError(
+                    f"qubit {q} out of range for {self.num_qubits}-wire circuit"
+                )
+        self.instructions.append(instruction)
+        return self
+
+    def h(self, qubit: int) -> "Circuit":
+        return self.append(H(qubit))
+
+    def cx(self, control: int, target: int) -> "Circuit":
+        if control == target:
+            raise ValueError("CX control and target must differ")
+        return self.append(CX(control, target))
+
+    def reset_z(self, qubit: int) -> "Circuit":
+        return self.append(ResetZ(qubit))
+
+    def reset_x(self, qubit: int) -> "Circuit":
+        return self.append(ResetX(qubit))
+
+    def measure_z(self, qubit: int, bit: str) -> "Circuit":
+        return self.append(MeasureZ(qubit, bit))
+
+    def measure_x(self, qubit: int, bit: str) -> "Circuit":
+        return self.append(MeasureX(qubit, bit))
+
+    def conditional_pauli(
+        self,
+        x_support: Iterable[int] = (),
+        z_support: Iterable[int] = (),
+        condition: Iterable[tuple[str, int]] = (),
+    ) -> "Circuit":
+        return self.append(
+            ConditionalPauli(
+                tuple(x_support), tuple(z_support), tuple(condition)
+            )
+        )
+
+    def extend(self, other: "Circuit") -> "Circuit":
+        """Append all instructions of ``other`` (register sizes must agree)."""
+        if other.num_qubits > self.num_qubits:
+            raise ValueError("cannot extend with a wider circuit")
+        for instruction in other.instructions:
+            self.append(instruction)
+        return self
+
+    # -- inspection ---------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def count(self, kind: str) -> int:
+        """Number of instructions of the given class name, e.g. ``"CX"``."""
+        return sum(1 for ins in self.instructions if ins.kind == kind)
+
+    @property
+    def cnot_count(self) -> int:
+        return self.count("CX")
+
+    def measured_bits(self) -> list[str]:
+        """Names of all measurement results, in program order."""
+        bits = []
+        for ins in self.instructions:
+            if isinstance(ins, (MeasureZ, MeasureX)):
+                bits.append(ins.bit)
+        return bits
+
+    def qubits_used(self) -> set[int]:
+        used: set[int] = set()
+        for ins in self.instructions:
+            used.update(ins.qubits())
+        return used
+
+    def depth(self) -> int:
+        """Number of layers when instructions are greedily parallelized."""
+        frontier = [0] * self.num_qubits
+        depth = 0
+        for ins in self.instructions:
+            qubits = ins.qubits()
+            if not qubits:
+                continue
+            layer = 1 + max(frontier[q] for q in qubits)
+            for q in qubits:
+                frontier[q] = layer
+            depth = max(depth, layer)
+        return depth
+
+    def copy(self) -> "Circuit":
+        return Circuit(self.num_qubits, list(self.instructions))
+
+    def __repr__(self) -> str:
+        return (
+            f"Circuit(qubits={self.num_qubits}, ops={len(self.instructions)}, "
+            f"cx={self.cnot_count})"
+        )

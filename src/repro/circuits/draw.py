@@ -1,0 +1,77 @@
+"""ASCII rendering of circuits for docs, examples, and debugging."""
+
+from __future__ import annotations
+
+from .circuit import Circuit
+from .gates import CX, ConditionalPauli, H, MeasureX, MeasureZ, ResetX, ResetZ
+
+__all__ = ["draw"]
+
+_BOX = {
+    "H": " H ",
+    "ResetZ": "|0>",
+    "ResetX": "|+>",
+    "MeasureZ": "MZ ",
+    "MeasureX": "MX ",
+}
+
+
+def draw(circuit: Circuit, wire_labels: dict[int, str] | None = None) -> str:
+    """Render ``circuit`` as fixed-width ASCII art, one row per wire.
+
+    Instructions are greedily packed into time-step columns (same rule as
+    ``Circuit.depth``), so the drawing width reflects circuit depth.
+    """
+    wire_labels = wire_labels or {}
+    columns: list[dict[int, str]] = []
+    frontier = [0] * circuit.num_qubits
+    for ins in circuit.instructions:
+        qubits = ins.qubits()
+        if not qubits:
+            continue
+        layer = max(frontier[q] for q in qubits)
+        while len(columns) <= layer:
+            columns.append({})
+        cells = _cells_for(ins)
+        # Two-qubit gates need the whole vertical strip free in this column.
+        lo, hi = min(qubits), max(qubits)
+        while any(
+            q in columns[layer] for q in range(lo, hi + 1)
+        ) and layer < len(columns):
+            layer += 1
+            if layer == len(columns):
+                columns.append({})
+        for q, cell in cells.items():
+            columns[layer][q] = cell
+        if isinstance(ins, CX):
+            lo, hi = min(qubits), max(qubits)
+            for q in range(lo + 1, hi):
+                columns[layer].setdefault(q, "─┼─")
+        for q in qubits:
+            frontier[q] = layer + 1
+    lines = []
+    label_width = max(
+        (len(wire_labels.get(q, f"q{q}")) for q in range(circuit.num_qubits)),
+        default=2,
+    )
+    for q in range(circuit.num_qubits):
+        label = wire_labels.get(q, f"q{q}").rjust(label_width)
+        cells = [col.get(q, "───") for col in columns]
+        lines.append(f"{label}: " + "─".join(cells))
+    return "\n".join(lines)
+
+
+def _cells_for(ins) -> dict[int, str]:
+    if isinstance(ins, CX):
+        return {ins.control: "─●─", ins.target: "─⊕─"}
+    if isinstance(ins, ConditionalPauli):
+        cells = {}
+        for q in ins.x_support:
+            cells[q] = "[X]"
+        for q in ins.z_support:
+            cells[q] = "[Z]" if q not in cells else "[Y]"
+        return cells
+    box = _BOX.get(ins.kind)
+    if box is None:
+        raise ValueError(f"cannot draw instruction {ins!r}")
+    return {ins.qubits()[0]: box}

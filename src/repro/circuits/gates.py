@@ -1,0 +1,123 @@
+"""Instruction set for the protocol circuits.
+
+The library needs only the Clifford fragment that CSS state preparation
+uses: ``H``, ``CX``, computational/plus-basis resets, single-qubit
+measurements, and classically-controlled Pauli corrections. Instructions are
+small frozen dataclasses; a circuit is a list of them (see ``circuit.py``).
+
+Qubits are integer indices into one flat register; classical measurement
+results are named bits (strings) so that conditional recoveries can refer to
+verification outcomes symbolically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Instruction",
+    "H",
+    "CX",
+    "ResetZ",
+    "ResetX",
+    "MeasureZ",
+    "MeasureX",
+    "ConditionalPauli",
+    "GATE_KINDS",
+]
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """Base class; concrete instructions below carry their operands."""
+
+    def qubits(self) -> tuple[int, ...]:
+        raise NotImplementedError
+
+    @property
+    def kind(self) -> str:
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class H(Instruction):
+    """Hadamard on ``qubit``."""
+
+    qubit: int
+
+    def qubits(self) -> tuple[int, ...]:
+        return (self.qubit,)
+
+
+@dataclass(frozen=True)
+class CX(Instruction):
+    """CNOT with ``control`` and ``target``."""
+
+    control: int
+    target: int
+
+    def qubits(self) -> tuple[int, ...]:
+        return (self.control, self.target)
+
+
+@dataclass(frozen=True)
+class ResetZ(Instruction):
+    """Reset ``qubit`` to |0>."""
+
+    qubit: int
+
+    def qubits(self) -> tuple[int, ...]:
+        return (self.qubit,)
+
+
+@dataclass(frozen=True)
+class ResetX(Instruction):
+    """Reset ``qubit`` to |+>."""
+
+    qubit: int
+
+    def qubits(self) -> tuple[int, ...]:
+        return (self.qubit,)
+
+
+@dataclass(frozen=True)
+class MeasureZ(Instruction):
+    """Measure ``qubit`` in the Z basis, storing the result in ``bit``."""
+
+    qubit: int
+    bit: str
+
+    def qubits(self) -> tuple[int, ...]:
+        return (self.qubit,)
+
+
+@dataclass(frozen=True)
+class MeasureX(Instruction):
+    """Measure ``qubit`` in the X basis, storing the result in ``bit``."""
+
+    qubit: int
+    bit: str
+
+    def qubits(self) -> tuple[int, ...]:
+        return (self.qubit,)
+
+
+@dataclass(frozen=True)
+class ConditionalPauli(Instruction):
+    """Apply a Pauli product when measured bits match an exact pattern.
+
+    ``x_support`` / ``z_support`` are tuples of data-qubit indices receiving
+    X / Z; the correction fires iff every ``(bit, value)`` pair in
+    ``condition`` matches the recorded measurement results. An empty
+    condition fires unconditionally.
+    """
+
+    x_support: tuple[int, ...]
+    z_support: tuple[int, ...]
+    condition: tuple[tuple[str, int], ...] = ()
+
+    def qubits(self) -> tuple[int, ...]:
+        return tuple(sorted(set(self.x_support) | set(self.z_support)))
+
+
+GATE_KINDS = ("H", "CX", "ResetZ", "ResetX", "MeasureZ", "MeasureX", "ConditionalPauli")

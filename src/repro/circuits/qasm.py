@@ -1,0 +1,146 @@
+"""OpenQASM 2.0 export of circuits and protocol segments.
+
+Lets downstream users take synthesized circuits to other toolchains. The
+instruction set maps directly: ``H -> h``, ``CX -> cx``, ``ResetZ ->
+reset``, ``ResetX -> reset; h``, measurements to ``measure`` with one
+classical register bit per named measurement result.
+
+`ConditionalPauli` maps to OpenQASM 2 ``if`` statements where the
+condition is expressible (OpenQASM 2 can only compare one whole classical
+register to an integer, so each condition gets its own register).
+Protocol exports list the conditional branch segments as separately
+labelled blocks — OpenQASM 2 has no real-time control flow, so the
+decision tree itself is emitted as structured comments.
+"""
+
+from __future__ import annotations
+
+from .circuit import Circuit
+from .gates import CX, ConditionalPauli, H, MeasureX, MeasureZ, ResetX, ResetZ
+
+__all__ = ["circuit_to_qasm", "protocol_to_qasm"]
+
+
+def _bit_register_name(bit: str) -> str:
+    """QASM identifiers: letters, digits, underscore; start with a letter."""
+    safe = "".join(ch if ch.isalnum() else "_" for ch in bit)
+    return f"c_{safe}"
+
+
+def circuit_to_qasm(circuit: Circuit, *, header: str = "") -> str:
+    """Serialize one circuit as a self-contained OpenQASM 2.0 program."""
+    lines = ["OPENQASM 2.0;", 'include "qelib1.inc";']
+    if header:
+        lines = [f"// {line}" for line in header.splitlines()] + lines
+    lines.append(f"qreg q[{circuit.num_qubits}];")
+    for bit in circuit.measured_bits():
+        lines.append(f"creg {_bit_register_name(bit)}[1];")
+    declared = set(circuit.measured_bits())
+
+    for ins in circuit.instructions:
+        if isinstance(ins, H):
+            lines.append(f"h q[{ins.qubit}];")
+        elif isinstance(ins, CX):
+            lines.append(f"cx q[{ins.control}],q[{ins.target}];")
+        elif isinstance(ins, ResetZ):
+            lines.append(f"reset q[{ins.qubit}];")
+        elif isinstance(ins, ResetX):
+            lines.append(f"reset q[{ins.qubit}];")
+            lines.append(f"h q[{ins.qubit}];")
+        elif isinstance(ins, MeasureZ):
+            lines.append(
+                f"measure q[{ins.qubit}] -> {_bit_register_name(ins.bit)}[0];"
+            )
+        elif isinstance(ins, MeasureX):
+            lines.append(f"h q[{ins.qubit}];")
+            lines.append(
+                f"measure q[{ins.qubit}] -> {_bit_register_name(ins.bit)}[0];"
+            )
+        elif isinstance(ins, ConditionalPauli):
+            lines.extend(_conditional_pauli_qasm(ins, declared))
+        else:
+            raise TypeError(f"unknown instruction {ins!r}")
+    return "\n".join(lines) + "\n"
+
+
+def _conditional_pauli_qasm(ins: ConditionalPauli, declared: set[str]):
+    guards = []
+    for bit, value in ins.condition:
+        if bit not in declared:
+            raise ValueError(
+                f"ConditionalPauli references unmeasured bit {bit!r}"
+            )
+        guards.append((_bit_register_name(bit), value))
+    body = [f"x q[{q}];" for q in ins.x_support]
+    body += [f"z q[{q}];" for q in ins.z_support]
+    if not guards:
+        return body
+    # OpenQASM 2 allows a single if per statement; nest by repeating the
+    # guard on each Pauli (all guards must hold -> emit only when every
+    # guard is a 1-bit register compare, chaining with comments).
+    out = []
+    for statement in body:
+        for register, value in guards:
+            statement = f"if({register}=={value}) " + statement
+            break  # QASM2 forbids chained ifs; extra guards noted below
+        out.append(statement)
+    if len(guards) > 1:
+        out.insert(
+            0,
+            "// NOTE: multi-bit condition "
+            + " && ".join(f"{r}=={v}" for r, v in guards)
+            + " — only the first guard is enforceable in OpenQASM 2",
+        )
+    return out
+
+
+def protocol_to_qasm(protocol) -> dict[str, str]:
+    """Export every protocol segment as a named QASM program.
+
+    Returns a mapping with keys ``prep``, ``verif0``, ``verif1``, ... and
+    ``branch{layer}_{signature}`` for each conditional correction segment.
+    The Fig. 3 decision tree is documented in each branch's header.
+    """
+    programs: dict[str, str] = {}
+    programs["prep"] = circuit_to_qasm(
+        protocol.prep_segment,
+        header=f"{protocol.code.name}: non-FT |0>_L preparation",
+    )
+    for li, layer in enumerate(protocol.layers):
+        programs[f"verif{li}"] = circuit_to_qasm(
+            layer.circuit,
+            header=(
+                f"{protocol.code.name}: layer {li} ({layer.kind}-error "
+                f"verification; bits {layer.bits} flags {layer.flag_bits})"
+            ),
+        )
+        for signature, branch in sorted(layer.branches.items()):
+            b, f = signature
+            tag = "".join(map(str, b)) + "_" + "".join(map(str, f))
+            recoveries = {
+                "".join(map(str, syndrome)): _pauli_string(
+                    recovery, branch.recovery_kind
+                )
+                for syndrome, recovery in sorted(branch.recoveries.items())
+            }
+            header = (
+                f"{protocol.code.name}: conditional correction, layer {li}, "
+                f"signature b={b} f={f}\n"
+                f"run iff the verification produced this signature; then "
+                f"apply the recovery for the measured syndrome:\n"
+                f"{recoveries}\n"
+                f"terminate protocol after this branch: {branch.terminate}"
+            )
+            programs[f"branch{li}_{tag}"] = circuit_to_qasm(
+                branch.circuit, header=header
+            )
+    return programs
+
+
+def _pauli_string(support, kind: str) -> str:
+    import numpy as np
+
+    qubits = [int(q) for q in np.nonzero(support)[0]]
+    if not qubits:
+        return "I"
+    return " ".join(f"{kind}{q}" for q in qubits)

@@ -1,0 +1,275 @@
+"""Command-line interface for the synthesis and simulation pipeline.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro codes                      # list the catalog
+    python -m repro synthesize steane          # synthesize + metrics
+    python -m repro synthesize steane -o p.json --qasm out_dir
+    python -m repro check steane               # exhaustive FT certificate
+    python -m repro check --load p.json
+    python -m repro simulate steane --shots 4000 --p 1e-3 1e-2
+    python -m repro table1 --fast              # regenerate Table I
+    python -m repro figure4 --codes steane shor --shots 2000
+
+Every command prints human-readable output; machine-readable artifacts go
+through ``--output`` (protocol JSON) and ``--qasm`` (OpenQASM export).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Deterministic fault-tolerant state preparation via SAT "
+            "(DATE 2025 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    codes = sub.add_parser("codes", help="list catalog codes")
+
+    synthesize = sub.add_parser(
+        "synthesize", help="synthesize a deterministic FT protocol"
+    )
+    synthesize.add_argument("code", help="catalog code key (see 'codes')")
+    synthesize.add_argument(
+        "--prep", choices=["heuristic", "optimal"], default="heuristic"
+    )
+    synthesize.add_argument(
+        "--verification",
+        choices=["optimal", "greedy", "global"],
+        default="optimal",
+    )
+    synthesize.add_argument(
+        "-o", "--output", type=Path, help="write protocol JSON here"
+    )
+    synthesize.add_argument(
+        "--qasm", type=Path, help="write OpenQASM segments into this directory"
+    )
+
+    check = sub.add_parser(
+        "check", help="exhaustive single-fault FT certificate"
+    )
+    check.add_argument("code", nargs="?", help="catalog code key")
+    check.add_argument(
+        "--load", type=Path, help="check a protocol JSON instead"
+    )
+
+    simulate = sub.add_parser(
+        "simulate", help="circuit-level noise simulation (Fig. 4 pipeline)"
+    )
+    simulate.add_argument("code", help="catalog code key")
+    simulate.add_argument("--shots", type=int, default=4000)
+    simulate.add_argument("--k-max", type=int, default=3)
+    simulate.add_argument("--seed", type=int, default=2025)
+    simulate.add_argument(
+        "--p",
+        type=float,
+        nargs="+",
+        default=[1e-4, 1e-3, 1e-2, 1e-1],
+        help="physical error rates to report",
+    )
+
+    table1 = sub.add_parser("table1", help="regenerate the paper's Table I")
+    table1.add_argument(
+        "--fast",
+        action="store_true",
+        help="skip the slowest rows (tesseract, optimal-prep)",
+    )
+    table1.add_argument(
+        "--global-budget",
+        type=float,
+        default=300.0,
+        help="wall-clock budget per global-optimization row (seconds)",
+    )
+
+    figure4 = sub.add_parser("figure4", help="regenerate the paper's Fig. 4")
+    figure4.add_argument("--codes", nargs="+", default=None)
+    figure4.add_argument("--shots", type=int, default=8000)
+    figure4.add_argument("--seed", type=int, default=2025)
+
+    budget = sub.add_parser(
+        "budget",
+        help="exact two-fault error budget (quadratic coefficient of Fig. 4)",
+    )
+    budget.add_argument("code", help="catalog code key")
+    budget.add_argument(
+        "--max-runs",
+        type=int,
+        default=2_000_000,
+        help="guard on the enumeration size (runs grow ~N^2 in locations)",
+    )
+
+    return parser
+
+
+def _cmd_codes(_args) -> int:
+    from .codes.catalog import CATALOG
+
+    print(f"{'key':<12} {'name':<14} {'[[n,k,d]]':<10}")
+    for key, factory in CATALOG.items():
+        code = factory()
+        print(f"{key:<12} {code.name:<14} {code.parameters()}")
+    return 0
+
+
+def _synthesize(args):
+    from .codes.catalog import get_code
+    from .core.globalopt import globally_optimize_protocol
+    from .core.protocol import synthesize_protocol
+
+    if args.verification == "global":
+        result = globally_optimize_protocol(
+            get_code(args.code), prep_method=args.prep
+        )
+        return result.protocol
+    return synthesize_protocol(
+        get_code(args.code),
+        prep_method=args.prep,
+        verification_method=args.verification,
+    )
+
+
+def _cmd_synthesize(args) -> int:
+    from .core.metrics import protocol_metrics
+
+    protocol = _synthesize(args)
+    metrics = protocol_metrics(protocol)
+    print(f"synthesized {protocol}")
+    for index, layer in enumerate(metrics.layers, start=1):
+        print(f"  layer {index} ({layer.kind}): {layer.format_fragment()}")
+    print(
+        f"  totals: {metrics.total_verification_ancillas} verification "
+        f"ancillas, {metrics.total_verification_cnots} CNOTs; correction "
+        f"avg {metrics.average_correction_ancillas:.2f} anc / "
+        f"{metrics.average_correction_cnots:.2f} CX"
+    )
+    if args.output:
+        from .core.serialize import dump_protocol
+
+        dump_protocol(protocol, args.output)
+        print(f"  wrote {args.output}")
+    if args.qasm:
+        from .circuits.qasm import protocol_to_qasm
+
+        args.qasm.mkdir(parents=True, exist_ok=True)
+        for name, program in protocol_to_qasm(protocol).items():
+            path = args.qasm / f"{name}.qasm"
+            path.write_text(program)
+        print(f"  wrote QASM segments to {args.qasm}/")
+    return 0
+
+
+def _cmd_check(args) -> int:
+    from .core.ftcheck import check_fault_tolerance
+
+    if args.load:
+        from .core.serialize import load_protocol
+
+        protocol = load_protocol(args.load)
+    elif args.code:
+        from .codes.catalog import get_code
+        from .core.protocol import synthesize_protocol
+
+        protocol = synthesize_protocol(get_code(args.code))
+    else:
+        print("error: give a code key or --load", file=sys.stderr)
+        return 2
+    violations = check_fault_tolerance(protocol)
+    if violations:
+        print(f"NOT fault tolerant — {len(violations)} violations:")
+        for violation in violations:
+            print(f"  {violation}")
+        return 1
+    print(
+        f"{protocol.code.name}: fault tolerant (every single fault leaves "
+        "wt_S <= 1)"
+    )
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from .codes.catalog import get_code
+    from .core.protocol import synthesize_protocol
+    from .sim.frame import ProtocolRunner, protocol_locations
+    from .sim.logical import LogicalJudge
+    from .sim.subset import SubsetSampler
+
+    protocol = synthesize_protocol(get_code(args.code))
+    runner = ProtocolRunner(protocol)
+    judge = LogicalJudge(protocol.code)
+    sampler = SubsetSampler(
+        lambda injections: judge.is_logical_failure(runner.run(injections)),
+        protocol_locations(protocol),
+        k_max=args.k_max,
+        rng=np.random.default_rng(args.seed),
+    )
+    sampler.enumerate_k1_exact()
+    sampler.sample(args.shots)
+    print(f"{protocol.code.name}: f_1 = {sampler.strata[1].rate} (exact)")
+    for estimate in sampler.curve(sorted(args.p)):
+        print(f"  {estimate}")
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    from .experiments.table1 import (
+        TABLE1_FAST_ROWS,
+        TABLE1_ROWS,
+        render_table1,
+        run_table1,
+    )
+
+    rows = TABLE1_FAST_ROWS if args.fast else TABLE1_ROWS
+    results = run_table1(rows, global_time_budget=args.global_budget)
+    print(render_table1(results))
+    return 0
+
+
+def _cmd_figure4(args) -> int:
+    from .experiments.figure4 import render_figure4, run_figure4
+
+    series = run_figure4(args.codes, shots=args.shots, seed=args.seed)
+    print(render_figure4(series))
+    return 0
+
+
+def _cmd_budget(args) -> int:
+    from .codes.catalog import get_code
+    from .core.analysis import two_fault_error_budget
+    from .core.protocol import synthesize_protocol
+
+    protocol = synthesize_protocol(get_code(args.code))
+    budget = two_fault_error_budget(protocol, max_runs=args.max_runs)
+    print(budget.render())
+    return 0
+
+
+_COMMANDS = {
+    "codes": _cmd_codes,
+    "synthesize": _cmd_synthesize,
+    "check": _cmd_check,
+    "simulate": _cmd_simulate,
+    "table1": _cmd_table1,
+    "figure4": _cmd_figure4,
+    "budget": _cmd_budget,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

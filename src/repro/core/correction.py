@@ -1,0 +1,268 @@
+"""CORRECTION CIRCUIT SYNTHESIS as Boolean satisfiability (paper Sec. IV).
+
+Problem (paper box): given errors ``E`` (one class ``E_b`` sharing a
+verification syndrome), stabilizer generators to measure from, and bounds
+``(u, v)`` — is there a set of ``u`` stabilizers of total weight ``<= v``
+such that all errors with the same extended syndrome are reduced to weight
+``<= 1`` by one shared recovery?
+
+Encoding. Selector variables ``a[i][j]`` define the measured stabilizers
+``s_i`` exactly as in verification synthesis. The recovery for each of the
+``2^u`` extended syndromes ``t`` is chosen from a finite *candidate pool*:
+if any Pauli corrects every error of a class, then so does some
+``c = e + r`` with ``e`` a class member and ``wt(r) <= 1`` (a recovery is
+only meaningful modulo the reduction group, and correcting ``e`` means
+``c in e + {weight<=1} + R``). The pool is therefore
+``{e + r : e in E, wt(r) <= 1}`` deduplicated by coset — small, and the
+correctability predicate ``ok[e][m] = (wt_R(e + c_m) <= 1)`` is
+*precomputed*, so the SAT instance contains no reduction-group reasoning:
+
+* ``sigma_i(e)``: XOR chains over ``a[i][:]`` with folded parities;
+* ``guard(e, t) <-> AND_i (sigma_i(e) == t_i)``  (Tseitin AND);
+* per syndrome ``t``: ``OR_m sel[t][m]``;
+* per ``(e, t, m)`` with ``not ok[e][m]``: ``guard(e,t) -> not sel[t][m]``;
+* total weight ``sum_{i,q} s_i[q] <= v`` via a totalizer (assumption-probed).
+
+Lexicographic optimality loop: smallest ``u`` (with ``u = 0`` checked
+directly — a single shared recovery, no SAT needed), then smallest ``v`` —
+UNSAT at ``u - 1`` / ``v - 1`` is the paper's optimality certificate.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..pauli.group import CosetReducer
+from ..pauli.symplectic import as_bit_matrix
+from ..sat.cardinality import Totalizer
+from ..sat.cnf import CNF
+from ..sat.encode import encode_and, encode_xor_chain
+from ..sat.solver import Solver
+
+__all__ = ["CorrectionCircuit", "synthesize_correction", "CorrectionInfeasible"]
+
+
+class CorrectionInfeasible(RuntimeError):
+    """No correction circuit exists within the configured bounds."""
+
+
+@dataclass
+class CorrectionCircuit:
+    """A synthesized correction: extra measurements plus the recovery map.
+
+    ``recoveries`` maps each extended syndrome ``t`` (tuple of ints, length
+    ``len(measurements)``) to the Pauli recovery support to apply. Syndromes
+    never produced by any single fault are absent — the executor applies no
+    recovery for them.
+    """
+
+    measurements: list[np.ndarray]
+    recoveries: dict[tuple[int, ...], np.ndarray]
+    num_errors: int = 0
+
+    @property
+    def num_ancillas(self) -> int:
+        return len(self.measurements)
+
+    @property
+    def cnot_count(self) -> int:
+        return int(sum(int(m.sum()) for m in self.measurements))
+
+    def recovery_for(self, syndrome: tuple[int, ...]) -> np.ndarray | None:
+        return self.recoveries.get(tuple(syndrome))
+
+    def __repr__(self) -> str:
+        return (
+            f"CorrectionCircuit(a={self.num_ancillas}, w={self.cnot_count}, "
+            f"branches={len(self.recoveries)})"
+        )
+
+
+def synthesize_correction(
+    errors,
+    detection_basis,
+    reducer: CosetReducer,
+    *,
+    max_measurements: int = 4,
+) -> CorrectionCircuit:
+    """Optimal correction circuit for one error class (see module docstring).
+
+    ``errors`` are same-type support vectors (the class ``E_b``); include
+    the zero vector for faults that only flipped measurements. Raises
+    :class:`CorrectionInfeasible` if no solution exists with at most
+    ``max_measurements`` extra measurements.
+    """
+    errors = _dedupe_by_coset(errors, reducer)
+    n = reducer.n
+    if not errors:
+        return CorrectionCircuit([], {})
+    candidates, ok = _candidate_pool(errors, reducer)
+    # u = 0: one shared recovery, checked directly.
+    direct = _common_recovery(range(len(errors)), candidates, ok)
+    if direct is not None:
+        return CorrectionCircuit(
+            [], {(): candidates[direct].copy()}, num_errors=len(errors)
+        )
+    basis = as_bit_matrix(detection_basis, n)
+    for u in range(1, max_measurements + 1):
+        encoder = _CorrectionEncoder(basis, errors, candidates, ok, u)
+        solver = Solver(encoder.cnf)
+        result = solver.solve()
+        if not result.sat:
+            continue
+        best = encoder.extract(result.model, errors, candidates, reducer)
+        best_v = best.cnot_count
+        while best_v > u:
+            probe = solver.solve(
+                assumptions=encoder.totalizer.at_most(best_v - 1)
+            )
+            if not probe.sat:
+                break
+            best = encoder.extract(probe.model, errors, candidates, reducer)
+            best_v = best.cnot_count
+        best.num_errors = len(errors)
+        return best
+    raise CorrectionInfeasible(
+        f"no correction with <= {max_measurements} measurements for "
+        f"{len(errors)} errors"
+    )
+
+
+# -- internals ---------------------------------------------------------------
+
+
+def _dedupe_by_coset(errors, reducer: CosetReducer) -> list[np.ndarray]:
+    seen: set[bytes] = set()
+    out: list[np.ndarray] = []
+    for error in errors:
+        label = reducer.canonical(error)
+        if label not in seen:
+            seen.add(label)
+            out.append(reducer.reduce(error))
+    return out
+
+
+def _candidate_pool(
+    errors: list[np.ndarray], reducer: CosetReducer
+) -> tuple[list[np.ndarray], np.ndarray]:
+    """Recovery candidates and the ok[error][candidate] predicate."""
+    n = reducer.n
+    pool: list[np.ndarray] = []
+    seen: set[bytes] = set()
+    singles = [np.zeros(n, dtype=np.uint8)]
+    for q in range(n):
+        vec = np.zeros(n, dtype=np.uint8)
+        vec[q] = 1
+        singles.append(vec)
+    for error in errors:
+        for r in singles:
+            candidate = error ^ r
+            label = reducer.canonical(candidate)
+            if label not in seen:
+                seen.add(label)
+                pool.append(reducer.reduce(candidate))
+    ok = np.zeros((len(errors), len(pool)), dtype=bool)
+    for ei, error in enumerate(errors):
+        for mi, candidate in enumerate(pool):
+            ok[ei, mi] = reducer.coset_weight(error ^ candidate) <= 1
+    return pool, ok
+
+
+def _common_recovery(error_indices, candidates, ok) -> int | None:
+    """Index of a candidate correcting every listed error, or None."""
+    indices = list(error_indices)
+    if not indices:
+        return None
+    mask = np.ones(len(candidates), dtype=bool)
+    for ei in indices:
+        mask &= ok[ei]
+        if not mask.any():
+            return None
+    # Prefer the lightest recovery.
+    weights = [int(candidates[mi].sum()) for mi in np.nonzero(mask)[0]]
+    winners = np.nonzero(mask)[0]
+    return int(winners[int(np.argmin(weights))])
+
+
+class _CorrectionEncoder:
+    """CNF for fixed ``u``; weight bound probed through the totalizer."""
+
+    def __init__(self, basis, errors, candidates, ok, u: int):
+        self.basis = basis
+        self.r, self.n = basis.shape
+        self.u = u
+        self.ok = ok
+        self.num_candidates = len(candidates)
+        self.cnf = CNF()
+        self.a = [
+            [self.cnf.new_var(f"a[{i}][{j}]") for j in range(self.r)]
+            for i in range(u)
+        ]
+        self.sel: dict[tuple[int, ...], list[int]] = {}
+        support_lits: list[int] = []
+        for i in range(u):
+            for q in range(self.n):
+                contributors = [
+                    self.a[i][j] for j in range(self.r) if basis[j][q]
+                ]
+                support_lits.append(encode_xor_chain(self.cnf, contributors))
+            self.cnf.add_clause(list(self.a[i]))  # non-trivial measurement
+        self._break_symmetry()
+        syndromes = list(itertools.product((0, 1), repeat=u))
+        for t in syndromes:
+            self.sel[t] = [
+                self.cnf.new_var() for _ in range(self.num_candidates)
+            ]
+            self.cnf.add_clause(self.sel[t])
+        parities = [(self.basis @ e) % 2 for e in errors]
+        for ei, parity in enumerate(parities):
+            sigma = []
+            for i in range(u):
+                lits = [self.a[i][j] for j in range(self.r) if parity[j]]
+                sigma.append(encode_xor_chain(self.cnf, lits))
+            for t in syndromes:
+                guard_inputs = [
+                    sigma[i] if t[i] else -sigma[i] for i in range(u)
+                ]
+                guard = encode_and(self.cnf, guard_inputs)
+                bad = np.nonzero(~ok[ei])[0]
+                for mi in bad:
+                    self.cnf.add_clause([-guard, -self.sel[t][int(mi)]])
+        self.totalizer = Totalizer(self.cnf, support_lits)
+
+    def _break_symmetry(self) -> None:
+        for i in range(self.u - 1):
+            prefix_equal: list[int] = []
+            for j in range(self.r):
+                hi, lo = self.a[i][j], self.a[i + 1][j]
+                self.cnf.add_clause([-lit for lit in prefix_equal] + [-hi, lo])
+                prefix_equal.append(
+                    encode_xor_chain(self.cnf, [hi, lo], parity=1)
+                )
+
+    def extract(self, model, errors, candidates, reducer) -> CorrectionCircuit:
+        measurements = []
+        for i in range(self.u):
+            vec = np.zeros(self.n, dtype=np.uint8)
+            for j in range(self.r):
+                if model[self.a[i][j]]:
+                    vec ^= self.basis[j]
+            measurements.append(vec)
+        # Recoveries: only for syndromes actually produced by some error.
+        # Given the measurements, the recovery per class is recomputed as
+        # the *lightest* candidate valid for every class member (the SAT
+        # model guarantees one exists; its own pick may be heavier).
+        groups: dict[tuple[int, ...], list[int]] = {}
+        for ei, error in enumerate(errors):
+            t = tuple(int(m @ error) % 2 for m in measurements)
+            groups.setdefault(t, []).append(ei)
+        recoveries: dict[tuple[int, ...], np.ndarray] = {}
+        for t, members in groups.items():
+            chosen = _common_recovery(members, candidates, self.ok)
+            if chosen is None:
+                raise AssertionError("SAT model yielded an uncorrectable class")
+            recoveries[t] = candidates[chosen].copy()
+        return CorrectionCircuit(measurements, recoveries)

@@ -1,0 +1,222 @@
+"""Exact single-fault enumeration and Pauli-frame propagation.
+
+Every routine here works on the circuit IR. A *fault* is a Pauli inserted
+after one instruction (gate faults, preparation faults) or a classical flip
+of one measurement result. Propagating the inserted Pauli through the rest
+of the circuit — including the outcome flips it causes on later measurements
+— yields the fault's *observable signature*: the residual data error plus
+the set of flipped measurement bits.
+
+These signatures are the ground truth for the whole pipeline:
+
+* dangerous-error sets for verification synthesis (paper Sec. III),
+* the error classes ``E_b`` fed to the SAT correction synthesis, including
+  the identity error (pure measurement faults) and single-qubit errors with
+  non-trivial syndrome that the paper's Sec. IV highlights,
+* the exhaustive fault-tolerance check of the assembled protocol.
+
+Propagation rules (phase-free symplectic):
+``H``: swap x/z. ``CX(c,t)``: ``x_t ^= x_c``, ``z_c ^= z_t``. Resets clear
+the frame on the wire. ``MeasureZ`` flips iff the frame has X on the wire;
+``MeasureX`` flips iff it has Z.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..circuits.circuit import Circuit
+from ..circuits.gates import (
+    CX,
+    ConditionalPauli,
+    H,
+    MeasureX,
+    MeasureZ,
+    ResetX,
+    ResetZ,
+)
+
+__all__ = [
+    "PauliFrame",
+    "Fault",
+    "PropagatedFault",
+    "apply_instruction",
+    "propagate",
+    "enumerate_faults",
+    "propagate_all_faults",
+    "TWO_QUBIT_PAULIS",
+    "ONE_QUBIT_PAULIS",
+]
+
+ONE_QUBIT_PAULIS = ("X", "Y", "Z")
+TWO_QUBIT_PAULIS = tuple(
+    a + b
+    for a in ("I", "X", "Y", "Z")
+    for b in ("I", "X", "Y", "Z")
+    if not (a == "I" and b == "I")
+)
+
+_LETTER_BITS = {"I": (0, 0), "X": (1, 0), "Z": (0, 1), "Y": (1, 1)}
+
+
+@dataclass
+class PauliFrame:
+    """A Pauli error frame over the circuit's wires plus classical flips."""
+
+    x: np.ndarray
+    z: np.ndarray
+    flips: dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def zero(cls, num_qubits: int) -> "PauliFrame":
+        return cls(
+            np.zeros(num_qubits, dtype=np.uint8),
+            np.zeros(num_qubits, dtype=np.uint8),
+        )
+
+    def insert(self, qubit: int, letter: str) -> None:
+        xb, zb = _LETTER_BITS[letter]
+        self.x[qubit] ^= xb
+        self.z[qubit] ^= zb
+
+    def flip(self, bit: str) -> None:
+        self.flips[bit] = self.flips.get(bit, 0) ^ 1
+
+    def flipped_bits(self) -> frozenset[str]:
+        return frozenset(bit for bit, v in self.flips.items() if v)
+
+    def copy(self) -> "PauliFrame":
+        return PauliFrame(self.x.copy(), self.z.copy(), dict(self.flips))
+
+
+def apply_instruction(frame: PauliFrame, instruction) -> None:
+    """Advance ``frame`` through one instruction (in place).
+
+    ``ConditionalPauli`` instructions are ignored here: during fault
+    enumeration the recovery layer is handled by the protocol executor,
+    which evaluates conditions against the accumulated flips.
+    """
+    if isinstance(instruction, CX):
+        c, t = instruction.control, instruction.target
+        frame.x[t] ^= frame.x[c]
+        frame.z[c] ^= frame.z[t]
+    elif isinstance(instruction, H):
+        q = instruction.qubit
+        frame.x[q], frame.z[q] = frame.z[q], frame.x[q]
+    elif isinstance(instruction, (ResetZ, ResetX)):
+        q = instruction.qubit
+        frame.x[q] = 0
+        frame.z[q] = 0
+    elif isinstance(instruction, MeasureZ):
+        if frame.x[instruction.qubit]:
+            frame.flip(instruction.bit)
+    elif isinstance(instruction, MeasureX):
+        if frame.z[instruction.qubit]:
+            frame.flip(instruction.bit)
+    elif isinstance(instruction, ConditionalPauli):
+        pass
+    else:
+        raise TypeError(f"unknown instruction {instruction!r}")
+
+
+def propagate(
+    circuit: Circuit, frame: PauliFrame, start: int = 0
+) -> PauliFrame:
+    """Propagate ``frame`` through ``circuit.instructions[start:]`` in place."""
+    for instruction in circuit.instructions[start:]:
+        apply_instruction(frame, instruction)
+    return frame
+
+
+@dataclass(frozen=True)
+class Fault:
+    """A single fault location: Pauli insertion or measurement flip.
+
+    ``index`` is the instruction after which the Pauli is inserted;
+    measurement-flip faults carry ``flip_bit`` instead of Pauli letters.
+    """
+
+    index: int
+    paulis: tuple[tuple[int, str], ...] = ()  # ((qubit, letter), ...)
+    flip_bit: str | None = None
+
+    def describe(self) -> str:
+        if self.flip_bit is not None:
+            return f"flip({self.flip_bit})@{self.index}"
+        ops = ",".join(f"{letter}{qubit}" for qubit, letter in self.paulis)
+        return f"{ops}@{self.index}"
+
+
+@dataclass
+class PropagatedFault:
+    """A fault together with its end-of-circuit observable signature."""
+
+    fault: Fault
+    x_error: np.ndarray  # residual X support, full wire register
+    z_error: np.ndarray  # residual Z support, full wire register
+    flipped: frozenset[str]
+
+    def data_x(self, n: int) -> np.ndarray:
+        return self.x_error[:n].copy()
+
+    def data_z(self, n: int) -> np.ndarray:
+        return self.z_error[:n].copy()
+
+
+def enumerate_faults(circuit: Circuit) -> list[Fault]:
+    """All single-fault locations of ``circuit`` under the E1_1 model.
+
+    * after ``H``: X, Y, Z on the qubit;
+    * after ``CX``: the 15 non-identity two-qubit Paulis;
+    * after ``ResetZ``: X (preparation error; a Z would act trivially);
+    * after ``ResetX``: Z (symmetrically);
+    * at each measurement: one classical outcome flip.
+    """
+    faults: list[Fault] = []
+    for index, instruction in enumerate(circuit.instructions):
+        if isinstance(instruction, H):
+            q = instruction.qubit
+            faults.extend(
+                Fault(index, ((q, letter),)) for letter in ONE_QUBIT_PAULIS
+            )
+        elif isinstance(instruction, CX):
+            c, t = instruction.control, instruction.target
+            for pair in TWO_QUBIT_PAULIS:
+                paulis = tuple(
+                    (q, letter)
+                    for q, letter in ((c, pair[0]), (t, pair[1]))
+                    if letter != "I"
+                )
+                faults.append(Fault(index, paulis))
+        elif isinstance(instruction, ResetZ):
+            faults.append(Fault(index, ((instruction.qubit, "X"),)))
+        elif isinstance(instruction, ResetX):
+            faults.append(Fault(index, ((instruction.qubit, "Z"),)))
+        elif isinstance(instruction, (MeasureZ, MeasureX)):
+            faults.append(Fault(index, (), instruction.bit))
+        elif isinstance(instruction, ConditionalPauli):
+            continue
+        else:
+            raise TypeError(f"unknown instruction {instruction!r}")
+    return faults
+
+
+def propagate_fault(circuit: Circuit, fault: Fault) -> PropagatedFault:
+    """Signature of a single fault at the end of ``circuit``."""
+    frame = PauliFrame.zero(circuit.num_qubits)
+    if fault.flip_bit is not None:
+        frame.flip(fault.flip_bit)
+        start = fault.index + 1
+    else:
+        for qubit, letter in fault.paulis:
+            frame.insert(qubit, letter)
+        start = fault.index + 1
+    propagate(circuit, frame, start)
+    return PropagatedFault(fault, frame.x, frame.z, frame.flipped_bits())
+
+
+def propagate_all_faults(circuit: Circuit) -> list[PropagatedFault]:
+    """Enumerate and propagate every single fault of ``circuit``."""
+    return [propagate_fault(circuit, f) for f in enumerate_faults(circuit)]

@@ -1,0 +1,107 @@
+"""Hook-error analysis, CNOT-order optimization, and the flagging policy.
+
+A stabilizer measurement gadget can convert a single ancilla fault into a
+multi-qubit *hook* error on the data: a fault landing on the syndrome
+ancilla after the j-th data CNOT propagates onto the remaining support
+``{q_{j+1}, ..., q_w}`` (a *suffix* of the CNOT order). Two-qubit faults on
+the j-th data CNOT add the data qubit ``q_j`` itself, which closes the
+family: every hook is a suffix ``{q_j, ..., q_w}`` for some ``j >= 1``.
+
+The full-support suffix (``j = 1``) is the measured operator itself — a
+state stabilizer, hence harmless. A suffix is *dangerous* when its reduced
+weight is >= 2; whether any dangerous suffix exists depends on the CNOT
+order, so :func:`optimize_order` searches permutations for an order whose
+suffixes are all harmless (e.g. the paper's Steane verification, whose
+weight-3 measurement has only stabilizer-equivalent suffixes, needs no
+flag). When no safe order exists the measurement is flagged
+(Chamberland-Beverland single-flag gadget, built in ``circuits.builder``)
+and the heralded hook errors get their own SAT-synthesized correction.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import numpy as np
+
+from ..pauli.group import CosetReducer
+
+__all__ = [
+    "suffix_errors",
+    "dangerous_suffixes",
+    "order_is_safe",
+    "optimize_order",
+]
+
+
+def suffix_errors(order: list[int], n: int) -> list[np.ndarray]:
+    """Hook-error supports ``{q_j..q_w}`` for ``j = 2 .. w-1``.
+
+    ``j = 1`` (full support) is the measured stabilizer; ``j = w`` is a
+    single-qubit error. Both are harmless and excluded.
+    """
+    w = len(order)
+    out = []
+    for j in range(1, w - 1):  # suffix starting at order[j], length >= 2
+        vec = np.zeros(n, dtype=np.uint8)
+        vec[order[j:]] = 1
+        out.append(vec)
+    return out
+
+
+def dangerous_suffixes(
+    order: list[int], reducer: CosetReducer
+) -> list[np.ndarray]:
+    """The suffix errors of ``order`` with reduced weight >= 2."""
+    suffixes = suffix_errors(order, reducer.n)
+    if not suffixes:
+        return []
+    weights = reducer.coset_weights_batch(np.array(suffixes, dtype=np.uint8))
+    return [s for s, w in zip(suffixes, weights) if w >= 2]
+
+
+def order_is_safe(order: list[int], reducer: CosetReducer) -> bool:
+    """True iff no suffix of ``order`` is a dangerous hook."""
+    return not dangerous_suffixes(order, reducer)
+
+
+def optimize_order(
+    support,
+    reducer: CosetReducer,
+    *,
+    exhaustive_limit: int = 7,
+    samples: int = 3000,
+    seed: int = 0,
+) -> tuple[list[int], bool]:
+    """Find a CNOT order minimizing dangerous hooks for ``support``.
+
+    Returns ``(order, safe)``: exhaustive over permutations for weights up
+    to ``exhaustive_limit``, randomized beyond. ``safe`` is True when the
+    returned order has no dangerous suffix (measurement needs no flag).
+    """
+    support = np.asarray(support, dtype=np.uint8)
+    qubits = [int(q) for q in np.nonzero(support)[0]]
+    w = len(qubits)
+    if w <= 2:
+        return qubits, True
+    best_order = qubits
+    best_count = len(dangerous_suffixes(qubits, reducer))
+    if best_count == 0:
+        return qubits, True
+    if w <= exhaustive_limit:
+        candidates = itertools.permutations(qubits)
+    else:
+        rng = random.Random(seed)
+        candidates = (
+            rng.sample(qubits, w) for _ in range(samples)
+        )
+    for order in candidates:
+        order = list(order)
+        count = len(dangerous_suffixes(order, reducer))
+        if count < best_count:
+            best_count = count
+            best_order = order
+            if count == 0:
+                break
+    return best_order, best_count == 0

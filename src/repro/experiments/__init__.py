@@ -1,0 +1,15 @@
+"""Experiment harnesses regenerating the paper's Table I and Fig. 4."""
+
+from .table1 import TABLE1_ROWS, Table1Row, run_table1, render_table1
+from .figure4 import FIGURE4_SWEEP, Figure4Series, run_figure4, render_figure4
+
+__all__ = [
+    "TABLE1_ROWS",
+    "Table1Row",
+    "run_table1",
+    "render_table1",
+    "FIGURE4_SWEEP",
+    "Figure4Series",
+    "run_figure4",
+    "render_figure4",
+]

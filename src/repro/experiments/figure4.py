@@ -1,0 +1,165 @@
+"""Regeneration of the paper's Fig. 4 (logical error rate curves).
+
+For each code's heuristic-prep / optimal-verification protocol (the Table-I
+configuration the paper simulates), the full deterministic protocol runs
+under the one-parameter ``E1_1`` circuit-level depolarizing model, followed
+by a perfect lookup-table EC round and destructive Z-basis readout. The
+logical error rate is estimated with subset sampling (paper: 8000 runs at
+``p_max = 0.1``, DSS below) and reported over a log sweep of physical
+error rates.
+
+The paper's qualitative claim — every curve scales as ``O(p^2)``, i.e. two
+independent faults are needed for a logical error — is checked by fitting
+the log-log slope over the small-``p`` tail, where the ``k = 2`` stratum
+dominates. Stratum ``k = 1`` is enumerated exactly, so for a correct
+protocol the linear coefficient vanishes identically rather than
+statistically.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..codes.catalog import get_code
+from ..core.protocol import DeterministicProtocol, synthesize_protocol
+from ..sim.frame import ProtocolRunner, protocol_locations
+from ..sim.logical import LogicalJudge
+from ..sim.subset import SubsetEstimate, SubsetSampler
+
+__all__ = [
+    "FIGURE4_CODES",
+    "FIGURE4_SWEEP",
+    "Figure4Series",
+    "run_series",
+    "run_figure4",
+    "render_figure4",
+]
+
+#: The codes plotted in Fig. 4 (all Table-I instances).
+FIGURE4_CODES: list[str] = [
+    "steane",
+    "shor",
+    "surface_3",
+    "11_1_3",
+    "tetrahedral",
+    "hamming",
+    "carbon",
+    "16_2_4",
+    "tesseract",
+]
+
+#: Physical error rate sweep 1e-4 .. 1e-1 (paper's x-axis).
+FIGURE4_SWEEP: list[float] = [
+    float(p) for p in np.logspace(-4, -1, 13)
+]
+
+
+@dataclass
+class Figure4Series:
+    """One code's p_L(p) curve plus scaling diagnostics."""
+
+    code: str
+    estimates: list[SubsetEstimate]
+    f1_exact: float
+    shots: int
+    seconds: float
+    locations: int
+
+    @property
+    def slope(self) -> float:
+        """Log-log slope fitted over the small-p half of the sweep."""
+        points = [
+            (e.p, e.mean)
+            for e in self.estimates[: max(2, len(self.estimates) // 2)]
+            if e.mean > 0
+        ]
+        if len(points) < 2:
+            return float("nan")
+        xs = np.log10([p for p, _ in points])
+        ys = np.log10([m for _, m in points])
+        return float(np.polyfit(xs, ys, 1)[0])
+
+    @property
+    def quadratic_coefficient(self) -> float:
+        """Leading coefficient: lim p->0 of p_L / p^2."""
+        smallest = self.estimates[0]
+        return smallest.mean / smallest.p**2 if smallest.p > 0 else math.nan
+
+
+def run_series(
+    code_key: str,
+    *,
+    protocol: DeterministicProtocol | None = None,
+    shots: int = 8000,
+    k_max: int = 3,
+    sweep: list[float] | None = None,
+    seed: int = 2025,
+    exact_k1: bool = True,
+) -> Figure4Series:
+    """Simulate one code's curve (paper defaults: 8000 shots, k_max keeps
+    the truncation tail well under the statistical error at p <= 0.1)."""
+    sweep = FIGURE4_SWEEP if sweep is None else sorted(sweep)
+    if protocol is None:
+        protocol = synthesize_protocol(
+            get_code(code_key),
+            prep_method="heuristic",
+            verification_method="optimal",
+        )
+    start = time.monotonic()
+    runner = ProtocolRunner(protocol)
+    judge = LogicalJudge(protocol.code)
+    locations = protocol_locations(protocol)
+    sampler = SubsetSampler(
+        lambda injections: judge.is_logical_failure(runner.run(injections)),
+        locations,
+        k_max=k_max,
+        rng=np.random.default_rng(seed),
+    )
+    if exact_k1:
+        sampler.enumerate_k1_exact()
+    sampler.sample(shots, p_ref=0.1)
+    estimates = sampler.curve(sweep)
+    return Figure4Series(
+        code=code_key,
+        estimates=estimates,
+        f1_exact=sampler.strata[1].rate if exact_k1 else math.nan,
+        shots=sampler.total_trials(),
+        seconds=time.monotonic() - start,
+        locations=len(locations),
+    )
+
+
+def run_figure4(
+    codes: list[str] | None = None,
+    *,
+    shots: int = 8000,
+    sweep: list[float] | None = None,
+    seed: int = 2025,
+) -> list[Figure4Series]:
+    """Regenerate all Fig. 4 series."""
+    codes = FIGURE4_CODES if codes is None else codes
+    return [
+        run_series(code, shots=shots, sweep=sweep, seed=seed)
+        for code in codes
+    ]
+
+
+def render_figure4(series: list[Figure4Series]) -> str:
+    """Text rendering: one block per code, one line per sweep point."""
+    lines = []
+    for s in series:
+        lines.append(
+            f"== {s.code}  (locations={s.locations}, shots={s.shots}, "
+            f"f1={s.f1_exact:.2g}, slope={s.slope:.2f}, "
+            f"c2={s.quadratic_coefficient:.3g}, {s.seconds:.1f}s)"
+        )
+        for est in s.estimates:
+            lines.append(
+                f"   p={est.p:9.3e}  pL={est.mean:9.3e}  "
+                f"[{est.lower:9.3e}, {est.upper:9.3e}]  tail={est.tail:8.2e}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,143 @@
+"""Pauli operators on n qubits in the binary symplectic representation.
+
+A Pauli ``P`` (up to phase) is a pair of bit vectors ``(x, z)``: qubit ``q``
+carries X iff ``x[q]``, Z iff ``z[q]``, and Y iff both. Phases are not
+tracked — for CSS fault analysis and frame simulation only the projective
+Pauli matters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .symplectic import as_bit_vector
+
+__all__ = ["Pauli"]
+
+_LETTERS = {(0, 0): "I", (1, 0): "X", (0, 1): "Z", (1, 1): "Y"}
+_BITS = {"I": (0, 0), "X": (1, 0), "Z": (0, 1), "Y": (1, 1)}
+
+
+class Pauli:
+    """An n-qubit Pauli operator without phase.
+
+    Construction options::
+
+        Pauli(x=[1,0,0], z=[0,0,1])     # explicit bit vectors
+        Pauli.from_label("XIZ")          # string label, qubit 0 first
+        Pauli.identity(3)
+        Pauli.single(5, 2, "Y")          # Y on qubit 2 of 5
+    """
+
+    __slots__ = ("x", "z")
+
+    def __init__(self, x, z):
+        self.x = as_bit_vector(x)
+        self.z = as_bit_vector(z, len(self.x))
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def identity(cls, n: int) -> "Pauli":
+        return cls(np.zeros(n, dtype=np.uint8), np.zeros(n, dtype=np.uint8))
+
+    @classmethod
+    def from_label(cls, label: str) -> "Pauli":
+        """Build from a letter string, e.g. ``"XIZY"`` (qubit 0 leftmost)."""
+        x = np.zeros(len(label), dtype=np.uint8)
+        z = np.zeros(len(label), dtype=np.uint8)
+        for q, ch in enumerate(label.upper()):
+            if ch not in _BITS:
+                raise ValueError(f"invalid Pauli letter {ch!r}")
+            x[q], z[q] = _BITS[ch]
+        return cls(x, z)
+
+    @classmethod
+    def single(cls, n: int, qubit: int, kind: str) -> "Pauli":
+        """A single-qubit Pauli ``kind`` on ``qubit`` of an n-qubit register."""
+        p = cls.identity(n)
+        xb, zb = _BITS[kind.upper()]
+        p.x[qubit], p.z[qubit] = xb, zb
+        return p
+
+    @classmethod
+    def x_type(cls, support) -> "Pauli":
+        """X-type Pauli with the given support bit vector."""
+        support = as_bit_vector(support)
+        return cls(support, np.zeros_like(support))
+
+    @classmethod
+    def z_type(cls, support) -> "Pauli":
+        """Z-type Pauli with the given support bit vector."""
+        support = as_bit_vector(support)
+        return cls(np.zeros_like(support), support)
+
+    # -- structure ---------------------------------------------------------
+
+    @property
+    def num_qubits(self) -> int:
+        return len(self.x)
+
+    def weight(self) -> int:
+        """Number of qubits acted on non-trivially."""
+        return int((self.x | self.z).sum())
+
+    def is_identity(self) -> bool:
+        return not self.x.any() and not self.z.any()
+
+    def is_x_type(self) -> bool:
+        return not self.z.any()
+
+    def is_z_type(self) -> bool:
+        return not self.x.any()
+
+    def support(self) -> list[int]:
+        return [int(q) for q in np.nonzero(self.x | self.z)[0]]
+
+    # -- algebra -----------------------------------------------------------
+
+    def __mul__(self, other: "Pauli") -> "Pauli":
+        """Product up to phase (bitwise XOR of the symplectic parts)."""
+        if self.num_qubits != other.num_qubits:
+            raise ValueError("qubit count mismatch")
+        return Pauli(self.x ^ other.x, self.z ^ other.z)
+
+    def commutes_with(self, other: "Pauli") -> bool:
+        """True iff the two operators commute (symplectic form is 0)."""
+        if self.num_qubits != other.num_qubits:
+            raise ValueError("qubit count mismatch")
+        form = (self.x & other.z).sum() + (self.z & other.x).sum()
+        return int(form) % 2 == 0
+
+    def anticommutes_with(self, other: "Pauli") -> bool:
+        return not self.commutes_with(other)
+
+    def restricted(self, qubits) -> "Pauli":
+        """The Pauli restricted to a sub-register given by ``qubits``."""
+        qubits = list(qubits)
+        return Pauli(self.x[qubits], self.z[qubits])
+
+    # -- protocol ----------------------------------------------------------
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Pauli):
+            return NotImplemented
+        return (
+            self.num_qubits == other.num_qubits
+            and bool((self.x == other.x).all())
+            and bool((self.z == other.z).all())
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.x.tobytes(), self.z.tobytes()))
+
+    def label(self) -> str:
+        return "".join(
+            _LETTERS[(int(xb), int(zb))] for xb, zb in zip(self.x, self.z)
+        )
+
+    def __repr__(self) -> str:
+        return f"Pauli({self.label()!r})"
+
+    def copy(self) -> "Pauli":
+        return Pauli(self.x.copy(), self.z.copy())

@@ -1,0 +1,67 @@
+"""Totalizer cardinality encoding with incremental bound strengthening.
+
+The sequential counter in ``encode.py`` bakes the bound ``k`` into the
+clauses, so each bound probe re-encodes. The totalizer (Bailleux-Boufkhad
+2003) instead builds a merge tree whose output literals ``out[j]`` mean
+"at least j+1 inputs are true"; a bound ``sum <= k`` is then just the unit
+assumption ``-out[k]``, which lets the optimality loop reuse one solver
+across all weight probes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .cnf import CNF
+
+__all__ = ["Totalizer"]
+
+
+class Totalizer:
+    """Totalizer over ``literals``; exposes sorted output literals."""
+
+    def __init__(self, cnf: CNF, literals: Sequence[int], bound: int | None = None):
+        self.cnf = cnf
+        self.inputs = list(literals)
+        limit = len(self.inputs) if bound is None else min(bound, len(self.inputs))
+        self._limit = limit
+        self.outputs = self._build(self.inputs)
+
+    def _build(self, lits: list[int]) -> list[int]:
+        if len(lits) <= 1:
+            return list(lits)
+        mid = len(lits) // 2
+        left = self._build(lits[:mid])
+        right = self._build(lits[mid:])
+        return self._merge(left, right)
+
+    def _merge(self, left: list[int], right: list[int]) -> list[int]:
+        size = min(len(left) + len(right), self._limit + 1)
+        out = [self.cnf.new_var() for _ in range(size)]
+        # sum_left >= a and sum_right >= b  ->  sum >= a + b
+        for a in range(len(left) + 1):
+            for b in range(len(right) + 1):
+                if a + b == 0 or a + b > size:
+                    continue
+                clause = [out[a + b - 1]]
+                if a > 0:
+                    clause.append(-left[a - 1])
+                if b > 0:
+                    clause.append(-right[b - 1])
+                self.cnf.add_clause(clause)
+        return out
+
+    def at_most(self, k: int) -> list[int]:
+        """Assumption literals enforcing ``sum(inputs) <= k``."""
+        if k < 0:
+            raise ValueError("negative cardinality bound")
+        if k >= len(self.inputs):
+            return []
+        if k > self._limit:
+            raise ValueError(f"bound {k} exceeds built limit {self._limit}")
+        return [-self.outputs[k]]
+
+    def assert_at_most(self, k: int) -> None:
+        """Permanently add ``sum(inputs) <= k`` as unit clauses."""
+        for lit in self.at_most(k):
+            self.cnf.add_unit(lit)

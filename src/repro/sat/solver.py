@@ -1,0 +1,416 @@
+"""A CDCL SAT solver in pure Python.
+
+This stands in for Z3 in the paper's pipeline (DESIGN.md section 2): the
+synthesis encodings are plain Boolean CNF, and the bound iteration happens
+outside the solver, so a complete SAT solver is all that is required.
+
+Feature set (classic MiniSat-style architecture):
+
+* two-watched-literal unit propagation,
+* first-UIP conflict analysis with clause minimization by reason subsumption,
+* VSIDS variable activities with periodic rescaling + phase saving,
+* Luby restarts,
+* learnt-clause database reduction by activity,
+* incremental solving under assumptions.
+
+The implementation favours flat lists and local-variable caching; it solves
+the paper's correction-synthesis instances (tens of thousands of clauses) in
+seconds, which matches how the authors use Z3 (many small decision queries).
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+
+from .cnf import CNF, internal_to_lit, lit_to_internal
+
+__all__ = ["Solver", "SolveResult"]
+
+_LUBY_BASE = 128
+
+
+def _luby(i: int) -> int:
+    """The i-th term (1-based) of the Luby restart sequence."""
+    k = 1
+    while (1 << (k + 1)) - 1 <= i:
+        k += 1
+    while True:
+        if i == (1 << k) - 1:
+            return 1 << (k - 1)
+        i -= (1 << (k - 1)) - 1 + 1
+        k -= 1
+        while (1 << (k + 1)) - 1 <= i:
+            k += 1
+
+
+class SolveResult:
+    """Outcome of a solve call: satisfiability plus (optionally) a model."""
+
+    __slots__ = ("sat", "model", "conflicts", "decisions", "propagations")
+
+    def __init__(self, sat, model, conflicts, decisions, propagations):
+        self.sat = sat
+        self.model = model
+        self.conflicts = conflicts
+        self.decisions = decisions
+        self.propagations = propagations
+
+    def __bool__(self) -> bool:
+        return self.sat
+
+    def value(self, var: int) -> bool:
+        """Truth value of ``var`` in the found model."""
+        if self.model is None:
+            raise ValueError("no model available (UNSAT or not solved)")
+        return self.model[var]
+
+    def __repr__(self) -> str:
+        status = "SAT" if self.sat else "UNSAT"
+        return (
+            f"SolveResult({status}, conflicts={self.conflicts}, "
+            f"decisions={self.decisions}, propagations={self.propagations})"
+        )
+
+
+class Solver:
+    """CDCL solver over a :class:`~repro.sat.cnf.CNF` formula."""
+
+    def __init__(self, cnf: CNF):
+        self.num_vars = cnf.num_vars
+        nv = self.num_vars + 1
+        self._values = [-1] * nv  # -1 unassigned / 0 false / 1 true
+        self._level = [0] * nv
+        self._reason: list[list[int] | None] = [None] * nv
+        self._trail: list[int] = []  # internal literals
+        self._trail_lim: list[int] = []
+        self._qhead = 0
+        self._watches: list[list[list[int]]] = [[] for _ in range(2 * nv)]
+        self._clauses: list[list[int]] = []
+        self._learnts: list[list[int]] = []
+        self._activity = [0.0] * nv
+        self._var_inc = 1.0
+        self._var_decay = 0.95
+        self._cla_activity: dict[int, float] = {}
+        self._heap: list[tuple[float, int]] = []
+        self._phase = [0] * nv
+        self._seen = [0] * nv
+        self._ok = True
+        self.conflicts = 0
+        self.decisions = 0
+        self.propagations = 0
+        for clause in cnf.clauses:
+            if not self._add_clause([lit_to_internal(l) for l in clause]):
+                self._ok = False
+                break
+        for v in range(1, nv):
+            heappush(self._heap, (0.0, v))
+
+    # -- clause management --------------------------------------------------
+
+    def _add_clause(self, lits: list[int]) -> bool:
+        """Add an original clause (internal literals). False if UNSAT now."""
+        lits = self._simplify_clause(lits)
+        if lits is None:  # tautology or satisfied at level 0
+            return True
+        if not lits:
+            return False
+        if len(lits) == 1:
+            return self._enqueue(lits[0], None) and self._propagate() is None
+        self._attach(lits)
+        self._clauses.append(lits)
+        return True
+
+    def _simplify_clause(self, lits: list[int]) -> list[int] | None:
+        out = []
+        seen = set()
+        for lit in lits:
+            if lit ^ 1 in seen:
+                return None  # tautology
+            if lit in seen:
+                continue
+            val = self._lit_value(lit)
+            if val == 1 and self._level[lit >> 1] == 0:
+                return None  # already satisfied forever
+            if val == 0 and self._level[lit >> 1] == 0:
+                continue  # literal is dead
+            seen.add(lit)
+            out.append(lit)
+        return out
+
+    def _attach(self, lits: list[int]) -> None:
+        self._watches[lits[0] ^ 1].append(lits)
+        self._watches[lits[1] ^ 1].append(lits)
+
+    # -- assignment ---------------------------------------------------------
+
+    def _lit_value(self, lit: int) -> int:
+        val = self._values[lit >> 1]
+        if val < 0:
+            return -1
+        return val ^ (lit & 1)
+
+    def _enqueue(self, lit: int, reason: list[int] | None) -> bool:
+        val = self._lit_value(lit)
+        if val == 0:
+            return False
+        if val == 1:
+            return True
+        var = lit >> 1
+        self._values[var] = 1 - (lit & 1)
+        self._level[var] = len(self._trail_lim)
+        self._reason[var] = reason
+        self._trail.append(lit)
+        return True
+
+    def _propagate(self) -> list[int] | None:
+        """Unit propagation; returns a conflicting clause or None."""
+        watches = self._watches
+        values = self._values
+        while self._qhead < len(self._trail):
+            lit = self._trail[self._qhead]
+            self._qhead += 1
+            self.propagations += 1
+            false_lit = lit ^ 1
+            watch_list = watches[lit]
+            i = 0
+            j = 0
+            n = len(watch_list)
+            while i < n:
+                clause = watch_list[i]
+                i += 1
+                # Normalize so clause[1] is the false literal being visited.
+                if clause[0] == false_lit:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                fvar = first >> 1
+                fval = values[fvar]
+                if fval >= 0 and (fval ^ (first & 1)) == 1:
+                    watch_list[j] = clause
+                    j += 1
+                    continue
+                # Find a new literal to watch.
+                found = False
+                for k in range(2, len(clause)):
+                    other = clause[k]
+                    ovar = other >> 1
+                    oval = values[ovar]
+                    if oval < 0 or (oval ^ (other & 1)) == 1:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        watches[clause[1] ^ 1].append(clause)
+                        found = True
+                        break
+                if found:
+                    continue
+                # Clause is unit or conflicting.
+                watch_list[j] = clause
+                j += 1
+                if fval >= 0:  # first is false too -> conflict
+                    while i < n:
+                        watch_list[j] = watch_list[i]
+                        j += 1
+                        i += 1
+                    del watch_list[j:]
+                    return clause
+                if not self._enqueue(first, clause):
+                    raise AssertionError("enqueue of unassigned literal failed")
+            del watch_list[j:]
+        return None
+
+    # -- conflict analysis ---------------------------------------------------
+
+    def _analyze(self, conflict: list[int]) -> tuple[list[int], int]:
+        """First-UIP learning. Returns (learnt clause, backjump level)."""
+        seen = self._seen
+        learnt = [0]  # placeholder for the asserting literal
+        counter = 0
+        lit = -1
+        reason: list[int] | None = conflict
+        index = len(self._trail)
+        current_level = len(self._trail_lim)
+        while True:
+            if reason is None:
+                raise AssertionError("decision reached before UIP")
+            start = 0 if lit == -1 else 1
+            for k in range(start, len(reason)):
+                q = reason[k]
+                var = q >> 1
+                if not seen[var] and self._level[var] > 0:
+                    seen[var] = 1
+                    self._bump_var(var)
+                    if self._level[var] >= current_level:
+                        counter += 1
+                    else:
+                        learnt.append(q)
+            while True:
+                index -= 1
+                lit = self._trail[index]
+                if seen[lit >> 1]:
+                    break
+            var = lit >> 1
+            seen[var] = 0
+            counter -= 1
+            if counter == 0:
+                break
+            reason = self._reason[var]
+        learnt[0] = lit ^ 1
+        # Clause minimization: drop literals implied by the rest.
+        minimized = [learnt[0]]
+        for q in learnt[1:]:
+            var = q >> 1
+            red = self._reason[var]
+            if red is None or any(
+                not seen[r >> 1] and self._level[r >> 1] > 0
+                for r in red[1:]
+            ):
+                minimized.append(q)
+        for q in learnt[1:]:
+            self._seen[q >> 1] = 0
+        learnt = minimized
+        if len(learnt) == 1:
+            backjump = 0
+        else:
+            # Second-highest decision level in the clause.
+            levels = sorted((self._level[q >> 1] for q in learnt[1:]), reverse=True)
+            backjump = levels[0]
+            max_i = max(
+                range(1, len(learnt)), key=lambda i: self._level[learnt[i] >> 1]
+            )
+            learnt[1], learnt[max_i] = learnt[max_i], learnt[1]
+        return learnt, backjump
+
+    def _bump_var(self, var: int) -> None:
+        self._activity[var] += self._var_inc
+        if self._activity[var] > 1e100:
+            for v in range(1, self.num_vars + 1):
+                self._activity[v] *= 1e-100
+            self._var_inc *= 1e-100
+        heappush(self._heap, (-self._activity[var], var))
+
+    def _backtrack(self, level: int) -> None:
+        if len(self._trail_lim) <= level:
+            return
+        limit = self._trail_lim[level]
+        for lit in reversed(self._trail[limit:]):
+            var = lit >> 1
+            self._phase[var] = self._values[var]
+            self._values[var] = -1
+            self._reason[var] = None
+            heappush(self._heap, (-self._activity[var], var))
+        del self._trail[limit:]
+        del self._trail_lim[level:]
+        self._qhead = len(self._trail)
+
+    def _pick_branch_var(self) -> int:
+        while self._heap:
+            _, var = heappop(self._heap)
+            if self._values[var] < 0:
+                return var
+        for var in range(1, self.num_vars + 1):
+            if self._values[var] < 0:
+                return var
+        return 0
+
+    def _reduce_db(self) -> None:
+        """Drop the less active half of long learnt clauses."""
+        if len(self._learnts) < 100:
+            return
+        locked = set()
+        for var in range(1, self.num_vars + 1):
+            reason = self._reason[var]
+            if reason is not None:
+                locked.add(id(reason))
+        scored = sorted(
+            (c for c in self._learnts if len(c) > 2 and id(c) not in locked),
+            key=lambda c: self._cla_activity.get(id(c), 0.0),
+        )
+        drop = set(id(c) for c in scored[: len(scored) // 2])
+        if not drop:
+            return
+        self._learnts = [c for c in self._learnts if id(c) not in drop]
+        for wl in self._watches:
+            wl[:] = [c for c in wl if id(c) not in drop]
+
+    # -- main loop -----------------------------------------------------------
+
+    def solve(self, assumptions: list[int] | None = None) -> SolveResult:
+        """Solve the formula, optionally under signed-literal assumptions."""
+        if not self._ok:
+            return SolveResult(False, None, self.conflicts, self.decisions,
+                               self.propagations)
+        assumption_lits = [lit_to_internal(l) for l in (assumptions or [])]
+        self._backtrack(0)
+        conflict = self._propagate()
+        if conflict is not None:
+            self._ok = False
+            return SolveResult(False, None, self.conflicts, self.decisions,
+                               self.propagations)
+        restart_count = 0
+        conflict_budget = _LUBY_BASE * _luby(1)
+        conflicts_here = 0
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.conflicts += 1
+                conflicts_here += 1
+                if not self._trail_lim:
+                    return SolveResult(False, None, self.conflicts,
+                                       self.decisions, self.propagations)
+                if len(self._trail_lim) <= len(assumption_lits):
+                    # Conflict forced purely by assumptions.
+                    self._backtrack(0)
+                    return SolveResult(False, None, self.conflicts,
+                                       self.decisions, self.propagations)
+                learnt, backjump = self._analyze(conflict)
+                backjump = max(backjump, 0)
+                self._backtrack(backjump)
+                if len(learnt) == 1:
+                    if not self._enqueue(learnt[0], None):
+                        return SolveResult(False, None, self.conflicts,
+                                           self.decisions, self.propagations)
+                else:
+                    self._attach(learnt)
+                    self._learnts.append(learnt)
+                    self._cla_activity[id(learnt)] = self._var_inc
+                    if not self._enqueue(learnt[0], learnt):
+                        raise AssertionError("asserting literal conflict")
+                self._var_inc /= self._var_decay
+                if len(self._learnts) > 4000 + 16 * restart_count:
+                    self._reduce_db()
+                continue
+            if conflicts_here >= conflict_budget:
+                restart_count += 1
+                conflicts_here = 0
+                conflict_budget = _LUBY_BASE * _luby(restart_count + 1)
+                self._backtrack(0)
+                continue
+            # Re-establish assumptions after any backtracking below them.
+            if len(self._trail_lim) < len(assumption_lits):
+                lit = assumption_lits[len(self._trail_lim)]
+                val = self._lit_value(lit)
+                if val == 0:
+                    self._backtrack(0)
+                    return SolveResult(False, None, self.conflicts,
+                                       self.decisions, self.propagations)
+                self._trail_lim.append(len(self._trail))
+                if val < 0:
+                    self._enqueue(lit, None)
+                continue
+            var = self._pick_branch_var()
+            if var == 0:
+                model = [False] * (self.num_vars + 1)
+                for v in range(1, self.num_vars + 1):
+                    model[v] = self._values[v] == 1
+                result = SolveResult(True, model, self.conflicts,
+                                     self.decisions, self.propagations)
+                self._backtrack(0)
+                return result
+            self.decisions += 1
+            self._trail_lim.append(len(self._trail))
+            # Phase saving: repeat the previous polarity, default negative.
+            lit = 2 * var + (0 if self._phase[var] == 1 else 1)
+            self._enqueue(lit, None)
+
+
+def solve_cnf(cnf: CNF, assumptions: list[int] | None = None) -> SolveResult:
+    """One-shot convenience: build a solver and solve."""
+    return Solver(cnf).solve(assumptions)

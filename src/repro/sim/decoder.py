@@ -1,0 +1,74 @@
+"""Lookup-table decoding for the perfect error-correction round.
+
+The paper follows every protocol run by one noiseless EC round with
+lookup-table decoding before the destructive readout. For an error of one
+type with syndrome ``s`` (parities against the opposite-type checks), the
+table stores a minimum-weight error producing ``s``; applying it returns
+the state to the code space, and the run fails logically iff the residual
+loop (error + correction) acts as a logical operator.
+
+Tables are built breadth-first over error weights, so entries are always
+minimum-weight representatives; all ``2^rank`` syndromes of the d < 5
+catalog codes fit comfortably.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from ..pauli.symplectic import as_bit_matrix
+
+__all__ = ["LookupDecoder"]
+
+
+class LookupDecoder:
+    """Min-weight lookup decoder against a fixed check matrix.
+
+    ``checks`` has one row per measured check; an error ``e`` (same type as
+    what the checks detect) has syndrome ``checks @ e mod 2``.
+    """
+
+    def __init__(self, checks):
+        self.checks = as_bit_matrix(checks)
+        self.m, self.n = self.checks.shape
+        self._table: dict[bytes, np.ndarray] = {}
+        self._build()
+
+    def _build(self) -> None:
+        zero = np.zeros(self.n, dtype=np.uint8)
+        self._table[self._key(zero)] = zero
+        total = 1 << self.m
+        for weight in range(1, self.n + 1):
+            if len(self._table) == total:
+                break
+            for support in itertools.combinations(range(self.n), weight):
+                error = np.zeros(self.n, dtype=np.uint8)
+                error[list(support)] = 1
+                key = self._key(error)
+                if key not in self._table:
+                    self._table[key] = error
+        # Some syndromes may be unreachable if checks are dependent; that is
+        # fine — decode() raises only if asked for one of those.
+
+    def _key(self, error: np.ndarray) -> bytes:
+        return (self.checks @ error % 2).astype(np.uint8).tobytes()
+
+    def syndrome(self, error) -> np.ndarray:
+        error = np.asarray(error, dtype=np.uint8)
+        return (self.checks @ error % 2).astype(np.uint8)
+
+    def decode(self, syndrome) -> np.ndarray:
+        """Minimum-weight error consistent with ``syndrome``."""
+        syndrome = np.asarray(syndrome, dtype=np.uint8)
+        key = syndrome.tobytes()
+        try:
+            return self._table[key].copy()
+        except KeyError:
+            raise ValueError("syndrome outside the decodable set") from None
+
+    def correct(self, error) -> np.ndarray:
+        """``error + decode(syndrome(error))`` — the post-EC residual."""
+        error = np.asarray(error, dtype=np.uint8)
+        return error ^ self.decode(self.syndrome(error))

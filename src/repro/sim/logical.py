@@ -1,0 +1,35 @@
+"""Logical-failure determination for |0...0>_L runs (paper Sec. V.B).
+
+After the protocol, the paper applies a perfect EC round with lookup-table
+decoding and destructively measures all data qubits in the Z basis; a run
+is a logical error when the resulting bitstring anticommutes with a logical
+operator of the prepared eigenstate — for |0...0>_L, when any logical-Z
+parity is odd. Z-type residuals are invisible to a Z-basis readout of a Z
+eigenstate, so only the X-type residual (after perfect X-correction) can
+flip a logical-Z parity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..codes.css import CSSCode
+from .decoder import LookupDecoder
+from .frame import RunResult
+
+__all__ = ["LogicalJudge"]
+
+
+class LogicalJudge:
+    """Decides logical failure of protocol runs for one code."""
+
+    def __init__(self, code: CSSCode):
+        self.code = code
+        self.x_decoder = LookupDecoder(code.hz)  # Z checks detect X errors
+        self.logical_z = code.logical_z
+
+    def is_logical_failure(self, result: RunResult) -> bool:
+        """Perfect EC + destructive Z readout: did a logical-Z parity flip?"""
+        residual = self.x_decoder.correct(result.data_x)
+        parities = self.logical_z @ residual % 2
+        return bool(parities.any())

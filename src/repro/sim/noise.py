@@ -1,0 +1,159 @@
+"""The one-parameter circuit-level depolarizing noise model (qsample E1_1).
+
+Every operation location fails independently with probability ``p``:
+
+* a failing 1-qubit gate draws uniformly from {X, Y, Z};
+* a failing 2-qubit gate draws uniformly from the 15 non-identity
+  two-qubit Paulis;
+* a failing Z (X) reset prepares the orthogonal state — an X (Z) insertion;
+* a failing measurement flips the classical outcome.
+
+Faults are sampled against the *static* location list from
+``sim.frame.protocol_locations`` (conditional branches included — inert
+unless executed, which keeps per-location failures i.i.d.; DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.faults import ONE_QUBIT_PAULIS, TWO_QUBIT_PAULIS
+from .frame import Injection
+
+__all__ = [
+    "E1_1",
+    "ScaledNoiseModel",
+    "fault_draws",
+    "sample_injections",
+    "sample_injections_model",
+    "sample_injections_fixed_k",
+]
+
+
+@dataclass(frozen=True)
+class E1_1:
+    """Uniform single-parameter depolarizing model."""
+
+    p: float
+
+    def probability(self, kind: str) -> float:
+        return self.p
+
+
+@dataclass(frozen=True)
+class ScaledNoiseModel:
+    """Per-kind scaling of the base rate (generalizes E1_1).
+
+    Real devices fail two-qubit gates and measurements at different
+    rates; this model multiplies the base rate ``p`` by a per-kind factor
+    (defaults 1.0, i.e. E1_1). Example — trapped-ion-flavoured budget::
+
+        ScaledNoiseModel(p, two_qubit=5.0, measurement=10.0)
+    """
+
+    p: float
+    single_qubit: float = 1.0
+    two_qubit: float = 1.0
+    reset: float = 1.0
+    measurement: float = 1.0
+
+    _FACTORS = {
+        "1q": "single_qubit",
+        "2q": "two_qubit",
+        "reset_z": "reset",
+        "reset_x": "reset",
+        "meas": "measurement",
+    }
+
+    def probability(self, kind: str) -> float:
+        rate = self.p * getattr(self, self._FACTORS[kind])
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"scaled rate {rate} outside [0, 1]")
+        return rate
+
+
+def _draw_fault(kind: str, wires, rng: np.random.Generator) -> Injection:
+    if kind == "1q":
+        letter = ONE_QUBIT_PAULIS[rng.integers(0, 3)]
+        return Injection(paulis=((wires[0], letter),))
+    if kind == "2q":
+        pair = TWO_QUBIT_PAULIS[rng.integers(0, 15)]
+        paulis = tuple(
+            (w, letter)
+            for w, letter in zip(wires, pair)
+            if letter != "I"
+        )
+        return Injection(paulis=paulis)
+    if kind == "reset_z":
+        return Injection(paulis=((wires[0], "X"),))
+    if kind == "reset_x":
+        return Injection(paulis=((wires[0], "Z"),))
+    if kind == "meas":
+        return Injection(flip=True)
+    raise ValueError(f"unknown location kind {kind!r}")
+
+
+def fault_draws(kind: str, wires) -> list[Injection]:
+    """All equally-likely fault draws at a failing location of ``kind``.
+
+    The E1_1 conditional draw distribution is uniform within each kind, so
+    exact stratum enumeration (``SubsetSampler.enumerate_k1_exact``) weights
+    every returned injection by ``1 / len(fault_draws(...))``.
+    """
+    if kind == "1q":
+        return [Injection(paulis=((wires[0], letter),)) for letter in ONE_QUBIT_PAULIS]
+    if kind == "2q":
+        out = []
+        for pair in TWO_QUBIT_PAULIS:
+            paulis = tuple(
+                (w, letter) for w, letter in zip(wires, pair) if letter != "I"
+            )
+            out.append(Injection(paulis=paulis))
+        return out
+    if kind == "reset_z":
+        return [Injection(paulis=((wires[0], "X"),))]
+    if kind == "reset_x":
+        return [Injection(paulis=((wires[0], "Z"),))]
+    if kind == "meas":
+        return [Injection(flip=True)]
+    raise ValueError(f"unknown location kind {kind!r}")
+
+
+def sample_injections(
+    locations, p: float, rng: np.random.Generator
+) -> dict:
+    """i.i.d. Bernoulli(p) failures over the static location list."""
+    injections = {}
+    fails = rng.random(len(locations)) < p
+    for (key, kind, wires), failed in zip(locations, fails):
+        if failed:
+            injections[key] = _draw_fault(kind, wires, rng)
+    return injections
+
+
+def sample_injections_model(
+    locations, model, rng: np.random.Generator
+) -> dict:
+    """Bernoulli failures with per-kind rates from ``model.probability``."""
+    injections = {}
+    uniform = rng.random(len(locations))
+    for (key, kind, wires), roll in zip(locations, uniform):
+        if roll < model.probability(kind):
+            injections[key] = _draw_fault(kind, wires, rng)
+    return injections
+
+
+def sample_injections_fixed_k(
+    locations, k: int, rng: np.random.Generator
+) -> dict:
+    """Exactly ``k`` failing locations, uniformly placed (subset sampling)."""
+    if k > len(locations):
+        raise ValueError("more faults than locations")
+    chosen = rng.choice(len(locations), size=k, replace=False)
+    injections = {}
+    for idx in chosen:
+        key, kind, wires = locations[int(idx)]
+        injections[key] = _draw_fault(kind, wires, rng)
+    return injections

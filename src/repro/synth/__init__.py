@@ -1,0 +1,17 @@
+"""Prep and verification synthesis (the Ref. [22] role in the pipeline)."""
+
+from .prep import (
+    PrepCircuit,
+    prepare_zero,
+    prepare_zero_heuristic,
+    prepare_zero_optimal,
+    verify_prep_circuit,
+)
+
+__all__ = [
+    "PrepCircuit",
+    "prepare_zero",
+    "prepare_zero_heuristic",
+    "prepare_zero_optimal",
+    "verify_prep_circuit",
+]

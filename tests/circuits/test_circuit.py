@@ -1,0 +1,126 @@
+"""Unit tests for the circuit IR container and instruction set."""
+
+import pytest
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.gates import (
+    CX,
+    ConditionalPauli,
+    H,
+    MeasureX,
+    MeasureZ,
+    ResetX,
+    ResetZ,
+)
+
+
+class TestInstructions:
+    def test_qubits_accessors(self):
+        assert H(2).qubits() == (2,)
+        assert CX(0, 3).qubits() == (0, 3)
+        assert ResetZ(1).qubits() == (1,)
+        assert ResetX(1).qubits() == (1,)
+        assert MeasureZ(4, "m").qubits() == (4,)
+        assert MeasureX(4, "m").qubits() == (4,)
+
+    def test_conditional_pauli_qubits_sorted_unique(self):
+        cp = ConditionalPauli(x_support=(3, 1), z_support=(1, 2))
+        assert cp.qubits() == (1, 2, 3)
+
+    def test_kind_property(self):
+        assert H(0).kind == "H"
+        assert CX(0, 1).kind == "CX"
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            H(0).qubit = 1
+
+    def test_hashable(self):
+        assert len({H(0), H(0), H(1)}) == 2
+
+
+class TestCircuitConstruction:
+    def test_builder_methods_chain(self):
+        c = Circuit(3).h(0).cx(0, 1).measure_z(1, "m")
+        assert len(c) == 3
+        assert c.cnot_count == 1
+
+    def test_qubit_range_checked(self):
+        c = Circuit(2)
+        with pytest.raises(ValueError):
+            c.h(2)
+        with pytest.raises(ValueError):
+            c.cx(0, 5)
+
+    def test_cx_distinct_qubits(self):
+        with pytest.raises(ValueError):
+            Circuit(2).cx(1, 1)
+
+    def test_conditional_pauli_builder(self):
+        c = Circuit(2).conditional_pauli(
+            x_support=[0], condition=[("b", 1)]
+        )
+        ins = c.instructions[0]
+        assert ins.x_support == (0,)
+        assert ins.condition == (("b", 1),)
+
+    def test_extend(self):
+        a = Circuit(3).h(0)
+        b = Circuit(3).cx(0, 1)
+        a.extend(b)
+        assert len(a) == 2
+
+    def test_extend_wider_rejected(self):
+        a = Circuit(2)
+        b = Circuit(3).h(2)
+        with pytest.raises(ValueError):
+            a.extend(b)
+
+    def test_extend_narrower_allowed(self):
+        a = Circuit(3)
+        b = Circuit(2).h(1)
+        a.extend(b)
+        assert len(a) == 1
+
+
+class TestCircuitInspection:
+    def test_count(self):
+        c = Circuit(3).h(0).h(1).cx(0, 1)
+        assert c.count("H") == 2
+        assert c.count("CX") == 1
+        assert c.count("MeasureZ") == 0
+
+    def test_measured_bits_in_order(self):
+        c = Circuit(2).measure_z(0, "a").measure_x(1, "b")
+        assert c.measured_bits() == ["a", "b"]
+
+    def test_qubits_used(self):
+        c = Circuit(5).h(0).cx(2, 4)
+        assert c.qubits_used() == {0, 2, 4}
+
+    def test_depth_parallel_gates(self):
+        c = Circuit(4).h(0).h(1).h(2).h(3)
+        assert c.depth() == 1
+
+    def test_depth_serial_chain(self):
+        c = Circuit(2).h(0).cx(0, 1).h(1)
+        assert c.depth() == 3
+
+    def test_depth_empty(self):
+        assert Circuit(3).depth() == 0
+
+    def test_copy_independent(self):
+        a = Circuit(2).h(0)
+        b = a.copy()
+        b.h(1)
+        assert len(a) == 1
+        assert len(b) == 2
+
+    def test_iter(self):
+        c = Circuit(2).h(0).cx(0, 1)
+        kinds = [ins.kind for ins in c]
+        assert kinds == ["H", "CX"]
+
+    def test_repr(self):
+        text = repr(Circuit(2).cx(0, 1))
+        assert "cx=1" in text

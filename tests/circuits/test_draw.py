@@ -1,0 +1,49 @@
+"""Unit tests for ASCII circuit rendering."""
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.draw import draw
+
+
+class TestDraw:
+    def test_one_line_per_wire(self):
+        c = Circuit(3).h(0).cx(0, 1)
+        text = draw(c)
+        assert len(text.splitlines()) == 3
+
+    def test_gate_boxes_present(self):
+        c = Circuit(2).h(0).reset_z(1)
+        text = draw(c)
+        assert " H " in text
+        assert "|0>" in text
+
+    def test_measure_boxes(self):
+        c = Circuit(2).measure_z(0, "a").measure_x(1, "b")
+        text = draw(c)
+        assert "MZ" in text
+        assert "MX" in text
+
+    def test_wire_labels(self):
+        c = Circuit(2).h(0)
+        text = draw(c, wire_labels={0: "data", 1: "anc"})
+        assert "data:" in text
+        assert "anc:" in text
+
+    def test_default_labels(self):
+        text = draw(Circuit(2).h(1))
+        assert "q0:" in text
+        assert "q1:" in text
+
+    def test_empty_circuit(self):
+        text = draw(Circuit(2))
+        assert len(text.splitlines()) == 2
+
+    def test_cx_draws_vertical_connector(self):
+        c = Circuit(3).cx(0, 2)
+        lines = draw(c).splitlines()
+        # middle wire shows the crossing
+        assert "┼" in lines[1]
+
+    def test_equal_width_rows(self):
+        c = Circuit(3).h(0).cx(0, 1).cx(1, 2).h(2)
+        lines = draw(c).splitlines()
+        assert len({len(line) for line in lines}) == 1

@@ -1,0 +1,102 @@
+"""Tests for OpenQASM 2.0 export."""
+
+import pytest
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.qasm import circuit_to_qasm, protocol_to_qasm
+
+from ..conftest import cached_protocol
+
+
+class TestCircuitExport:
+    def test_header(self):
+        text = circuit_to_qasm(Circuit(2).h(0))
+        assert text.startswith("OPENQASM 2.0;")
+        assert 'include "qelib1.inc";' in text
+        assert "qreg q[2];" in text
+
+    def test_gates(self):
+        c = Circuit(3).h(0).cx(0, 1).reset_z(2)
+        text = circuit_to_qasm(c)
+        assert "h q[0];" in text
+        assert "cx q[0],q[1];" in text
+        assert "reset q[2];" in text
+
+    def test_reset_x_is_reset_plus_h(self):
+        text = circuit_to_qasm(Circuit(1).reset_x(0))
+        assert "reset q[0];\nh q[0];" in text
+
+    def test_measure_z(self):
+        text = circuit_to_qasm(Circuit(1).measure_z(0, "b0.0"))
+        assert "creg c_b0_0[1];" in text
+        assert "measure q[0] -> c_b0_0[0];" in text
+
+    def test_measure_x_basis_change(self):
+        text = circuit_to_qasm(Circuit(1).measure_x(0, "f"))
+        lines = text.splitlines()
+        measure_index = next(
+            i for i, line in enumerate(lines) if "measure" in line
+        )
+        assert lines[measure_index - 1] == "h q[0];"
+
+    def test_conditional_pauli(self):
+        c = Circuit(2)
+        c.measure_z(0, "m")
+        c.conditional_pauli(x_support=[1], condition=[("m", 1)])
+        text = circuit_to_qasm(c)
+        assert "if(c_m==1) x q[1];" in text
+
+    def test_unconditional_pauli(self):
+        c = Circuit(1).conditional_pauli(z_support=[0])
+        text = circuit_to_qasm(c)
+        assert "z q[0];" in text
+        assert "if(" not in text
+
+    def test_condition_on_unmeasured_bit_rejected(self):
+        c = Circuit(1).conditional_pauli(x_support=[0], condition=[("m", 1)])
+        with pytest.raises(ValueError):
+            circuit_to_qasm(c)
+
+    def test_header_comment(self):
+        text = circuit_to_qasm(Circuit(1), header="hello\nworld")
+        assert text.startswith("// hello\n// world\n")
+
+    def test_bit_name_sanitization(self):
+        text = circuit_to_qasm(Circuit(1).measure_z(0, "c0.10_1"))
+        assert "creg c_c0_10_1[1];" in text
+
+
+class TestProtocolExport:
+    def test_segment_names(self):
+        programs = protocol_to_qasm(cached_protocol("steane"))
+        assert "prep" in programs
+        assert "verif0" in programs
+        assert any(name.startswith("branch0_") for name in programs)
+
+    def test_each_segment_is_valid_qasm_shape(self):
+        programs = protocol_to_qasm(cached_protocol("steane"))
+        for program in programs.values():
+            assert "OPENQASM 2.0;" in program
+            body = [
+                line
+                for line in program.splitlines()
+                if line and not line.startswith("//")
+            ]
+            # Every statement line ends with a semicolon.
+            assert all(line.endswith(";") for line in body)
+
+    def test_branch_header_documents_recoveries(self):
+        programs = protocol_to_qasm(cached_protocol("steane"))
+        branch_name = next(n for n in programs if n.startswith("branch"))
+        header_lines = [
+            line
+            for line in programs[branch_name].splitlines()
+            if line.startswith("//")
+        ]
+        header = "\n".join(header_lines)
+        assert "signature" in header
+        assert "terminate" in header
+
+    def test_two_layer_protocol_exports_both(self):
+        programs = protocol_to_qasm(cached_protocol("carbon"))
+        assert "verif0" in programs and "verif1" in programs

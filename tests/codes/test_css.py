@@ -1,0 +1,134 @@
+"""Unit tests for the CSSCode class."""
+
+import numpy as np
+import pytest
+
+from repro.codes.catalog import steane_code
+from repro.codes.css import CSSCode, _invert_gf2
+from repro.pauli.symplectic import rank
+
+
+def small_surface():
+    """The [[5 (really 9-qubit d=3 is in catalog)]] — build a 4-qubit toy:
+    the [[4,2,2]] error-detecting code."""
+    hx = [[1, 1, 1, 1]]
+    hz = [[1, 1, 1, 1]]
+    return CSSCode("[[4,2,2]]", hx, hz)
+
+
+class TestConstruction:
+    def test_steane_parameters(self):
+        code = steane_code()
+        assert code.n == 7
+        assert code.k == 1
+        assert code.num_x_stabilizers == 3
+        assert code.num_z_stabilizers == 3
+
+    def test_non_commuting_rejected(self):
+        with pytest.raises(ValueError):
+            CSSCode("bad", [[1, 0, 0]], [[1, 0, 0]])
+
+    def test_redundant_rows_removed(self):
+        hx = [[1, 1, 1, 1], [1, 1, 1, 1]]
+        hz = [[1, 1, 1, 1]]
+        code = CSSCode("dup", hx, hz)
+        assert code.num_x_stabilizers == 1
+
+    def test_4_2_2_code(self):
+        code = small_surface()
+        assert code.n == 4
+        assert code.k == 2
+
+    def test_repr(self):
+        assert "Steane" in repr(steane_code())
+
+
+class TestLogicals:
+    def test_steane_logical_count(self):
+        code = steane_code()
+        assert code.logical_z.shape == (1, 7)
+        assert code.logical_x.shape == (1, 7)
+
+    def test_steane_minimal_logicals_weight_3(self):
+        code = steane_code()
+        assert code.z_distance() == 3
+        assert code.x_distance() == 3
+        assert code.distance() == 3
+
+    def test_logicals_commute_with_stabilizers(self):
+        for code in (steane_code(), small_surface()):
+            assert not (code.hx @ code.logical_z.T % 2).any()
+            assert not (code.hz @ code.logical_x.T % 2).any()
+
+    def test_logicals_symplectically_paired(self):
+        for code in (steane_code(), small_surface()):
+            pairing = code.logical_x @ code.logical_z.T % 2
+            assert (pairing == np.eye(code.k, dtype=np.uint8)).all()
+
+    def test_logicals_independent_of_stabilizers(self):
+        code = steane_code()
+        stacked = np.concatenate([code.hz, code.logical_z], axis=0)
+        assert rank(stacked) == code.hz.shape[0] + code.k
+
+    def test_validate_passes(self):
+        steane_code().validate()
+        small_surface().validate()
+
+    def test_parameters_tuple(self):
+        assert steane_code().parameters() == (7, 1, 3)
+        assert small_surface().parameters() == (4, 2, 2)
+
+
+class TestErrorAlgebra:
+    def test_x_reducer_is_hx_span(self):
+        code = steane_code()
+        reducer = code.x_error_reducer()
+        assert reducer.rank == code.hx.shape[0]
+        for row in code.hx:
+            assert reducer.contains(row)
+
+    def test_z_reducer_includes_logical_z(self):
+        code = steane_code()
+        reducer = code.z_error_reducer()
+        assert reducer.rank == code.hz.shape[0] + code.k
+        for row in code.logical_z:
+            assert reducer.contains(row)
+
+    def test_x_detection_basis_spans_hz_plus_logical(self):
+        code = steane_code()
+        basis = code.x_detection_basis()
+        assert rank(basis) == code.hz.shape[0] + code.k
+
+    def test_z_detection_basis_is_hx(self):
+        code = steane_code()
+        assert (code.z_detection_basis() == code.hx).all()
+
+    def test_logical_x_detected_by_x_detection_basis(self):
+        # A logical X flips some Z-type state stabilizer — the verification
+        # layer can therefore see it.
+        code = steane_code()
+        basis = code.x_detection_basis()
+        for row in code.logical_x:
+            assert (basis @ row % 2).any()
+
+
+class TestInvertGF2:
+    def test_identity(self):
+        eye = np.eye(4, dtype=np.uint8)
+        assert (_invert_gf2(eye) == eye).all()
+
+    def test_inverse_property(self):
+        rng = np.random.default_rng(0)
+        from repro.pauli.symplectic import random_full_rank
+
+        mat = random_full_rank(rng, 5, 5)
+        inv = _invert_gf2(mat)
+        assert ((mat @ inv) % 2 == np.eye(5, dtype=np.uint8)).all()
+
+    def test_singular_rejected(self):
+        with pytest.raises(ValueError):
+            _invert_gf2(np.zeros((2, 2), dtype=np.uint8))
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            _invert_gf2(np.zeros((2, 3), dtype=np.uint8))

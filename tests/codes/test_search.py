@@ -1,0 +1,58 @@
+"""Unit tests for randomized CSS code discovery."""
+
+import pytest
+
+from repro.codes.search import (
+    SearchFailure,
+    find_css_code,
+    find_self_dual_css_code,
+)
+
+
+class TestFindCSSCode:
+    def test_finds_small_code(self):
+        code = find_css_code(5, 1, 2, seed=1, max_tries=20_000)
+        assert code.parameters() == (5, 1, 2)
+        code.validate()
+
+    def test_deterministic_given_seed(self):
+        a = find_css_code(5, 1, 2, seed=3, max_tries=20_000)
+        b = find_css_code(5, 1, 2, seed=3, max_tries=20_000)
+        assert (a.hx == b.hx).all()
+        assert (a.hz == b.hz).all()
+
+    def test_respects_rx_split(self):
+        code = find_css_code(6, 2, 2, rx=1, seed=5, max_tries=50_000)
+        assert code.num_x_stabilizers == 1
+        assert code.num_z_stabilizers == 3
+
+    def test_failure_raises(self):
+        # [[3,1,3]] CSS codes do not exist (quantum singleton bound).
+        with pytest.raises(SearchFailure):
+            find_css_code(3, 1, 3, seed=0, max_tries=500)
+
+    def test_name_override(self):
+        code = find_css_code(5, 1, 2, seed=1, max_tries=20_000, name="mine")
+        assert code.name == "mine"
+
+    def test_distance_exact_not_just_lower_bound(self):
+        # Request d=2 and confirm the result is not secretly d>=3.
+        code = find_css_code(5, 1, 2, seed=1, max_tries=20_000)
+        assert code.distance() == 2
+
+
+class TestSelfDualSearch:
+    def test_finds_steane_parameters(self):
+        code = find_self_dual_css_code(7, 1, 3, row_weight=4, seed=0)
+        assert code.parameters() == (7, 1, 3)
+        assert (code.hx == code.hz).all()
+        code.validate()
+
+    def test_odd_n_minus_k_rejected(self):
+        with pytest.raises(ValueError):
+            find_self_dual_css_code(8, 1, 3)
+
+    def test_deterministic(self):
+        a = find_self_dual_css_code(7, 1, 3, row_weight=4, seed=2)
+        b = find_self_dual_css_code(7, 1, 3, row_weight=4, seed=2)
+        assert (a.hx == b.hx).all()

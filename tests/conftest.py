@@ -1,0 +1,75 @@
+"""Shared fixtures: catalog codes and session-cached synthesized protocols.
+
+Protocol synthesis is deterministic but not free (the tesseract code takes
+a minute of SAT solving), so every test that needs a synthesized protocol
+shares one session-scoped instance per (code, prep, verification) triple.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codes.catalog import CATALOG, get_code
+from repro.core.protocol import synthesize_protocol
+
+# Codes cheap enough for exhaustive per-test work.
+FAST_CODES = ["steane", "shor", "surface_3", "11_1_3", "carbon"]
+# All nine paper instances.
+ALL_CODES = list(CATALOG)
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: long-running test (large-code SAT synthesis)"
+    )
+
+
+_PROTOCOL_CACHE: dict[tuple[str, str, str], object] = {}
+
+
+def cached_protocol(
+    code_key: str,
+    prep_method: str = "heuristic",
+    verification_method: str = "optimal",
+):
+    """Synthesize (once per session) the protocol for one configuration."""
+    key = (code_key, prep_method, verification_method)
+    if key not in _PROTOCOL_CACHE:
+        _PROTOCOL_CACHE[key] = synthesize_protocol(
+            get_code(code_key),
+            prep_method=prep_method,
+            verification_method=verification_method,
+        )
+    return _PROTOCOL_CACHE[key]
+
+
+@pytest.fixture(scope="session")
+def steane_protocol():
+    return cached_protocol("steane")
+
+
+@pytest.fixture(scope="session")
+def shor_protocol():
+    return cached_protocol("shor")
+
+
+@pytest.fixture(scope="session")
+def surface_protocol():
+    return cached_protocol("surface_3")
+
+
+@pytest.fixture(scope="session")
+def carbon_protocol():
+    return cached_protocol("carbon")
+
+
+@pytest.fixture(params=FAST_CODES)
+def fast_code(request):
+    """One of the quickly-synthesizable catalog codes."""
+    return get_code(request.param)
+
+
+@pytest.fixture(params=ALL_CODES)
+def any_code(request):
+    """Every catalog code (construction only — cheap)."""
+    return get_code(request.param)

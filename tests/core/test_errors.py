@@ -1,0 +1,106 @@
+"""Unit tests for the |0>_L error algebra (reducers + detection bases)."""
+
+import numpy as np
+import pytest
+
+from repro.codes.catalog import get_code, steane_code
+from repro.core.errors import (
+    dangerous_errors,
+    detection_basis,
+    error_reducer,
+    is_dangerous,
+)
+from repro.synth.prep import prepare_zero_heuristic
+
+
+class TestReducers:
+    def test_kind_dispatch(self):
+        code = steane_code()
+        assert error_reducer(code, "X").rank == code.hx.shape[0]
+        assert error_reducer(code, "Z").rank == code.hz.shape[0] + code.k
+
+    def test_invalid_kind(self):
+        with pytest.raises(ValueError):
+            error_reducer(steane_code(), "Y")
+
+    def test_detection_dispatch(self):
+        code = steane_code()
+        assert detection_basis(code, "X").shape[0] == 4  # Hz + Z_L
+        assert detection_basis(code, "Z").shape[0] == 3  # Hx only
+
+    def test_detection_invalid_kind(self):
+        with pytest.raises(ValueError):
+            detection_basis(steane_code(), "Y")
+
+    def test_is_dangerous_threshold(self):
+        code = steane_code()
+        reducer = error_reducer(code, "X")
+        single = np.zeros(7, dtype=np.uint8)
+        single[0] = 1
+        double = np.zeros(7, dtype=np.uint8)
+        double[[0, 1]] = 1
+        assert not is_dangerous(single, reducer)
+        assert is_dangerous(double, reducer)
+
+    def test_stabilizer_not_dangerous(self):
+        code = steane_code()
+        reducer = error_reducer(code, "X")
+        assert not is_dangerous(code.hx[0], reducer)
+
+    def test_logical_z_not_dangerous_on_zero_state(self):
+        """Z_L acts trivially on |0>_L — weight-3 but harmless."""
+        code = steane_code()
+        reducer = error_reducer(code, "Z")
+        for row in code.logical_z:
+            assert not is_dangerous(row, reducer)
+
+    def test_logical_x_is_dangerous(self):
+        code = steane_code()
+        reducer = error_reducer(code, "X")
+        for row in code.logical_x:
+            assert is_dangerous(row, reducer)
+
+
+class TestDangerousErrors:
+    def test_steane_prep_has_dangerous_x_errors(self):
+        prep = prepare_zero_heuristic(steane_code())
+        errors = dangerous_errors(prep, "X")
+        assert errors
+        reducer = error_reducer(prep.code, "X")
+        for e in errors:
+            assert reducer.coset_weight(e) >= 2
+
+    def test_returned_representatives_minimal(self):
+        prep = prepare_zero_heuristic(steane_code())
+        reducer = error_reducer(prep.code, "X")
+        for e in dangerous_errors(prep, "X"):
+            assert int(e.sum()) == reducer.coset_weight(e)
+
+    def test_dedupe_behaviour(self):
+        prep = prepare_zero_heuristic(steane_code())
+        deduped = dangerous_errors(prep, "X", dedupe=True)
+        raw = dangerous_errors(prep, "X", dedupe=False)
+        assert len(deduped) <= len(raw)
+        reducer = error_reducer(prep.code, "X")
+        labels = {reducer.canonical(e) for e in deduped}
+        assert len(labels) == len(deduped)
+        assert labels == {reducer.canonical(e) for e in raw}
+
+    def test_steane_prep_no_dangerous_z(self):
+        """CSS |0>_L prep circuits only spread X errors (CNOT orientation) —
+        the structural reason Steane needs a single verification layer."""
+        prep = prepare_zero_heuristic(steane_code())
+        assert dangerous_errors(prep, "Z") == []
+
+    @pytest.mark.parametrize("key", ["steane", "shor", "surface_3"])
+    def test_single_layer_codes_prep_z_errors_harmless(self, key):
+        """For these codes the heuristic prep spreads no dangerous Z error —
+        the structural reason Table I shows them with a single layer."""
+        prep = prepare_zero_heuristic(get_code(key))
+        assert dangerous_errors(prep, "Z") == []
+
+    def test_z_errors_can_spread_in_prep(self):
+        """Z errors propagate target -> control through CNOTs, so prep
+        circuits are not automatically Z-clean (e.g. our [[11,1,3]])."""
+        prep = prepare_zero_heuristic(get_code("11_1_3"))
+        assert len(dangerous_errors(prep, "Z")) >= 1

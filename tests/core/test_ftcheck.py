@@ -1,0 +1,102 @@
+"""Exhaustive fault-tolerance certification of every synthesized protocol.
+
+These are the library's most important tests: Definition 1 at t = 1,
+proved by enumeration for each catalog code.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.ftcheck import (
+    check_fault_tolerance,
+    enumerate_checkable_injections,
+)
+
+from ..conftest import cached_protocol
+
+
+class TestDefinitionOne:
+    @pytest.mark.parametrize(
+        "key",
+        ["steane", "shor", "surface_3", "11_1_3", "carbon"],
+    )
+    def test_fast_codes_fault_tolerant(self, key):
+        violations = check_fault_tolerance(cached_protocol(key))
+        assert violations == []
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("key", ["tetrahedral", "hamming", "16_2_4"])
+    def test_large_codes_fault_tolerant(self, key):
+        violations = check_fault_tolerance(cached_protocol(key))
+        assert violations == []
+
+    @pytest.mark.slow
+    def test_tesseract_fault_tolerant(self):
+        violations = check_fault_tolerance(cached_protocol("tesseract"))
+        assert violations == []
+
+    def test_optimal_prep_protocols_fault_tolerant(self):
+        for key in ("steane", "shor"):
+            protocol = cached_protocol(key, prep_method="optimal")
+            assert check_fault_tolerance(protocol) == []
+
+    def test_greedy_verification_protocols_fault_tolerant(self):
+        protocol = cached_protocol(
+            "steane", verification_method="greedy"
+        )
+        assert check_fault_tolerance(protocol) == []
+
+
+class TestCheckerMechanics:
+    def test_injection_count_covers_all_locations(self, steane_protocol):
+        injections = list(enumerate_checkable_injections(steane_protocol))
+        # Each 1q gate -> 3, CX -> 15, reset -> 1, measure -> 1.
+        expected = 0
+        segments = [steane_protocol.prep_segment] + [
+            l.circuit for l in steane_protocol.layers
+        ]
+        for segment in segments:
+            expected += 3 * segment.count("H")
+            expected += 15 * segment.count("CX")
+            expected += segment.count("ResetZ") + segment.count("ResetX")
+            expected += segment.count("MeasureZ") + segment.count("MeasureX")
+        assert len(injections) == expected
+
+    def test_detects_sabotaged_recovery(self, steane_protocol):
+        """Corrupting a branch recovery must produce violations."""
+        import copy
+
+        protocol = copy.deepcopy(steane_protocol)
+        layer = protocol.layers[0]
+        branch = next(iter(layer.branches.values()))
+        for syndrome in list(branch.recoveries):
+            sabotage = branch.recoveries[syndrome].copy()
+            sabotage ^= 1  # flip every qubit of the recovery
+            branch.recoveries[syndrome] = sabotage
+        violations = check_fault_tolerance(protocol)
+        assert violations
+
+    def test_detects_removed_branch(self, steane_protocol):
+        import copy
+
+        protocol = copy.deepcopy(steane_protocol)
+        protocol.layers[0].branches.clear()
+        violations = check_fault_tolerance(protocol)
+        assert violations
+
+    def test_max_violations_cap(self, steane_protocol):
+        import copy
+
+        protocol = copy.deepcopy(steane_protocol)
+        protocol.layers[0].branches.clear()
+        violations = check_fault_tolerance(protocol, max_violations=2)
+        assert len(violations) == 2
+
+    def test_violation_str(self, steane_protocol):
+        import copy
+
+        protocol = copy.deepcopy(steane_protocol)
+        protocol.layers[0].branches.clear()
+        violation = check_fault_tolerance(protocol, max_violations=1)[0]
+        text = str(violation)
+        assert "wt_S" in text

@@ -1,0 +1,68 @@
+"""Unit tests for the global optimization procedure (paper Sec. IV)."""
+
+import pytest
+
+from repro.codes.catalog import get_code
+from repro.core.ftcheck import check_fault_tolerance
+from repro.core.globalopt import (
+    GlobalOptResult,
+    globally_optimize_protocol,
+    protocol_score,
+)
+from repro.core.metrics import protocol_metrics
+
+from ..conftest import cached_protocol
+
+
+class TestGlobalOptimization:
+    @pytest.mark.parametrize("key", ["steane", "shor", "surface_3"])
+    def test_never_worse_than_sequential(self, key):
+        """Paper: global optimization 'yields equivalently good circuits in
+        most cases' and sometimes strictly better — never worse."""
+        sequential = protocol_metrics(cached_protocol(key))
+        result = globally_optimize_protocol(get_code(key))
+        assert protocol_score(result.metrics) <= protocol_score(sequential)
+
+    @pytest.mark.parametrize("key", ["steane", "shor"])
+    def test_result_is_fault_tolerant(self, key):
+        result = globally_optimize_protocol(get_code(key))
+        assert check_fault_tolerance(result.protocol) == []
+
+    def test_explores_multiple_candidates(self):
+        result = globally_optimize_protocol(get_code("steane"))
+        assert result.candidates_explored >= 1
+        assert not result.timed_out
+
+    def test_verification_limit_respected(self):
+        result = globally_optimize_protocol(
+            get_code("steane"), verification_limit=1
+        )
+        assert result.candidates_explored >= 1
+
+    def test_time_budget_cancellation(self):
+        """Paper: Carbon/[[16,2,4]] global runs were cancelled after 2h. A
+        tiny budget must still return the best-so-far without raising,
+        provided at least one candidate finished."""
+        result = globally_optimize_protocol(
+            get_code("shor"), time_budget=1e9
+        )
+        assert isinstance(result, GlobalOptResult)
+        assert not result.timed_out
+
+    def test_prep_override(self):
+        from repro.synth.prep import prepare_zero_optimal
+
+        code = get_code("shor")
+        prep = prepare_zero_optimal(code)
+        result = globally_optimize_protocol(code, prep=prep)
+        assert result.protocol.prep.method == "optimal"
+
+    def test_score_lexicographic(self):
+        a = protocol_metrics(cached_protocol("steane"))
+        score = protocol_score(a)
+        assert score[0] == a.total_verification_ancillas
+        assert score[1] == a.total_verification_cnots
+
+    def test_repr(self):
+        result = globally_optimize_protocol(get_code("steane"))
+        assert "explored" in repr(result)

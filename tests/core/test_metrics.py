@@ -1,0 +1,121 @@
+"""Unit tests for Table-I metric extraction."""
+
+import pytest
+
+from repro.core.metrics import protocol_metrics
+
+from ..conftest import cached_protocol
+
+
+class TestSteaneRow:
+    """The Steane row of Table I, reproduced exactly."""
+
+    def test_totals(self, steane_protocol):
+        m = protocol_metrics(steane_protocol)
+        assert m.total_verification_ancillas == 1
+        assert m.total_verification_cnots == 3
+        assert m.average_correction_ancillas == 1.0
+        assert m.average_correction_cnots == 3.0
+
+    def test_layer_fragment(self, steane_protocol):
+        m = protocol_metrics(steane_protocol)
+        (layer,) = m.layers
+        assert layer.kind == "X"
+        assert layer.verification_ancillas == 1
+        assert layer.verification_cnots == 3
+        assert layer.correction_ancillas_m == [1]
+        assert layer.correction_cnots_m == [3]
+        assert layer.correction_ancillas_f == []
+
+    def test_row_dict(self, steane_protocol):
+        row = protocol_metrics(steane_protocol).as_row()
+        assert row["code"] == "Steane"
+        assert row["sum_anc"] == 1
+        assert row["sum_cnot"] == 3
+        assert row["layers"] == 1
+        assert "L1" in row
+
+
+class TestAverages:
+    def test_average_over_all_branches(self, carbon_protocol):
+        m = protocol_metrics(carbon_protocol)
+        branches = carbon_protocol.all_branches()
+        expected_anc = sum(b.num_ancillas for b in branches) / len(branches)
+        expected_cnot = sum(b.cnot_count for b in branches) / len(branches)
+        assert m.average_correction_ancillas == pytest.approx(expected_anc)
+        assert m.average_correction_cnots == pytest.approx(expected_cnot)
+
+    def test_verification_totals_sum_layers(self, carbon_protocol):
+        m = protocol_metrics(carbon_protocol)
+        assert m.total_verification_ancillas == sum(
+            l.verification_ancillas + l.flag_ancillas for l in m.layers
+        )
+        assert m.total_verification_cnots == sum(
+            l.verification_cnots + l.flag_cnots for l in m.layers
+        )
+
+    def test_flag_cnots_two_per_flag(self, carbon_protocol):
+        for layer in protocol_metrics(carbon_protocol).layers:
+            assert layer.flag_cnots == 2 * layer.flag_ancillas
+
+    def test_branch_partition_m_vs_f(self, carbon_protocol):
+        m = protocol_metrics(carbon_protocol)
+        total = sum(layer.branch_count for layer in m.layers)
+        assert total == len(carbon_protocol.all_branches())
+
+    def test_format_fragment_contains_brackets(self, steane_protocol):
+        fragment = protocol_metrics(steane_protocol).layers[0].format_fragment()
+        assert "[1]" in fragment and "[3]" in fragment
+
+
+class TestDepthMetrics:
+    def test_depths_positive(self, steane_protocol):
+        m = protocol_metrics(steane_protocol)
+        assert m.prep_depth >= 1
+        assert m.verification_depth >= 1
+        assert m.prep_cnots == steane_protocol.prep.cnot_count
+
+    def test_depth_bounded_by_gate_count(self, carbon_protocol):
+        m = protocol_metrics(carbon_protocol)
+        assert m.prep_depth <= len(carbon_protocol.prep.circuit)
+        total_verif_ops = sum(
+            len(layer.circuit) for layer in carbon_protocol.layers
+        )
+        assert m.verification_depth <= total_verif_ops
+
+    def test_verification_depth_sums_layers(self, carbon_protocol):
+        m = protocol_metrics(carbon_protocol)
+        expected = sum(
+            layer.circuit.depth() for layer in carbon_protocol.layers
+        )
+        assert m.verification_depth == expected
+
+
+class TestPaperShapeClaims:
+    """Structural Table-I claims that must hold despite prep differences."""
+
+    def test_single_layer_flag_corrections_free(self):
+        """Paper: 'none of the flag corrections require additional
+        measurements in the considered cases' (d=3 single-layer codes)."""
+        for key in ("steane", "shor", "surface_3", "tetrahedral", "hamming"):
+            protocol = cached_protocol(key)
+            for layer in protocol.layers:
+                for branch in layer.branches.values():
+                    if branch.is_hook:
+                        assert branch.num_ancillas == 0
+
+    def test_correction_measurements_bounded(self):
+        """No branch ever needs more than the protocol's measurement cap."""
+        for key in ("steane", "shor", "surface_3", "11_1_3", "carbon"):
+            protocol = cached_protocol(key)
+            for branch in protocol.all_branches():
+                assert branch.num_ancillas <= 4
+
+    def test_verification_cheaper_than_full_syndrome_extraction(self):
+        """The point of the scheme: verifying costs less than measuring all
+        stabilizers (the generic Sec. I approach)."""
+        for key in ("steane", "shor", "surface_3", "carbon"):
+            protocol = cached_protocol(key)
+            code = protocol.code
+            full_cost = int(code.hx.sum() + code.hz.sum())
+            assert protocol.verification_cnots < full_cost

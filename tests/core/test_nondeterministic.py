@@ -1,0 +1,105 @@
+"""Unit tests for the repeat-until-success baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core.nondeterministic import (
+    NonDeterministicRunner,
+    RepeatUntilSuccessStats,
+)
+from repro.sim.frame import Injection
+
+from ..conftest import cached_protocol
+
+
+class TestAttempt:
+    def test_clean_attempt_accepted(self, steane_protocol):
+        runner = NonDeterministicRunner(steane_protocol)
+        result = runner.attempt()
+        assert result.accepted
+        assert not result.run.data_x.any()
+
+    def test_triggered_attempt_rejected(self, steane_protocol):
+        runner = NonDeterministicRunner(steane_protocol)
+        layer = steane_protocol.layers[0]
+        meas_index = next(
+            i
+            for i, ins in enumerate(layer.circuit.instructions)
+            if ins.kind in ("MeasureZ", "MeasureX")
+        )
+        result = runner.attempt(
+            {(("verif", 0), meas_index): Injection(flip=True)}
+        )
+        assert not result.accepted
+
+    def test_branches_never_execute(self, steane_protocol):
+        runner = NonDeterministicRunner(steane_protocol)
+        layer = steane_protocol.layers[0]
+        meas_index = next(
+            i
+            for i, ins in enumerate(layer.circuit.instructions)
+            if ins.kind in ("MeasureZ", "MeasureX")
+        )
+        result = runner.attempt(
+            {(("verif", 0), meas_index): Injection(flip=True)}
+        )
+        assert result.run.branches_taken == []
+
+    def test_locations_exclude_branches(self, steane_protocol):
+        runner = NonDeterministicRunner(steane_protocol)
+        keys = {loc[0][0][0] for loc in runner.locations}
+        assert "branch" not in keys
+
+
+class TestAcceptedStatesAreGood:
+    @pytest.mark.parametrize("key", ["steane", "surface_3"])
+    def test_accepted_single_fault_states_harmless(self, key):
+        """The baseline's heralding guarantee: accepted single-fault states
+        carry wt_S <= 1 errors (that is what verification certifies)."""
+        from repro.core.errors import error_reducer
+        from repro.core.ftcheck import enumerate_checkable_injections
+
+        protocol = cached_protocol(key)
+        runner = NonDeterministicRunner(protocol)
+        x_reducer = error_reducer(protocol.code, "X")
+        z_reducer = error_reducer(protocol.code, "Z")
+        checked = 0
+        for location, injection in enumerate_checkable_injections(protocol):
+            result = runner.attempt({location: injection})
+            if result.accepted:
+                checked += 1
+                assert x_reducer.coset_weight(result.run.data_x) <= 1
+                assert z_reducer.coset_weight(result.run.data_z) <= 1
+        assert checked > 0
+
+
+class TestSimulate:
+    def test_zero_noise_always_accepts(self, steane_protocol):
+        runner = NonDeterministicRunner(steane_protocol)
+        stats = runner.simulate(0.0, 50, np.random.default_rng(0))
+        assert stats.acceptance_rate == 1.0
+        assert stats.expected_attempts == 1.0
+        assert stats.logical_error_rate == 0.0
+
+    def test_acceptance_decreases_with_noise(self, steane_protocol):
+        runner = NonDeterministicRunner(steane_protocol)
+        low = runner.simulate(0.01, 300, np.random.default_rng(1))
+        high = runner.simulate(0.1, 300, np.random.default_rng(2))
+        assert high.acceptance_rate < low.acceptance_rate
+        assert high.expected_attempts > low.expected_attempts
+
+    def test_logical_error_quadratic_order(self, steane_protocol):
+        """Accepted states at small p rarely fail (heralded O(p^2))."""
+        runner = NonDeterministicRunner(steane_protocol)
+        stats = runner.simulate(0.005, 2000, np.random.default_rng(3))
+        assert stats.logical_error_rate < 0.01
+
+    def test_stats_str(self):
+        stats = RepeatUntilSuccessStats(0.01, 120, 100, 2)
+        text = str(stats)
+        assert "accept" in text
+
+    def test_expected_attempts_inverse_acceptance(self):
+        stats = RepeatUntilSuccessStats(0.01, 200, 100, 0)
+        assert stats.acceptance_rate == 0.5
+        assert stats.expected_attempts == 2.0

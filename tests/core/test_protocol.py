@@ -1,0 +1,185 @@
+"""Unit tests for deterministic-protocol assembly (paper Fig. 3)."""
+
+import numpy as np
+import pytest
+
+from repro.codes.catalog import get_code
+from repro.core.protocol import (
+    synthesize_protocol,
+    synthesize_protocol_from_parts,
+)
+from repro.synth.prep import prepare_zero_heuristic
+
+from ..conftest import cached_protocol
+
+
+class TestStructure:
+    def test_steane_single_layer(self, steane_protocol):
+        """Table I: Steane needs one X layer only."""
+        assert [l.kind for l in steane_protocol.layers] == ["X"]
+
+    def test_steane_verification_cost(self, steane_protocol):
+        assert steane_protocol.verification_ancillas == 1
+        assert steane_protocol.verification_cnots == 3
+
+    def test_steane_single_branch(self, steane_protocol):
+        layer = steane_protocol.layers[0]
+        assert len(layer.branches) == 1
+        ((signature, branch),) = layer.branches.items()
+        assert signature == ((1,), ())
+        assert branch.num_ancillas == 1
+        assert branch.cnot_count == 3
+
+    def test_carbon_two_layers(self, carbon_protocol):
+        """d=4 code with dangerous prep Z errors: X and Z layers."""
+        kinds = [l.kind for l in carbon_protocol.layers]
+        assert kinds == ["X", "Z"]
+
+    def test_all_branch_signatures_nontrivial(self, carbon_protocol):
+        for layer in carbon_protocol.layers:
+            for (b, f) in layer.branches:
+                assert any(b) or any(f)
+
+    def test_branch_measurement_bits_unique(self, carbon_protocol):
+        seen = set()
+        for layer in carbon_protocol.layers:
+            for spec in layer.measurements:
+                assert spec.bit not in seen
+                seen.add(spec.bit)
+                if spec.flagged:
+                    assert spec.flag_bit not in seen
+                    seen.add(spec.flag_bit)
+            for branch in layer.branches.values():
+                for spec in branch.measurements:
+                    assert spec.bit not in seen
+                    seen.add(spec.bit)
+
+    def test_hook_branches_terminate(self, carbon_protocol):
+        """Fig. 3 step (e): flag-triggered corrections end the protocol."""
+        for layer in carbon_protocol.layers:
+            for branch in layer.branches.values():
+                assert branch.terminate == branch.is_hook
+
+    def test_wire_budget(self, steane_protocol):
+        proto = steane_protocol
+        used = set()
+        for layer in proto.layers:
+            used |= layer.circuit.qubits_used()
+            for branch in layer.branches.values():
+                used |= branch.circuit.qubits_used()
+        assert max(used) < proto.num_wires
+
+    def test_prep_segment_resets_all_data(self, steane_protocol):
+        proto = steane_protocol
+        resets = [
+            ins.qubit
+            for ins in proto.prep_segment
+            if ins.kind == "ResetZ"
+        ]
+        assert sorted(resets) == list(range(proto.code.n))
+
+    def test_repr(self, steane_protocol):
+        assert "Steane" in repr(steane_protocol)
+
+
+class TestLayerPolicy:
+    @pytest.mark.parametrize("key", ["steane", "shor", "surface_3", "tetrahedral", "hamming"])
+    def test_single_layer_codes(self, key):
+        """Table I rows with one verification layer."""
+        protocol = cached_protocol(key)
+        assert len(protocol.layers) == 1
+
+    @pytest.mark.parametrize("key", ["carbon", "16_2_4"])
+    def test_two_layer_codes(self, key):
+        protocol = cached_protocol(key)
+        assert len(protocol.layers) == 2
+
+    def test_last_layer_flags_or_safe_orders(self):
+        """The final layer cannot defer hooks: each measurement is either
+        flagged or uses a hook-safe CNOT order."""
+        from repro.core.errors import error_reducer
+        from repro.core.hooks import order_is_safe
+
+        for key in ("steane", "carbon"):
+            protocol = cached_protocol(key)
+            last = protocol.layers[-1]
+            opposite = {"X": "Z", "Z": "X"}[last.kind]
+            reducer = error_reducer(protocol.code, opposite)
+            for spec in last.measurements:
+                assert spec.flagged or order_is_safe(spec.order, reducer)
+
+    def test_earlier_layer_hooks_covered_later(self):
+        """If the first layer is unflagged, its dangerous hook residuals
+        must be detected by the second layer's verification."""
+        protocol = cached_protocol("carbon")
+        x_layer, z_layer = protocol.layers
+        if any(m.flagged for m in x_layer.measurements):
+            pytest.skip("first layer flagged; nothing to defer")
+        from repro.core.errors import error_reducer
+        from repro.core.hooks import suffix_errors
+
+        reducer = error_reducer(protocol.code, "Z")
+        z_measurements = [m.support for m in z_layer.measurements]
+        for spec in x_layer.measurements:
+            for hook in suffix_errors(spec.order, protocol.code.n):
+                if reducer.coset_weight(hook) >= 2:
+                    assert any(
+                        int(m @ hook) % 2 for m in z_measurements
+                    ), "dangerous X-layer hook invisible to the Z layer"
+
+
+class TestPinnedVerification:
+    def test_override_measurements_used(self):
+        code = get_code("steane")
+        prep = prepare_zero_heuristic(code)
+        # Pin a deliberately heavier (weight-4 stabilizer + logical) set.
+        from repro.core.errors import dangerous_errors, detection_basis
+        from repro.synth.verification import enumerate_optimal_verifications
+
+        errors = dangerous_errors(prep, "X")
+        options = enumerate_optimal_verifications(
+            detection_basis(code, "X"), errors, limit=8
+        )
+        for option in options:
+            protocol = synthesize_protocol_from_parts(
+                prep, verification_x=option.measurements
+            )
+            got = [m.support.tolist() for m in protocol.layers[0].measurements]
+            want = [m.tolist() for m in option.measurements]
+            assert got == want
+
+    def test_methods_dispatch(self):
+        code = get_code("steane")
+        for verification_method in ("optimal", "greedy"):
+            protocol = synthesize_protocol(
+                code, verification_method=verification_method
+            )
+            assert protocol.layers
+
+    def test_unknown_verification_method(self):
+        with pytest.raises(ValueError):
+            synthesize_protocol(
+                get_code("steane"), verification_method="quantum"
+            )
+
+
+class TestBranchRecoveries:
+    def test_recovery_kinds_match_layer(self, carbon_protocol):
+        for layer in carbon_protocol.layers:
+            for branch in layer.branches.values():
+                if branch.is_hook:
+                    # Hook errors are opposite-type (spread from the ancilla).
+                    assert branch.recovery_kind != layer.kind
+                else:
+                    assert branch.recovery_kind == layer.kind
+
+    def test_recovery_supports_within_data(self, carbon_protocol):
+        n = carbon_protocol.code.n
+        for branch in carbon_protocol.all_branches():
+            for recovery in branch.recoveries.values():
+                assert len(recovery) == n
+
+    def test_branch_syndrome_lengths(self, carbon_protocol):
+        for branch in carbon_protocol.all_branches():
+            for syndrome in branch.recoveries:
+                assert len(syndrome) == len(branch.measurements)

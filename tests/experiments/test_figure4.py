@@ -1,0 +1,80 @@
+"""Tests for the Fig.-4 regeneration harness."""
+
+import math
+
+import pytest
+
+from repro.experiments.figure4 import (
+    FIGURE4_CODES,
+    FIGURE4_SWEEP,
+    render_figure4,
+    run_series,
+)
+
+from ..conftest import cached_protocol
+
+
+class TestConfiguration:
+    def test_all_table1_codes_plotted(self):
+        assert len(FIGURE4_CODES) == 9
+
+    def test_sweep_covers_paper_range(self):
+        assert FIGURE4_SWEEP[0] == pytest.approx(1e-4)
+        assert FIGURE4_SWEEP[-1] == pytest.approx(1e-1)
+        assert len(FIGURE4_SWEEP) >= 10
+
+
+class TestRunSeries:
+    @pytest.fixture(scope="class")
+    def steane_series(self):
+        return run_series(
+            "steane",
+            protocol=cached_protocol("steane"),
+            shots=1500,
+            k_max=2,
+            seed=3,
+        )
+
+    def test_estimates_cover_sweep(self, steane_series):
+        assert len(steane_series.estimates) == len(FIGURE4_SWEEP)
+
+    def test_f1_zero(self, steane_series):
+        assert steane_series.f1_exact == 0.0
+
+    def test_slope_two(self, steane_series):
+        assert steane_series.slope == pytest.approx(2.0, abs=0.15)
+
+    def test_quadratic_coefficient_positive_finite(self, steane_series):
+        c2 = steane_series.quadratic_coefficient
+        assert 0 < c2 < 10_000
+        assert math.isfinite(c2)
+
+    def test_shots_accounted(self, steane_series):
+        assert steane_series.shots == 1500
+
+    def test_custom_sweep(self):
+        series = run_series(
+            "steane",
+            protocol=cached_protocol("steane"),
+            shots=200,
+            k_max=2,
+            sweep=[1e-3, 1e-2],
+            seed=4,
+        )
+        assert [e.p for e in series.estimates] == [1e-3, 1e-2]
+
+
+class TestRender:
+    def test_render_structure(self):
+        series = run_series(
+            "steane",
+            protocol=cached_protocol("steane"),
+            shots=200,
+            k_max=2,
+            sweep=[1e-3, 1e-2],
+            seed=4,
+        )
+        text = render_figure4([series])
+        assert "== steane" in text
+        assert "pL=" in text
+        assert text.count("p=") >= 2

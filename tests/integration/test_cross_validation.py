@@ -1,0 +1,93 @@
+"""Cross-validation: Pauli-frame runner vs full-tableau reference runner.
+
+The frame runner is exact for Pauli noise only because noiseless protocol
+measurements are deterministic. These tests validate that argument
+empirically: on thousands of random fault configurations, both executors
+must agree on every recorded measurement bit, every branch decision, and
+the observable parities of the final destructive readout.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim.frame import ProtocolRunner, protocol_locations
+from repro.sim.noise import sample_injections
+from repro.sim.reference import TableauProtocolRunner
+
+from ..conftest import cached_protocol
+
+
+def compare_runs(protocol, injections, rng):
+    frame_runner = ProtocolRunner(protocol)
+    tableau_runner = TableauProtocolRunner(protocol)
+    frame_result = frame_runner.run(injections)
+    tableau_result = tableau_runner.run(injections, rng=rng)
+
+    # 1. Every recorded measurement bit agrees (frame stores flips, and
+    #    noiseless outcomes are all 0, so flip == outcome).
+    for bit, outcome in tableau_result.outcomes.items():
+        assert frame_result.flips.get(bit, 0) == outcome, f"bit {bit}"
+
+    # 2. Same branch decisions in the same order.
+    assert frame_result.branches_taken == tableau_result.branches_taken
+    assert frame_result.terminated_early == tableau_result.terminated_early
+
+    # 3. Readout parities: the destructive bitstring is a random codeword
+    #    XOR the X residual, so all Hz and logical-Z parities must match
+    #    the frame's prediction.
+    code = protocol.code
+    readout = tableau_result.readout
+    for row in np.concatenate([code.hz, code.logical_z], axis=0):
+        expected = int(row @ frame_result.data_x) % 2
+        assert int(row @ readout) % 2 == expected
+
+
+class TestNoiselessAgreement:
+    @pytest.mark.parametrize("key", ["steane", "shor", "surface_3", "carbon"])
+    def test_clean_runs_agree(self, key):
+        protocol = cached_protocol(key)
+        compare_runs(protocol, {}, np.random.default_rng(0))
+
+    @pytest.mark.parametrize("key", ["steane", "shor", "surface_3"])
+    def test_readout_is_codeword_when_clean(self, key):
+        protocol = cached_protocol(key)
+        runner = TableauProtocolRunner(protocol)
+        code = protocol.code
+        for seed in range(5):
+            result = runner.run({}, rng=np.random.default_rng(seed))
+            assert not (code.hz @ result.readout % 2).any()
+            assert not (code.logical_z @ result.readout % 2).any()
+
+    def test_readout_randomizes_over_codewords(self):
+        """The destructive readout collapses to different C_X codewords —
+        evidence the state really is the full superposition."""
+        protocol = cached_protocol("steane")
+        runner = TableauProtocolRunner(protocol)
+        seen = {
+            tuple(runner.run({}, rng=np.random.default_rng(seed)).readout)
+            for seed in range(24)
+        }
+        assert len(seen) > 1
+
+
+class TestSingleFaultAgreement:
+    @pytest.mark.parametrize("key", ["steane", "shor", "surface_3"])
+    def test_every_single_fault_agrees(self, key):
+        from repro.core.ftcheck import enumerate_checkable_injections
+
+        protocol = cached_protocol(key)
+        rng = np.random.default_rng(1)
+        for location, injection in enumerate_checkable_injections(protocol):
+            compare_runs(protocol, {location: injection}, rng)
+
+
+class TestRandomFaultAgreement:
+    @pytest.mark.parametrize("key", ["steane", "shor", "surface_3", "carbon"])
+    @pytest.mark.parametrize("p", [0.01, 0.05, 0.2])
+    def test_random_configurations_agree(self, key, p):
+        protocol = cached_protocol(key)
+        locations = protocol_locations(protocol)
+        rng = np.random.default_rng(hash((key, p)) % 2**32)
+        for _ in range(120):
+            injections = sample_injections(locations, p, rng)
+            compare_runs(protocol, injections, rng)

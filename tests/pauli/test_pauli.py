@@ -1,0 +1,134 @@
+"""Unit tests for phase-free Pauli operators."""
+
+import numpy as np
+import pytest
+
+from repro.pauli.pauli import Pauli
+
+
+class TestConstruction:
+    def test_identity(self):
+        p = Pauli.identity(4)
+        assert p.is_identity()
+        assert p.weight() == 0
+        assert p.label() == "IIII"
+
+    def test_from_label_roundtrip(self):
+        for label in ("XIZY", "IIII", "YYYY", "XZ"):
+            assert Pauli.from_label(label).label() == label
+
+    def test_from_label_lowercase(self):
+        assert Pauli.from_label("xz").label() == "XZ"
+
+    def test_from_label_invalid(self):
+        with pytest.raises(ValueError):
+            Pauli.from_label("XA")
+
+    def test_single(self):
+        p = Pauli.single(5, 2, "Y")
+        assert p.label() == "IIYII"
+        assert p.weight() == 1
+
+    def test_x_type(self):
+        p = Pauli.x_type([1, 0, 1])
+        assert p.label() == "XIX"
+        assert p.is_x_type()
+        assert not p.is_z_type()
+
+    def test_z_type(self):
+        p = Pauli.z_type([0, 1, 1])
+        assert p.label() == "IZZ"
+        assert p.is_z_type()
+
+    def test_identity_is_both_types(self):
+        p = Pauli.identity(3)
+        assert p.is_x_type() and p.is_z_type()
+
+
+class TestStructure:
+    def test_weight_counts_y_once(self):
+        assert Pauli.from_label("XYZ").weight() == 3
+        assert Pauli.from_label("IYI").weight() == 1
+
+    def test_support(self):
+        assert Pauli.from_label("XIZY").support() == [0, 2, 3]
+
+    def test_num_qubits(self):
+        assert Pauli.identity(7).num_qubits == 7
+
+    def test_restricted(self):
+        p = Pauli.from_label("XIZY")
+        assert p.restricted([0, 3]).label() == "XY"
+
+
+class TestAlgebra:
+    def test_product_xz_is_y(self):
+        x = Pauli.from_label("X")
+        z = Pauli.from_label("Z")
+        assert (x * z).label() == "Y"
+
+    def test_product_self_inverse(self):
+        p = Pauli.from_label("XYZI")
+        assert (p * p).is_identity()
+
+    def test_product_mismatched_size(self):
+        with pytest.raises(ValueError):
+            Pauli.identity(2) * Pauli.identity(3)
+
+    def test_single_qubit_anticommutation(self):
+        x, y, z = (Pauli.from_label(s) for s in "XYZ")
+        assert x.anticommutes_with(z)
+        assert x.anticommutes_with(y)
+        assert y.anticommutes_with(z)
+
+    def test_commutes_with_identity(self):
+        eye = Pauli.identity(1)
+        for s in "XYZ":
+            assert Pauli.from_label(s).commutes_with(eye)
+
+    def test_two_qubit_commutation(self):
+        # XX and ZZ commute (two anticommuting positions), XZ and ZX commute.
+        assert Pauli.from_label("XX").commutes_with(Pauli.from_label("ZZ"))
+        # XI and ZZ anticommute (one position).
+        assert Pauli.from_label("XI").anticommutes_with(Pauli.from_label("ZZ"))
+
+    def test_commutation_is_symmetric(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            a = Pauli(rng.integers(0, 2, 5), rng.integers(0, 2, 5))
+            b = Pauli(rng.integers(0, 2, 5), rng.integers(0, 2, 5))
+            assert a.commutes_with(b) == b.commutes_with(a)
+
+    def test_stabilizer_syndrome_matches_inner_product(self):
+        # For X-type error e and Z-type stabilizer s: anticommute iff
+        # |supp(e) & supp(s)| is odd — the F2 inner product the paper uses.
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            e = rng.integers(0, 2, 6, dtype=np.uint8)
+            s = rng.integers(0, 2, 6, dtype=np.uint8)
+            pe, ps = Pauli.x_type(e), Pauli.z_type(s)
+            assert pe.anticommutes_with(ps) == bool((e @ s) % 2)
+
+
+class TestProtocol:
+    def test_equality(self):
+        assert Pauli.from_label("XZ") == Pauli.from_label("XZ")
+        assert Pauli.from_label("XZ") != Pauli.from_label("ZX")
+
+    def test_equality_other_type(self):
+        assert Pauli.from_label("X") != "X"
+
+    def test_hash_consistent(self):
+        a = Pauli.from_label("XYZ")
+        b = Pauli.from_label("XYZ")
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_copy_independent(self):
+        p = Pauli.from_label("XX")
+        q = p.copy()
+        q.x[0] = 0
+        assert p.label() == "XX"
+
+    def test_repr(self):
+        assert "XZ" in repr(Pauli.from_label("XZ"))

@@ -1,0 +1,66 @@
+"""Property-based cross-validation of the two decoders."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.decoder import LookupDecoder
+from repro.sim.matching import MatchingDecoder, is_matchable
+
+
+@st.composite
+def matchable_checks(draw, max_checks=4, max_qubits=8):
+    """Random matchable check matrix: every column weight 1 or 2."""
+    m = draw(st.integers(2, max_checks))
+    n = draw(st.integers(2, max_qubits))
+    columns = []
+    for _ in range(n):
+        weight = draw(st.integers(1, 2))
+        rows = draw(
+            st.lists(
+                st.integers(0, m - 1),
+                min_size=weight,
+                max_size=weight,
+                unique=True,
+            )
+        )
+        column = np.zeros(m, dtype=np.uint8)
+        column[rows] = 1
+        columns.append(column)
+    checks = np.array(columns, dtype=np.uint8).T
+    # Every check must see at least one qubit (no empty rows).
+    if (checks.sum(axis=1) == 0).any():
+        return None
+    return checks
+
+
+class TestMatchingVsLookup:
+    @settings(max_examples=60, deadline=None)
+    @given(matchable_checks(), st.integers(0, 2**31 - 1))
+    def test_same_minimum_weight(self, checks, seed):
+        """Both decoders return corrections of identical weight for every
+        decodable syndrome reached by a random error."""
+        if checks is None:
+            return
+        assert is_matchable(checks)
+        lookup = LookupDecoder(checks)
+        matching = MatchingDecoder(checks)
+        rng = np.random.default_rng(seed)
+        error = rng.integers(0, 2, size=checks.shape[1], dtype=np.uint8)
+        syndrome = lookup.syndrome(error)
+        a = lookup.decode(syndrome)
+        b = matching.decode(syndrome)
+        assert (lookup.syndrome(a) == syndrome).all()
+        assert (matching.syndrome(b) == syndrome).all()
+        assert int(a.sum()) == int(b.sum())
+
+    @settings(max_examples=40, deadline=None)
+    @given(matchable_checks(), st.integers(0, 2**31 - 1))
+    def test_correct_silences_syndrome(self, checks, seed):
+        if checks is None:
+            return
+        matching = MatchingDecoder(checks)
+        rng = np.random.default_rng(seed)
+        error = rng.integers(0, 2, size=checks.shape[1], dtype=np.uint8)
+        residual = matching.correct(error)
+        assert not matching.syndrome(residual).any()

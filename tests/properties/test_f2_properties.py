@@ -1,0 +1,152 @@
+"""Property-based tests (hypothesis) for the F2 / Pauli substrates."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pauli.group import CosetReducer
+from repro.pauli.pauli import Pauli
+from repro.pauli.symplectic import (
+    kernel,
+    rank,
+    rref,
+    row_space_contains,
+    solve,
+    span_matrix,
+)
+
+
+@st.composite
+def bit_matrix(draw, max_rows=5, max_cols=8):
+    rows = draw(st.integers(1, max_rows))
+    cols = draw(st.integers(1, max_cols))
+    data = draw(
+        st.lists(
+            st.lists(st.integers(0, 1), min_size=cols, max_size=cols),
+            min_size=rows,
+            max_size=rows,
+        )
+    )
+    return np.array(data, dtype=np.uint8)
+
+
+@st.composite
+def matrix_and_vector(draw, max_rows=5, max_cols=8):
+    mat = draw(bit_matrix(max_rows, max_cols))
+    vec = draw(
+        st.lists(
+            st.integers(0, 1), min_size=mat.shape[1], max_size=mat.shape[1]
+        )
+    )
+    return mat, np.array(vec, dtype=np.uint8)
+
+
+@st.composite
+def pauli_pair(draw, max_n=8):
+    n = draw(st.integers(1, max_n))
+    bits = st.lists(st.integers(0, 1), min_size=n, max_size=n)
+    return (
+        Pauli(np.array(draw(bits)), np.array(draw(bits))),
+        Pauli(np.array(draw(bits)), np.array(draw(bits))),
+    )
+
+
+class TestLinearAlgebraProperties:
+    @given(bit_matrix())
+    def test_rref_idempotent(self, mat):
+        once, _ = rref(mat)
+        twice, _ = rref(once)
+        assert once.shape == twice.shape
+        assert (once == twice).all()
+
+    @given(bit_matrix())
+    def test_rank_nullity(self, mat):
+        assert rank(mat) + kernel(mat).shape[0] == mat.shape[1]
+
+    @given(bit_matrix())
+    def test_kernel_orthogonal(self, mat):
+        ker = kernel(mat)
+        if ker.shape[0]:
+            assert not (mat @ ker.T % 2).any()
+
+    @given(bit_matrix(max_rows=4, max_cols=6))
+    def test_span_matrix_size(self, mat):
+        assert span_matrix(mat).shape[0] == 1 << rank(mat)
+
+    @given(matrix_and_vector())
+    def test_solve_soundness(self, mv):
+        mat, vec = mv
+        coeffs = solve(mat, vec)
+        if coeffs is not None:
+            assert ((coeffs @ mat % 2).astype(np.uint8) == vec).all()
+        else:
+            assert not row_space_contains(mat, vec)
+
+    @given(matrix_and_vector())
+    def test_membership_solve_consistency(self, mv):
+        mat, vec = mv
+        assert row_space_contains(mat, vec) == (solve(mat, vec) is not None)
+
+
+class TestCosetProperties:
+    @given(matrix_and_vector(max_rows=4, max_cols=7))
+    def test_coset_weight_bounded_by_weight(self, mv):
+        mat, vec = mv
+        reducer = CosetReducer(mat)
+        assert reducer.coset_weight(vec) <= int(vec.sum())
+
+    @given(matrix_and_vector(max_rows=4, max_cols=7))
+    def test_reduce_achieves_weight(self, mv):
+        mat, vec = mv
+        reducer = CosetReducer(mat)
+        rep = reducer.reduce(vec)
+        assert int(rep.sum()) == reducer.coset_weight(vec)
+
+    @given(matrix_and_vector(max_rows=4, max_cols=7))
+    def test_coset_weight_invariant_under_group(self, mv):
+        mat, vec = mv
+        reducer = CosetReducer(mat)
+        base = reducer.coset_weight(vec)
+        for g in span_matrix(mat)[:8]:
+            assert reducer.coset_weight(vec ^ g) == base
+
+    @given(matrix_and_vector(max_rows=4, max_cols=7))
+    def test_triangle_inequality_style_bound(self, mv):
+        """wt_S(a + b) <= wt_S(a) + wt(b) for any shift b."""
+        mat, vec = mv
+        reducer = CosetReducer(mat)
+        shift = np.zeros_like(vec)
+        if len(shift):
+            shift[0] = 1
+        assert (
+            reducer.coset_weight(vec ^ shift)
+            <= reducer.coset_weight(vec) + int(shift.sum())
+        )
+
+
+class TestPauliProperties:
+    @given(pauli_pair())
+    def test_commutation_symmetric(self, pair):
+        a, b = pair
+        assert a.commutes_with(b) == b.commutes_with(a)
+
+    @given(pauli_pair())
+    def test_product_weight_subadditive(self, pair):
+        a, b = pair
+        assert (a * b).weight() <= a.weight() + b.weight()
+
+    @given(pauli_pair())
+    def test_product_self_inverse(self, pair):
+        a, b = pair
+        assert ((a * b) * b) == a
+
+    @given(pauli_pair())
+    def test_label_roundtrip(self, pair):
+        a, _ = pair
+        assert Pauli.from_label(a.label()) == a
+
+    @given(pauli_pair())
+    def test_product_commutes_iff_even_overlap(self, pair):
+        a, b = pair
+        form = int((a.x & b.z).sum() + (a.z & b.x).sum()) % 2
+        assert a.commutes_with(b) == (form == 0)

@@ -1,0 +1,139 @@
+"""Property-based tests for the SAT solver and encodings."""
+
+import itertools
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sat.cardinality import Totalizer
+from repro.sat.cnf import CNF
+from repro.sat.encode import add_xor_constraint, at_most_k_seq
+from repro.sat.solver import Solver
+
+
+@st.composite
+def random_cnf(draw, max_vars=8, max_clauses=25):
+    num_vars = draw(st.integers(2, max_vars))
+    num_clauses = draw(st.integers(1, max_clauses))
+    cnf = CNF()
+    cnf.new_vars(num_vars)
+    for _ in range(num_clauses):
+        width = draw(st.integers(1, min(3, num_vars)))
+        variables = draw(
+            st.lists(
+                st.integers(1, num_vars),
+                min_size=width,
+                max_size=width,
+                unique=True,
+            )
+        )
+        clause = [
+            v if draw(st.booleans()) else -v for v in variables
+        ]
+        cnf.add_clause(clause)
+    return cnf
+
+
+def brute_force(cnf: CNF):
+    for assignment in itertools.product((False, True), repeat=cnf.num_vars):
+        values = (None,) + assignment
+        if all(
+            any(values[abs(lit)] == (lit > 0) for lit in clause)
+            for clause in cnf.clauses
+        ):
+            return True
+    return False
+
+
+class TestSolverProperties:
+    @settings(max_examples=120, deadline=None)
+    @given(random_cnf())
+    def test_agrees_with_brute_force(self, cnf):
+        result = Solver(cnf).solve()
+        assert result.sat == brute_force(cnf)
+
+    @settings(max_examples=60, deadline=None)
+    @given(random_cnf())
+    def test_model_satisfies_formula(self, cnf):
+        result = Solver(cnf).solve()
+        if result.sat:
+            assert all(
+                any(result.model[abs(l)] == (l > 0) for l in clause)
+                for clause in cnf.clauses
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_cnf(max_vars=6))
+    def test_assumptions_consistent_with_units(self, cnf):
+        """solve(assumptions=[l]) must equal solving with unit clause l."""
+        base = Solver(cnf)
+        for lit in (1, -1, 2, -2):
+            with_assumption = base.solve(assumptions=[lit]).sat
+            unit_cnf = CNF.from_dimacs(cnf.to_dimacs())
+            unit_cnf.add_unit(lit)
+            assert with_assumption == Solver(unit_cnf).solve().sat
+
+
+class TestEncodingProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(2, 6),
+        st.integers(0, 6),
+        st.randoms(use_true_random=False),
+    )
+    def test_totalizer_equals_sequential_counter(self, n, k, rnd):
+        """Both cardinality encodings accept exactly the same input sets."""
+        for trial in range(4):
+            forced = [rnd.random() < 0.5 for _ in range(n)]
+            cnf_a = CNF()
+            vs_a = cnf_a.new_vars(n)
+            Totalizer(cnf_a, vs_a).assert_at_most(min(k, n))
+            cnf_b = CNF()
+            vs_b = cnf_b.new_vars(n)
+            at_most_k_seq(cnf_b, vs_b, min(k, n))
+            for cnf, vs in ((cnf_a, vs_a), (cnf_b, vs_b)):
+                for v, val in zip(vs, forced):
+                    cnf.add_unit(v if val else -v)
+            assert Solver(cnf_a).solve().sat == Solver(cnf_b).solve().sat
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=7), st.integers(0, 1))
+    def test_xor_constraint_forced_inputs(self, bits, parity):
+        cnf = CNF()
+        vs = cnf.new_vars(len(bits))
+        add_xor_constraint(cnf, vs, parity)
+        for v, bit in zip(vs, bits):
+            cnf.add_unit(v if bit else -v)
+        expected = (sum(bits) % 2) == parity
+        assert Solver(cnf).solve().sat == expected
+
+
+class TestGF2SystemsViaSat:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 2**31 - 1))
+    def test_linear_system_solutions_count(self, seed):
+        """# models of an XOR system == 2^(n - rank) — ties the SAT stack
+        to the symplectic substrate."""
+        from repro.pauli.symplectic import rank as f2_rank
+
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 6))
+        m = int(rng.integers(1, 4))
+        mat = rng.integers(0, 2, size=(m, n), dtype=np.uint8)
+        cnf = CNF()
+        vs = cnf.new_vars(n)
+        for row in mat:
+            lits = [vs[j] for j in range(n) if row[j]]
+            add_xor_constraint(cnf, lits, 0)
+        # Count models by blocking.
+        count = 0
+        while True:
+            result = Solver(cnf).solve()
+            if not result.sat:
+                break
+            count += 1
+            cnf.add_clause([(-v if result.model[v] else v) for v in vs])
+            if count > 64:
+                break
+        assert count == 1 << (n - f2_rank(mat))

@@ -1,0 +1,104 @@
+"""Unit tests for the totalizer encoding (incremental weight bounds)."""
+
+import itertools
+
+import pytest
+
+from repro.sat.cardinality import Totalizer
+from repro.sat.cnf import CNF
+from repro.sat.solver import Solver
+
+
+def count_true(model, vs):
+    return sum(1 for v in vs if model[v])
+
+
+class TestTotalizer:
+    @pytest.mark.parametrize("n,k", [(1, 0), (3, 1), (4, 2), (5, 0), (5, 5), (6, 3)])
+    def test_at_most_assumption_enforces_bound(self, n, k):
+        cnf = CNF()
+        vs = cnf.new_vars(n)
+        totalizer = Totalizer(cnf, vs)
+        solver = Solver(cnf)
+        result = solver.solve(assumptions=totalizer.at_most(k))
+        assert result.sat
+        assert count_true(result.model, vs) <= k
+
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_every_count_reachable_under_exact_bound(self, n):
+        # For each k, assumptions at_most(k) but not at_most(k-1) must admit
+        # a model with exactly k true inputs.
+        for k in range(n + 1):
+            cnf = CNF()
+            vs = cnf.new_vars(n)
+            totalizer = Totalizer(cnf, vs)
+            # Force exactly k of the inputs true with unit clauses.
+            for i, v in enumerate(vs):
+                cnf.add_unit(v if i < k else -v)
+            solver = Solver(cnf)
+            assert solver.solve(assumptions=totalizer.at_most(k)).sat
+            if k > 0:
+                assert not solver.solve(
+                    assumptions=totalizer.at_most(k - 1)
+                ).sat
+
+    def test_at_most_full_is_free(self):
+        cnf = CNF()
+        vs = cnf.new_vars(4)
+        totalizer = Totalizer(cnf, vs)
+        assert totalizer.at_most(4) == []
+        assert totalizer.at_most(7) == []
+
+    def test_negative_bound_rejected(self):
+        cnf = CNF()
+        totalizer = Totalizer(cnf, cnf.new_vars(3))
+        with pytest.raises(ValueError):
+            totalizer.at_most(-1)
+
+    def test_limit_cap(self):
+        cnf = CNF()
+        vs = cnf.new_vars(6)
+        totalizer = Totalizer(cnf, vs, bound=2)
+        solver = Solver(cnf)
+        assert solver.solve(assumptions=totalizer.at_most(1)).sat
+        with pytest.raises(ValueError):
+            totalizer.at_most(3)
+
+    def test_assert_at_most_permanent(self):
+        cnf = CNF()
+        vs = cnf.new_vars(4)
+        totalizer = Totalizer(cnf, vs)
+        totalizer.assert_at_most(1)
+        for v in vs[:2]:
+            cnf.add_unit(v)
+        assert not Solver(cnf).solve().sat
+
+    def test_models_exactly_match_brute_force(self):
+        n, k = 4, 2
+        cnf = CNF()
+        vs = cnf.new_vars(n)
+        totalizer = Totalizer(cnf, vs)
+        totalizer.assert_at_most(k)
+        seen = set()
+        while True:
+            result = Solver(cnf).solve()
+            if not result.sat:
+                break
+            assignment = tuple(result.model[v] for v in vs)
+            seen.add(assignment)
+            cnf.add_clause([(-v if result.model[v] else v) for v in vs])
+        expected = {
+            p
+            for p in itertools.product((False, True), repeat=n)
+            if sum(p) <= k
+        }
+        assert seen == expected
+
+    def test_single_input(self):
+        cnf = CNF()
+        (v,) = cnf.new_vars(1)
+        totalizer = Totalizer(cnf, [v])
+        solver = Solver(cnf)
+        result = solver.solve(assumptions=totalizer.at_most(0))
+        assert result.sat
+        assert not result.model[v]

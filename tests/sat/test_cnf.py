@@ -1,0 +1,84 @@
+"""Unit tests for the CNF container and literal conventions."""
+
+import pytest
+
+from repro.sat.cnf import CNF, internal_to_lit, lit_to_internal
+
+
+class TestLiteralConversion:
+    def test_roundtrip(self):
+        for lit in (1, -1, 5, -5, 123, -123):
+            assert internal_to_lit(lit_to_internal(lit)) == lit
+
+    def test_positive_literal_even(self):
+        assert lit_to_internal(3) == 6
+
+    def test_negative_literal_odd(self):
+        assert lit_to_internal(-3) == 7
+
+    def test_negation_is_xor_one(self):
+        assert lit_to_internal(-4) == lit_to_internal(4) ^ 1
+
+
+class TestCNF:
+    def test_new_var_sequential(self):
+        cnf = CNF()
+        assert cnf.new_var() == 1
+        assert cnf.new_var() == 2
+        assert cnf.num_vars == 2
+
+    def test_named_variables(self):
+        cnf = CNF()
+        v = cnf.new_var("x")
+        assert cnf.var("x") == v
+        assert cnf.name_of(v) == "x"
+
+    def test_duplicate_name_rejected(self):
+        cnf = CNF()
+        cnf.new_var("x")
+        with pytest.raises(ValueError):
+            cnf.new_var("x")
+
+    def test_new_vars_prefix(self):
+        cnf = CNF()
+        vs = cnf.new_vars(3, prefix="a")
+        assert cnf.var("a[1]") == vs[1]
+
+    def test_add_clause_validates_literals(self):
+        cnf = CNF()
+        cnf.new_var()
+        with pytest.raises(ValueError):
+            cnf.add_clause([2])  # unknown variable
+        with pytest.raises(ValueError):
+            cnf.add_clause([0])
+
+    def test_empty_clause_kept(self):
+        cnf = CNF()
+        cnf.add_clause([])
+        assert [] in cnf.clauses
+
+    def test_add_unit(self):
+        cnf = CNF()
+        v = cnf.new_var()
+        cnf.add_unit(-v)
+        assert [-v] in cnf.clauses
+
+    def test_dimacs_roundtrip(self):
+        cnf = CNF()
+        a, b = cnf.new_var(), cnf.new_var()
+        cnf.add_clause([a, -b])
+        cnf.add_clause([-a])
+        text = cnf.to_dimacs()
+        parsed = CNF.from_dimacs(text)
+        assert parsed.num_vars == cnf.num_vars
+        assert parsed.clauses == cnf.clauses
+
+    def test_dimacs_header(self):
+        cnf = CNF()
+        cnf.new_var()
+        cnf.add_clause([1])
+        assert cnf.to_dimacs().startswith("p cnf 1 1")
+
+    def test_from_dimacs_ignores_comments(self):
+        parsed = CNF.from_dimacs("c comment\np cnf 2 1\n1 -2 0\n")
+        assert parsed.clauses == [[1, -2]]

@@ -1,0 +1,225 @@
+"""Unit tests for Tseitin gate encodings, validated by model enumeration."""
+
+import itertools
+
+import pytest
+
+from repro.sat.cnf import CNF
+from repro.sat.encode import (
+    add_xor_constraint,
+    at_least_one,
+    at_most_k_seq,
+    at_most_one,
+    encode_and,
+    encode_or,
+    encode_xor_chain,
+    encode_xor_gate,
+    exactly_one,
+    implies_clause,
+)
+from repro.sat.solver import Solver
+
+
+def all_models(cnf: CNF, project: list[int]):
+    """Every satisfying assignment restricted to ``project`` variables."""
+    models = set()
+    solver_cnf = cnf  # enumerate by blocking clauses
+    while True:
+        solver = Solver(solver_cnf)
+        result = solver.solve()
+        if not result.sat:
+            return models
+        assignment = tuple(result.model[v] for v in project)
+        models.add(assignment)
+        solver_cnf.add_clause(
+            [(-v if result.model[v] else v) for v in project]
+        )
+
+
+def check_gate(encoder, arity: int, truth_fn):
+    """Assert the encoded gate matches ``truth_fn`` on every input pattern."""
+    for pattern in itertools.product((False, True), repeat=arity):
+        cnf = CNF()
+        inputs = cnf.new_vars(arity)
+        gate = encoder(cnf, inputs)
+        for v, val in zip(inputs, pattern):
+            cnf.add_unit(v if val else -v)
+        result = Solver(cnf).solve()
+        assert result.sat, "fixing gate inputs must stay satisfiable"
+        expected = truth_fn(pattern)
+        got = result.model[abs(gate)] == (gate > 0)
+        assert got == expected, f"inputs {pattern}: want {expected}, got {got}"
+
+
+class TestAndOr:
+    @pytest.mark.parametrize("arity", [1, 2, 3, 5])
+    def test_and(self, arity):
+        check_gate(encode_and, arity, all)
+
+    @pytest.mark.parametrize("arity", [1, 2, 3, 5])
+    def test_or(self, arity):
+        check_gate(encode_or, arity, any)
+
+    def test_and_empty_is_true(self):
+        cnf = CNF()
+        gate = encode_and(cnf, [])
+        result = Solver(cnf).solve()
+        assert result.sat and result.model[abs(gate)] == (gate > 0)
+
+    def test_or_empty_is_false(self):
+        cnf = CNF()
+        gate = encode_or(cnf, [])
+        result = Solver(cnf).solve()
+        assert result.sat
+        assert (result.model[abs(gate)] == (gate > 0)) is False
+
+    def test_negated_inputs(self):
+        cnf = CNF()
+        a, b = cnf.new_vars(2)
+        gate = encode_and(cnf, [a, -b])
+        cnf.add_unit(a)
+        cnf.add_unit(-b)
+        result = Solver(cnf).solve()
+        assert result.model[gate]
+
+
+class TestXor:
+    def test_xor_gate(self):
+        check_gate(
+            lambda cnf, ins: encode_xor_gate(cnf, ins[0], ins[1]),
+            2,
+            lambda p: p[0] ^ p[1],
+        )
+
+    @pytest.mark.parametrize("arity", [1, 2, 3, 4, 6])
+    @pytest.mark.parametrize("parity", [0, 1])
+    def test_xor_chain(self, arity, parity):
+        check_gate(
+            lambda cnf, ins: encode_xor_chain(cnf, ins, parity=parity),
+            arity,
+            lambda p: bool(sum(p) % 2) ^ bool(parity),
+        )
+
+    def test_xor_chain_empty(self):
+        cnf = CNF()
+        lit0 = encode_xor_chain(cnf, [], parity=0)
+        lit1 = encode_xor_chain(cnf, [], parity=1)
+        result = Solver(cnf).solve()
+        assert (result.model[abs(lit0)] == (lit0 > 0)) is False
+        assert (result.model[abs(lit1)] == (lit1 > 0)) is True
+
+    @pytest.mark.parametrize("arity", [1, 2, 3, 5])
+    @pytest.mark.parametrize("parity", [0, 1])
+    def test_xor_constraint_models(self, arity, parity):
+        cnf = CNF()
+        inputs = cnf.new_vars(arity)
+        add_xor_constraint(cnf, inputs, parity)
+        models = all_models(cnf, inputs)
+        expected = {
+            p
+            for p in itertools.product((False, True), repeat=arity)
+            if sum(p) % 2 == parity
+        }
+        assert models == expected
+
+    def test_xor_constraint_empty_odd_unsat(self):
+        cnf = CNF()
+        add_xor_constraint(cnf, [], 1)
+        assert not Solver(cnf).solve().sat
+
+    def test_xor_constraint_empty_even_sat(self):
+        cnf = CNF()
+        add_xor_constraint(cnf, [], 0)
+        assert Solver(cnf).solve().sat
+
+
+class TestCardinality:
+    @pytest.mark.parametrize("n,k", [(3, 0), (3, 1), (4, 2), (5, 3), (4, 4)])
+    def test_at_most_k_seq_models(self, n, k):
+        cnf = CNF()
+        inputs = cnf.new_vars(n)
+        at_most_k_seq(cnf, inputs, k)
+        models = all_models(cnf, inputs)
+        expected = {
+            p
+            for p in itertools.product((False, True), repeat=n)
+            if sum(p) <= k
+        }
+        assert models == expected
+
+    def test_at_most_k_negative_unsat(self):
+        cnf = CNF()
+        cnf.new_vars(2)
+        at_most_k_seq(cnf, [1, 2], -1)
+        assert not Solver(cnf).solve().sat
+
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_at_most_one_models(self, n):
+        cnf = CNF()
+        inputs = cnf.new_vars(n)
+        at_most_one(cnf, inputs)
+        models = all_models(cnf, inputs)
+        assert models == {
+            p
+            for p in itertools.product((False, True), repeat=n)
+            if sum(p) <= 1
+        }
+
+    def test_at_most_one_guarded(self):
+        # With the guard false the constraint must not bite.
+        cnf = CNF()
+        guard = cnf.new_var()
+        inputs = cnf.new_vars(3)
+        at_most_one(cnf, inputs, condition=guard)
+        cnf.add_unit(-guard)
+        for v in inputs:
+            cnf.add_unit(v)
+        assert Solver(cnf).solve().sat
+
+    def test_at_most_one_guard_active(self):
+        cnf = CNF()
+        guard = cnf.new_var()
+        inputs = cnf.new_vars(3)
+        at_most_one(cnf, inputs, condition=guard)
+        cnf.add_unit(guard)
+        for v in inputs[:2]:
+            cnf.add_unit(v)
+        assert not Solver(cnf).solve().sat
+
+    def test_exactly_one(self):
+        cnf = CNF()
+        inputs = cnf.new_vars(3)
+        exactly_one(cnf, inputs)
+        models = all_models(cnf, inputs)
+        assert models == {
+            p
+            for p in itertools.product((False, True), repeat=3)
+            if sum(p) == 1
+        }
+
+    def test_at_least_one(self):
+        cnf = CNF()
+        inputs = cnf.new_vars(2)
+        at_least_one(cnf, inputs)
+        assert all_models(cnf, inputs) == {
+            (False, True), (True, False), (True, True)
+        }
+
+
+class TestImplies:
+    def test_implies_clause(self):
+        cnf = CNF()
+        g, a, b = cnf.new_vars(3)
+        implies_clause(cnf, g, [a, b])
+        cnf.add_unit(g)
+        cnf.add_unit(-a)
+        result = Solver(cnf).solve()
+        assert result.sat and result.model[b]
+
+    def test_implies_vacuous_when_guard_false(self):
+        cnf = CNF()
+        g, a = cnf.new_vars(2)
+        implies_clause(cnf, g, [a])
+        cnf.add_unit(-g)
+        cnf.add_unit(-a)
+        assert Solver(cnf).solve().sat

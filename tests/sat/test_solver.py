@@ -1,0 +1,219 @@
+"""Correctness tests for the CDCL solver (the Z3 substitute).
+
+The decisive test is the random cross-check: thousands of small random
+CNFs whose satisfiability is decided independently by brute force.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.sat.cnf import CNF
+from repro.sat.solver import Solver, solve_cnf
+
+
+def brute_force_sat(cnf: CNF) -> bool:
+    for assignment in itertools.product((False, True), repeat=cnf.num_vars):
+        values = (None,) + assignment
+        if all(
+            any(
+                values[abs(lit)] == (lit > 0)
+                for lit in clause
+            )
+            for clause in cnf.clauses
+        ):
+            return True
+    return False
+
+
+def model_satisfies(cnf: CNF, model) -> bool:
+    return all(
+        any(model[abs(lit)] == (lit > 0) for lit in clause)
+        for clause in cnf.clauses
+    )
+
+
+class TestBasics:
+    def test_empty_formula_sat(self):
+        assert Solver(CNF()).solve().sat
+
+    def test_single_unit(self):
+        cnf = CNF()
+        v = cnf.new_var()
+        cnf.add_unit(v)
+        result = Solver(cnf).solve()
+        assert result.sat
+        assert result.value(v) is True
+
+    def test_contradictory_units(self):
+        cnf = CNF()
+        v = cnf.new_var()
+        cnf.add_unit(v)
+        cnf.add_unit(-v)
+        assert not Solver(cnf).solve().sat
+
+    def test_empty_clause_unsat(self):
+        cnf = CNF()
+        cnf.new_var()
+        cnf.add_clause([])
+        assert not Solver(cnf).solve().sat
+
+    def test_implication_chain(self):
+        cnf = CNF()
+        vs = cnf.new_vars(20)
+        cnf.add_unit(vs[0])
+        for a, b in zip(vs, vs[1:]):
+            cnf.add_clause([-a, b])
+        result = Solver(cnf).solve()
+        assert result.sat
+        assert all(result.value(v) for v in vs)
+
+    def test_model_unavailable_on_unsat(self):
+        cnf = CNF()
+        v = cnf.new_var()
+        cnf.add_unit(v)
+        cnf.add_unit(-v)
+        result = Solver(cnf).solve()
+        with pytest.raises(ValueError):
+            result.value(v)
+
+    def test_bool_protocol(self):
+        cnf = CNF()
+        cnf.new_var()
+        assert bool(Solver(cnf).solve())
+
+
+class TestPigeonhole:
+    """PHP(n+1, n) is UNSAT and exercises the conflict-analysis machinery."""
+
+    @pytest.mark.parametrize("holes", [2, 3, 4])
+    def test_pigeonhole_unsat(self, holes):
+        pigeons = holes + 1
+        cnf = CNF()
+        var = [[cnf.new_var() for _ in range(holes)] for _ in range(pigeons)]
+        for p in range(pigeons):
+            cnf.add_clause([var[p][h] for h in range(holes)])
+        for h in range(holes):
+            for p1 in range(pigeons):
+                for p2 in range(p1 + 1, pigeons):
+                    cnf.add_clause([-var[p1][h], -var[p2][h]])
+        assert not Solver(cnf).solve().sat
+
+    def test_exact_fit_sat(self):
+        holes = pigeons = 4
+        cnf = CNF()
+        var = [[cnf.new_var() for _ in range(holes)] for _ in range(pigeons)]
+        for p in range(pigeons):
+            cnf.add_clause([var[p][h] for h in range(holes)])
+        for h in range(holes):
+            for p1 in range(pigeons):
+                for p2 in range(p1 + 1, pigeons):
+                    cnf.add_clause([-var[p1][h], -var[p2][h]])
+        result = Solver(cnf).solve()
+        assert result.sat
+        assert model_satisfies(cnf, result.model)
+
+
+class TestRandomCrossCheck:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_3sat_against_brute_force(self, seed):
+        rng = np.random.default_rng(seed)
+        for _ in range(40):
+            num_vars = int(rng.integers(3, 10))
+            num_clauses = int(rng.integers(1, int(5 * num_vars)))
+            cnf = CNF()
+            cnf.new_vars(num_vars)
+            for _ in range(num_clauses):
+                width = int(rng.integers(1, 4))
+                clause_vars = rng.choice(num_vars, size=width, replace=False)
+                clause = [
+                    int(v + 1) * (1 if rng.integers(0, 2) else -1)
+                    for v in clause_vars
+                ]
+                cnf.add_clause(clause)
+            expected = brute_force_sat(cnf)
+            result = Solver(cnf).solve()
+            assert result.sat == expected
+            if result.sat:
+                assert model_satisfies(cnf, result.model)
+
+    def test_random_xor_systems(self):
+        # XOR chains stress propagation-heavy instances.
+        from repro.sat.encode import add_xor_constraint
+
+        rng = np.random.default_rng(99)
+        for _ in range(20):
+            n = int(rng.integers(3, 8))
+            mat = rng.integers(0, 2, size=(n - 1, n), dtype=np.uint8)
+            rhs = rng.integers(0, 2, size=n - 1, dtype=np.uint8)
+            cnf = CNF()
+            vs = cnf.new_vars(n)
+            for row, b in zip(mat, rhs):
+                lits = [vs[j] for j in range(n) if row[j]]
+                add_xor_constraint(cnf, lits, int(b))
+            result = Solver(cnf).solve()
+            # Solvable iff rhs is in the column space — cross-check by brute force.
+            assert result.sat == brute_force_sat(cnf)
+
+
+class TestAssumptions:
+    def build(self):
+        cnf = CNF()
+        a, b, c = cnf.new_vars(3)
+        cnf.add_clause([a, b])
+        cnf.add_clause([-a, c])
+        return cnf, (a, b, c)
+
+    def test_assumption_forces_value(self):
+        cnf, (a, b, c) = self.build()
+        solver = Solver(cnf)
+        result = solver.solve(assumptions=[a])
+        assert result.sat
+        assert result.value(a) and result.value(c)
+
+    def test_conflicting_assumptions_unsat(self):
+        cnf, (a, b, c) = self.build()
+        solver = Solver(cnf)
+        assert not solver.solve(assumptions=[a, -c]).sat
+
+    def test_solver_reusable_after_assumption_unsat(self):
+        cnf, (a, b, c) = self.build()
+        solver = Solver(cnf)
+        assert not solver.solve(assumptions=[a, -c]).sat
+        assert solver.solve().sat
+        assert solver.solve(assumptions=[-a]).sat
+
+    def test_incremental_bound_tightening(self):
+        # The optimality-loop usage pattern: one solver, shrinking bounds.
+        from repro.sat.cardinality import Totalizer
+
+        cnf = CNF()
+        vs = cnf.new_vars(6)
+        cnf.add_clause(vs)  # at least one true
+        cnf.add_clause([vs[0], vs[1]])
+        totalizer = Totalizer(cnf, vs)
+        solver = Solver(cnf)
+        for k in range(5, -1, -1):
+            result = solver.solve(assumptions=totalizer.at_most(k))
+            if k >= 1:
+                assert result.sat
+                assert sum(result.model[v] for v in vs) <= k
+            else:
+                assert not result.sat
+
+    def test_statistics_accumulate(self):
+        cnf, _ = self.build()
+        solver = Solver(cnf)
+        solver.solve()
+        assert solver.propagations >= 0
+        result = solver.solve()
+        assert result.sat
+
+
+class TestSolveCnfHelper:
+    def test_one_shot(self):
+        cnf = CNF()
+        v = cnf.new_var()
+        cnf.add_unit(v)
+        assert solve_cnf(cnf).sat

@@ -1,0 +1,168 @@
+"""Unit tests for the Pauli-frame protocol runner."""
+
+import numpy as np
+import pytest
+
+from repro.sim.frame import Injection, ProtocolRunner, protocol_locations
+
+from ..conftest import cached_protocol
+
+
+class TestLocations:
+    def test_includes_branches(self, steane_protocol):
+        locations = protocol_locations(steane_protocol)
+        keys = {loc[0][0][0] for loc in locations}
+        assert keys == {"prep", "verif", "branch"}
+
+    def test_kinds_valid(self, steane_protocol):
+        kinds = {kind for _, kind, _ in protocol_locations(steane_protocol)}
+        assert kinds <= {"1q", "2q", "reset_z", "reset_x", "meas"}
+
+    def test_location_keys_unique(self, carbon_protocol):
+        locations = protocol_locations(carbon_protocol)
+        keys = [loc[0] for loc in locations]
+        assert len(keys) == len(set(keys))
+
+    def test_counts_match_segments(self, steane_protocol):
+        proto = steane_protocol
+        locations = protocol_locations(proto)
+        prep_locations = [l for l in locations if l[0][0] == ("prep",)]
+        segment = proto.prep_segment
+        expected = (
+            segment.count("H")
+            + segment.count("CX")
+            + segment.count("ResetZ")
+            + segment.count("ResetX")
+            + segment.count("MeasureZ")
+            + segment.count("MeasureX")
+        )
+        assert len(prep_locations) == expected
+
+
+class TestCleanRun:
+    @pytest.mark.parametrize("key", ["steane", "shor", "surface_3", "carbon"])
+    def test_fault_free_run_silent(self, key):
+        runner = ProtocolRunner(cached_protocol(key))
+        result = runner.run()
+        assert not result.data_x.any()
+        assert not result.data_z.any()
+        assert not any(result.flips.values())
+        assert result.branches_taken == []
+        assert not result.terminated_early
+
+
+class TestInjectedRuns:
+    def test_verification_triggers_branch(self, steane_protocol):
+        runner = ProtocolRunner(steane_protocol)
+        # X fault on a data qubit inside the verification measurement's
+        # support flips the measurement and takes the branch.
+        layer = steane_protocol.layers[0]
+        support_qubit = int(np.nonzero(layer.measurements[0].support)[0][0])
+        injection = {
+            (("prep",), 0): Injection(paulis=((support_qubit, "X"),))
+        }
+        result = runner.run(injection)
+        if any(result.flips.get(b, 0) for b in layer.bits):
+            assert result.branches_taken
+
+    def test_measurement_flip_injection(self, steane_protocol):
+        runner = ProtocolRunner(steane_protocol)
+        layer = steane_protocol.layers[0]
+        # Find the verification MeasureZ location.
+        meas_index = next(
+            i
+            for i, ins in enumerate(layer.circuit.instructions)
+            if ins.kind in ("MeasureZ", "MeasureX")
+        )
+        result = runner.run(
+            {(("verif", 0), meas_index): Injection(flip=True)}
+        )
+        assert any(result.flips.values())
+        assert result.branches_taken  # branch executes on the fake syndrome
+
+    def test_recovery_applied(self, steane_protocol):
+        """After a dangerous propagated error, the executed branch must
+        reduce the residual to weight <= 1 (spot check of the FT property)."""
+        from repro.core.errors import error_reducer
+
+        runner = ProtocolRunner(steane_protocol)
+        reducer = error_reducer(steane_protocol.code, "X")
+        # Inject X on the control of the last prep CX (paper Example 3).
+        prep_segment = steane_protocol.prep_segment
+        last_cx = max(
+            i for i, ins in enumerate(prep_segment.instructions)
+            if ins.kind == "CX"
+        )
+        control = prep_segment.instructions[last_cx].control
+        result = runner.run(
+            {(("prep",), last_cx): Injection(paulis=((control, "X"),))}
+        )
+        assert reducer.coset_weight(result.data_x) <= 1
+
+    def test_unreachable_signature_no_branch(self, carbon_protocol):
+        """A multi-fault syndrome outside the branch table is skipped."""
+        runner = ProtocolRunner(carbon_protocol)
+        layer = carbon_protocol.layers[0]
+        # Flip every verification measurement simultaneously.
+        injections = {}
+        for index, ins in enumerate(layer.circuit.instructions):
+            if ins.kind in ("MeasureZ", "MeasureX"):
+                injections[(("verif", 0), index)] = Injection(flip=True)
+        result = runner.run(injections)  # must not raise
+        assert isinstance(result.flips, dict)
+
+    def test_early_termination_on_hook(self):
+        """A protocol with a flagged measurement terminates on its flag."""
+        for key in ("carbon", "16_2_4", "steane", "shor", "surface_3"):
+            protocol = cached_protocol(key)
+            flagged_layers = [
+                (li, layer)
+                for li, layer in enumerate(protocol.layers)
+                if layer.num_flags
+            ]
+            if not flagged_layers:
+                continue
+            li, layer = flagged_layers[0]
+            runner = ProtocolRunner(protocol)
+            flag_meas = next(
+                i
+                for i, ins in enumerate(layer.circuit.instructions)
+                if ins.kind in ("MeasureZ", "MeasureX")
+                and ins.bit in layer.flag_bits
+            )
+            result = runner.run(
+                {(("verif", li), flag_meas): Injection(flip=True)}
+            )
+            signature = next(
+                (b, f)
+                for (b, f) in layer.branches
+                if any(f)
+            )
+            # Flag alone triggered: the run must take a hook branch and stop.
+            if result.branches_taken:
+                assert result.terminated_early
+                return
+        pytest.skip("no flagged protocol produced a pure-flag signature")
+
+    def test_injection_after_instruction_semantics(self, steane_protocol):
+        """A Pauli injected after a reset survives (fault model semantics)."""
+        runner = ProtocolRunner(steane_protocol)
+        result = runner.run(
+            {(("prep",), 0): Injection(paulis=((0, "X"),))}
+        )
+        # The X was inserted after reset of qubit 0; some observable effect
+        # must exist (error or flip) since the state is no longer |0>_L.
+        touched = (
+            result.data_x.any()
+            or result.data_z.any()
+            or any(result.flips.values())
+        )
+        assert touched
+
+
+class TestRunResult:
+    def test_signature_of(self, steane_protocol):
+        runner = ProtocolRunner(steane_protocol)
+        result = runner.run()
+        bits = steane_protocol.layers[0].bits
+        assert result.signature_of(bits) == (0,) * len(bits)

@@ -1,0 +1,143 @@
+"""Tests for the scaled noise model and exact k=2 subset stratum."""
+
+import numpy as np
+import pytest
+
+from repro.sim.frame import protocol_locations
+from repro.sim.noise import E1_1, ScaledNoiseModel, sample_injections_model
+from repro.sim.subset import SubsetSampler
+
+from ..conftest import cached_protocol
+
+
+class TestScaledModel:
+    def test_defaults_match_e1_1(self):
+        scaled = ScaledNoiseModel(p=0.01)
+        uniform = E1_1(p=0.01)
+        for kind in ("1q", "2q", "reset_z", "reset_x", "meas"):
+            assert scaled.probability(kind) == uniform.probability(kind)
+
+    def test_per_kind_scaling(self):
+        model = ScaledNoiseModel(p=0.001, two_qubit=5.0, measurement=10.0)
+        assert model.probability("2q") == pytest.approx(0.005)
+        assert model.probability("meas") == pytest.approx(0.01)
+        assert model.probability("1q") == pytest.approx(0.001)
+        assert model.probability("reset_z") == pytest.approx(0.001)
+
+    def test_rate_bounds_checked(self):
+        model = ScaledNoiseModel(p=0.5, two_qubit=3.0)
+        with pytest.raises(ValueError):
+            model.probability("2q")
+
+    def test_unknown_kind(self):
+        with pytest.raises(KeyError):
+            ScaledNoiseModel(p=0.01).probability("3q")
+
+
+class TestSampleWithModel:
+    def test_zero_rate(self):
+        locations = protocol_locations(cached_protocol("steane"))
+        model = ScaledNoiseModel(p=0.0)
+        assert (
+            sample_injections_model(
+                locations, model, np.random.default_rng(0)
+            )
+            == {}
+        )
+
+    def test_kind_bias_observable(self):
+        """With two_qubit=10x, 2q locations must fail far more often."""
+        locations = protocol_locations(cached_protocol("steane"))
+        kinds = {key: kind for key, kind, _ in locations}
+        model = ScaledNoiseModel(p=0.005, two_qubit=10.0)
+        rng = np.random.default_rng(1)
+        counts = {"2q": 0, "other": 0}
+        for _ in range(2000):
+            for key in sample_injections_model(locations, model, rng):
+                bucket = "2q" if kinds[key] == "2q" else "other"
+                counts[bucket] += 1
+        num_2q = sum(1 for k in kinds.values() if k == "2q")
+        num_other = len(kinds) - num_2q
+        rate_2q = counts["2q"] / num_2q
+        rate_other = counts["other"] / max(num_other, 1)
+        assert rate_2q > 5 * rate_other
+
+    def test_matches_e1_1_statistics(self):
+        locations = protocol_locations(cached_protocol("steane"))
+        model = ScaledNoiseModel(p=0.1)
+        rng = np.random.default_rng(2)
+        counts = [
+            len(sample_injections_model(locations, model, rng))
+            for _ in range(500)
+        ]
+        assert abs(np.mean(counts) - 0.1 * len(locations)) < 0.4
+
+
+class TestExactK2:
+    def test_exact_matches_semantics(self):
+        """Threshold-2 toy model: every pair fails, so f2 must be 1."""
+        locations = [((("seg",), i), "meas", (0,)) for i in range(8)]
+        sampler = SubsetSampler(
+            lambda injections: len(injections) >= 2,
+            locations,
+            k_max=2,
+            rng=np.random.default_rng(0),
+        )
+        sampler.enumerate_k2_exact()
+        assert sampler.strata[2].exact
+        assert sampler.strata[2].rate == pytest.approx(1.0)
+
+    def test_partial_failure_weighting(self):
+        """Fail only when both locations are even-indexed: f2 = C(4,2)/C(8,2)."""
+        locations = [((("seg",), i), "meas", (0,)) for i in range(8)]
+
+        def fn(injections):
+            return all(key[1] % 2 == 0 for key in injections) and len(
+                injections
+            ) == 2
+
+        sampler = SubsetSampler(
+            fn, locations, k_max=2, rng=np.random.default_rng(0)
+        )
+        sampler.enumerate_k2_exact()
+        assert sampler.strata[2].rate == pytest.approx(6 / 28, abs=1e-9)
+
+    def test_requires_k_max_2(self):
+        locations = [((("seg",), i), "meas", (0,)) for i in range(4)]
+        sampler = SubsetSampler(
+            lambda inj: False, locations, k_max=1,
+            rng=np.random.default_rng(0),
+        )
+        with pytest.raises(ValueError):
+            sampler.enumerate_k2_exact()
+
+    def test_max_runs_guard(self):
+        locations = [((("seg",), i), "2q", (0, 1)) for i in range(30)]
+        sampler = SubsetSampler(
+            lambda inj: False, locations, k_max=2,
+            rng=np.random.default_rng(0),
+        )
+        with pytest.raises(ValueError):
+            sampler.enumerate_k2_exact(max_runs=100)
+
+    def test_steane_exact_c2_against_known_value(self):
+        """Regression-pin the exact quadratic coefficient of the Steane
+        protocol (independently computed by core.analysis)."""
+        import math
+
+        protocol = cached_protocol("steane")
+        from repro.sim.frame import ProtocolRunner
+        from repro.sim.logical import LogicalJudge
+
+        runner = ProtocolRunner(protocol)
+        judge = LogicalJudge(protocol.code)
+        locations = protocol_locations(protocol)
+        sampler = SubsetSampler(
+            lambda inj: judge.is_logical_failure(runner.run(inj)),
+            locations,
+            k_max=2,
+            rng=np.random.default_rng(0),
+        )
+        sampler.enumerate_k2_exact()
+        c2 = math.comb(len(locations), 2) * sampler.strata[2].rate
+        assert c2 == pytest.approx(57.40, abs=0.05)

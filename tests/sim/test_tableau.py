@@ -1,0 +1,187 @@
+"""Unit tests for the CHP stabilizer tableau simulator."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import Circuit
+from repro.sim.tableau import Tableau, run_circuit
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestSingleQubit:
+    def test_initial_state_measures_zero(self):
+        tab = Tableau(1, rng())
+        assert tab.measure_z(0) == 0
+
+    def test_x_flips_outcome(self):
+        tab = Tableau(1, rng())
+        tab.pauli_x(0)
+        assert tab.measure_z(0) == 1
+
+    def test_z_invisible_in_z_basis(self):
+        tab = Tableau(1, rng())
+        tab.pauli_z(0)
+        assert tab.measure_z(0) == 0
+
+    def test_y_flips_z_outcome(self):
+        tab = Tableau(1, rng())
+        tab.pauli_y(0)
+        assert tab.measure_z(0) == 1
+
+    def test_plus_state_measures_x_zero(self):
+        tab = Tableau(1, rng())
+        tab.h(0)
+        assert tab.measure_x(0) == 0
+
+    def test_hzh_equals_x(self):
+        tab = Tableau(1, rng())
+        tab.h(0)
+        tab.pauli_z(0)
+        tab.h(0)
+        assert tab.measure_z(0) == 1
+
+    def test_s_squared_is_z(self):
+        tab = Tableau(1, rng())
+        tab.h(0)          # |+>
+        tab.s(0)
+        tab.s(0)          # Z|+> = |->
+        assert tab.measure_x(0) == 1
+
+    def test_random_measurement_collapses(self):
+        tab = Tableau(1, rng(5))
+        tab.h(0)
+        first = tab.measure_z(0)
+        # Repeated measurement must repeat the outcome.
+        for _ in range(5):
+            assert tab.measure_z(0) == first
+
+    def test_random_outcomes_are_balanced(self):
+        ones = 0
+        for seed in range(200):
+            tab = Tableau(1, rng(seed))
+            tab.h(0)
+            ones += tab.measure_z(0)
+        assert 60 < ones < 140  # fair-ish coin
+
+    def test_reset_z_from_one(self):
+        tab = Tableau(1, rng())
+        tab.pauli_x(0)
+        tab.reset_z(0)
+        assert tab.measure_z(0) == 0
+
+    def test_reset_x_gives_plus(self):
+        tab = Tableau(1, rng())
+        tab.pauli_x(0)
+        tab.reset_x(0)
+        assert tab.measure_x(0) == 0
+
+
+class TestTwoQubit:
+    def test_bell_pair_correlated(self):
+        for seed in range(20):
+            tab = Tableau(2, rng(seed))
+            tab.h(0)
+            tab.cx(0, 1)
+            a = tab.measure_z(0)
+            b = tab.measure_z(1)
+            assert a == b
+
+    def test_bell_pair_x_correlated(self):
+        for seed in range(10):
+            tab = Tableau(2, rng(seed))
+            tab.h(0)
+            tab.cx(0, 1)
+            assert tab.measure_x(0) == tab.measure_x(1)
+
+    def test_cx_copies_classical_bit(self):
+        tab = Tableau(2, rng())
+        tab.pauli_x(0)
+        tab.cx(0, 1)
+        assert tab.measure_z(0) == 1
+        assert tab.measure_z(1) == 1
+
+    def test_ghz_parity(self):
+        for seed in range(10):
+            tab = Tableau(3, rng(seed))
+            tab.h(0)
+            tab.cx(0, 1)
+            tab.cx(1, 2)
+            outcomes = [tab.measure_z(q) for q in range(3)]
+            assert len(set(outcomes)) == 1
+
+
+class TestExpectationSign:
+    def test_deterministic_stabilizer(self):
+        tab = Tableau(2, rng())
+        assert tab.expectation_sign(np.array([1, 0], dtype=np.uint8)) == 0
+
+    def test_random_operator_returns_none(self):
+        tab = Tableau(1, rng())
+        tab.h(0)  # Z expectation now random
+        assert tab.expectation_sign(np.array([1], dtype=np.uint8)) is None
+
+    def test_flipped_sign(self):
+        tab = Tableau(2, rng())
+        tab.pauli_x(0)
+        assert tab.expectation_sign(np.array([1, 0], dtype=np.uint8)) == 1
+        assert tab.expectation_sign(np.array([0, 1], dtype=np.uint8)) == 0
+
+    def test_product_parity(self):
+        tab = Tableau(2, rng())
+        tab.pauli_x(0)
+        tab.pauli_x(1)
+        # Z0 Z1 product: two flips cancel.
+        assert tab.expectation_sign(np.array([1, 1], dtype=np.uint8)) == 0
+
+    def test_does_not_disturb(self):
+        tab = Tableau(2, rng())
+        tab.pauli_x(0)
+        tab.expectation_sign(np.array([1, 1], dtype=np.uint8))
+        assert tab.measure_z(0) == 1
+
+
+class TestRunCircuit:
+    def test_records_outcomes(self):
+        c = Circuit(2).h(0).cx(0, 1).measure_z(0, "a").measure_z(1, "b")
+        _, outcomes = run_circuit(c, rng=rng(3))
+        assert outcomes["a"] == outcomes["b"]
+
+    def test_conditional_pauli_fires_on_match(self):
+        c = Circuit(2)
+        c.pauli_placeholder = None
+        c.h(0)
+        c.measure_z(0, "m")
+        c.conditional_pauli(x_support=[1], condition=[("m", 1)])
+        c.measure_z(1, "out")
+        for seed in range(20):
+            _, outcomes = run_circuit(c, rng=rng(seed))
+            assert outcomes["out"] == outcomes["m"]
+
+    def test_conditional_pauli_unconditional(self):
+        c = Circuit(1)
+        c.conditional_pauli(x_support=[0])
+        c.measure_z(0, "m")
+        _, outcomes = run_circuit(c, rng=rng())
+        assert outcomes["m"] == 1
+
+    def test_copy_isolated(self):
+        tab = Tableau(1, rng())
+        clone = tab.copy()
+        clone.pauli_x(0)
+        assert tab.measure_z(0) == 0
+        assert clone.measure_z(0) == 1
+
+    def test_steane_prep_stabilizers_deterministic(self):
+        from repro.codes.catalog import steane_code
+        from repro.synth.prep import prepare_zero_heuristic
+
+        code = steane_code()
+        prep = prepare_zero_heuristic(code)
+        tab, _ = run_circuit(prep.circuit, Tableau(7, rng(1)))
+        for row in code.hz:
+            assert tab.expectation_sign(row) == 0
+        for row in code.logical_z:
+            assert tab.expectation_sign(row) == 0

@@ -1,0 +1,121 @@
+"""Unit tests for |0...0>_L preparation synthesis.
+
+Functional correctness is checked against the tableau simulator: after the
+synthesized circuit, every state stabilizer (X and Z generators plus
+logical Z) must measure +1 deterministically.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import Circuit
+from repro.codes.catalog import CATALOG, get_code, steane_code
+from repro.sim.tableau import Tableau, run_circuit
+from repro.synth.prep import (
+    prepare_zero,
+    prepare_zero_heuristic,
+    prepare_zero_optimal,
+    verify_prep_circuit,
+)
+
+
+def assert_prepares_zero_logical(prep):
+    """Check on the tableau that the circuit output is exactly |0...0>_L."""
+    code = prep.code
+    tab = Tableau(code.n, np.random.default_rng(0))
+    run_circuit(prep.circuit, tab)
+    # Every X stabilizer, Z stabilizer, and logical Z is deterministic +1.
+    for row in code.hz:
+        probe = tab.copy()
+        assert probe.expectation_sign(row) == 0
+    for row in code.logical_z:
+        assert tab.expectation_sign(row) == 0
+    # X stabilizers: conjugate through H by checking in the X basis — use
+    # a measurement-based probe on a scratch ancilla-free copy instead:
+    # measure X-type product = H-all, measure Z-type, H-all back.
+    for row in code.hx:
+        probe = tab.copy()
+        for q in range(code.n):
+            probe.h(q)
+        assert probe.expectation_sign(row) == 0
+
+
+class TestHeuristic:
+    @pytest.mark.parametrize("key", list(CATALOG))
+    def test_prepares_logical_zero(self, key):
+        prep = prepare_zero_heuristic(get_code(key))
+        assert_prepares_zero_logical(prep)
+
+    @pytest.mark.parametrize("key", list(CATALOG))
+    def test_hadamard_count_is_rank(self, key):
+        code = get_code(key)
+        prep = prepare_zero_heuristic(code)
+        assert prep.circuit.count("H") == code.hx.shape[0]
+
+    def test_internal_verification_passes(self):
+        prep = prepare_zero_heuristic(steane_code())
+        verify_prep_circuit(prep)  # should not raise
+
+    def test_steane_cnot_count_small(self):
+        # Known-good ballpark: Steane |0>_L is preparable with 8 CNOTs.
+        prep = prepare_zero_heuristic(steane_code())
+        assert prep.cnot_count <= 9
+
+    def test_deterministic(self):
+        a = prepare_zero_heuristic(steane_code())
+        b = prepare_zero_heuristic(steane_code())
+        assert [str(i) for i in a.circuit] == [str(i) for i in b.circuit]
+
+
+class TestOptimal:
+    @pytest.mark.parametrize("key", ["steane", "shor", "surface_3", "carbon"])
+    def test_prepares_logical_zero(self, key):
+        prep = prepare_zero_optimal(get_code(key))
+        assert_prepares_zero_logical(prep)
+
+    @pytest.mark.parametrize("key", ["steane", "shor", "surface_3"])
+    def test_never_worse_than_heuristic(self, key):
+        code = get_code(key)
+        assert (
+            prepare_zero_optimal(code).cnot_count
+            <= prepare_zero_heuristic(code).cnot_count
+        )
+
+    def test_info_set_budget_guard(self):
+        code = get_code("tesseract")
+        with pytest.raises(ValueError):
+            prepare_zero_optimal(code, max_info_sets=10)
+
+    def test_shor_optimal_beats_heuristic(self):
+        # Paper Table I: Shor Opt prep has strictly cheaper verification
+        # than Heu prep; at the circuit level our optimal prep must use no
+        # more CNOTs than heuristic.
+        code = get_code("shor")
+        opt = prepare_zero_optimal(code)
+        assert opt.cnot_count <= prepare_zero_heuristic(code).cnot_count
+
+
+class TestDispatch:
+    def test_prepare_zero_methods(self):
+        code = steane_code()
+        assert prepare_zero(code, "heuristic").method == "heuristic"
+        assert prepare_zero(code, "optimal").method == "optimal"
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            prepare_zero(steane_code(), "annealing")
+
+
+class TestStructure:
+    def test_circuit_only_h_and_cx(self):
+        prep = prepare_zero_heuristic(steane_code())
+        kinds = {ins.kind for ins in prep.circuit}
+        assert kinds <= {"H", "CX"}
+
+    def test_circuit_acts_on_data_only(self):
+        code = steane_code()
+        prep = prepare_zero_heuristic(code)
+        assert prep.circuit.num_qubits == code.n
+
+    def test_repr(self):
+        assert "Steane" in repr(prepare_zero_heuristic(steane_code()))

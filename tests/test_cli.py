@@ -1,0 +1,121 @@
+"""Tests for the command-line interface (direct main() invocation)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_synthesize_defaults(self):
+        args = build_parser().parse_args(["synthesize", "steane"])
+        assert args.prep == "heuristic"
+        assert args.verification == "optimal"
+
+    def test_simulate_p_list(self):
+        args = build_parser().parse_args(
+            ["simulate", "steane", "--p", "0.001", "0.01"]
+        )
+        assert args.p == [0.001, 0.01]
+
+
+class TestCommands:
+    def test_codes(self, capsys):
+        assert main(["codes"]) == 0
+        out = capsys.readouterr().out
+        assert "steane" in out
+        assert "(16, 6, 4)" in out
+
+    def test_synthesize(self, capsys):
+        assert main(["synthesize", "steane"]) == 0
+        out = capsys.readouterr().out
+        assert "1 verification ancillas, 3 CNOTs" in out
+
+    def test_synthesize_with_outputs(self, tmp_path, capsys):
+        protocol_path = tmp_path / "steane.json"
+        qasm_dir = tmp_path / "qasm"
+        assert (
+            main(
+                [
+                    "synthesize",
+                    "steane",
+                    "-o",
+                    str(protocol_path),
+                    "--qasm",
+                    str(qasm_dir),
+                ]
+            )
+            == 0
+        )
+        assert protocol_path.exists()
+        assert (qasm_dir / "prep.qasm").exists()
+
+    def test_check_catalog_code(self, capsys):
+        assert main(["check", "steane"]) == 0
+        assert "fault tolerant" in capsys.readouterr().out
+
+    def test_check_loaded_protocol(self, tmp_path, capsys):
+        path = tmp_path / "p.json"
+        main(["synthesize", "steane", "-o", str(path)])
+        capsys.readouterr()
+        assert main(["check", "--load", str(path)]) == 0
+        assert "fault tolerant" in capsys.readouterr().out
+
+    def test_check_without_target_errors(self, capsys):
+        assert main(["check"]) == 2
+
+    def test_simulate(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "steane",
+                    "--shots",
+                    "300",
+                    "--k-max",
+                    "2",
+                    "--p",
+                    "0.001",
+                    "0.01",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "f_1 = 0.0" in out
+        assert "p=0.001" in out
+
+    def test_figure4_single_code(self, capsys):
+        assert (
+            main(["figure4", "--codes", "steane", "--shots", "300"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "== steane" in out
+        assert "slope" in out
+
+    def test_budget(self, capsys):
+        assert main(["budget", "steane"]) == 0
+        out = capsys.readouterr().out
+        assert "c2 = 57.40" in out
+        assert "%" in out
+
+    def test_budget_max_runs_guard(self, capsys):
+        with pytest.raises(ValueError):
+            main(["budget", "steane", "--max-runs", "10"])
+
+    def test_table1_single_fast_run(self, capsys, monkeypatch):
+        # Restrict to the Steane rows to keep the test quick.
+        import repro.experiments.table1 as table1_module
+
+        monkeypatch.setattr(
+            table1_module,
+            "TABLE1_FAST_ROWS",
+            [("steane", "heuristic", "optimal")],
+        )
+        assert main(["table1", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "steane" in out
+        assert "ΣANC" in out
