@@ -1,0 +1,1 @@
+"""Benchmark package (enables relative imports of the shared conftest)."""

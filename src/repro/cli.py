@@ -79,6 +79,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=[1e-4, 1e-3, 1e-2, 1e-1],
         help="physical error rates to report",
     )
+    simulate.add_argument(
+        "--engine",
+        choices=["batched", "reference"],
+        default="batched",
+        help=(
+            "execution engine: bit-packed batched sampler (default) or the "
+            "per-shot reference runner (identical results, slower)"
+        ),
+    )
 
     table1 = sub.add_parser("table1", help="regenerate the paper's Table I")
     table1.add_argument(
@@ -97,6 +106,18 @@ def build_parser() -> argparse.ArgumentParser:
     figure4.add_argument("--codes", nargs="+", default=None)
     figure4.add_argument("--shots", type=int, default=8000)
     figure4.add_argument("--seed", type=int, default=2025)
+    figure4.add_argument(
+        "--engine",
+        choices=["batched", "reference"],
+        default="batched",
+        help="execution engine for the subset sampling",
+    )
+    figure4.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool shards for the multi-code sweep (1 = sequential)",
+    )
 
     budget = sub.add_parser(
         "budget",
@@ -201,22 +222,21 @@ def _cmd_check(args) -> int:
 def _cmd_simulate(args) -> int:
     from .codes.catalog import get_code
     from .core.protocol import synthesize_protocol
-    from .sim.frame import ProtocolRunner, protocol_locations
-    from .sim.logical import LogicalJudge
     from .sim.subset import SubsetSampler
 
     protocol = synthesize_protocol(get_code(args.code))
-    runner = ProtocolRunner(protocol)
-    judge = LogicalJudge(protocol.code)
-    sampler = SubsetSampler(
-        lambda injections: judge.is_logical_failure(runner.run(injections)),
-        protocol_locations(protocol),
+    sampler = SubsetSampler.for_protocol(
+        protocol,
+        engine=args.engine,
         k_max=args.k_max,
         rng=np.random.default_rng(args.seed),
     )
     sampler.enumerate_k1_exact()
     sampler.sample(args.shots)
-    print(f"{protocol.code.name}: f_1 = {sampler.strata[1].rate} (exact)")
+    print(
+        f"{protocol.code.name}: f_1 = {sampler.strata[1].rate} (exact, "
+        f"{args.engine} engine)"
+    )
     for estimate in sampler.curve(sorted(args.p)):
         print(f"  {estimate}")
     return 0
@@ -239,7 +259,13 @@ def _cmd_table1(args) -> int:
 def _cmd_figure4(args) -> int:
     from .experiments.figure4 import render_figure4, run_figure4
 
-    series = run_figure4(args.codes, shots=args.shots, seed=args.seed)
+    series = run_figure4(
+        args.codes,
+        shots=args.shots,
+        seed=args.seed,
+        engine=args.engine,
+        workers=args.workers,
+    )
     print(render_figure4(series))
     return 0
 

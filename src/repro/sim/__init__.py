@@ -1,0 +1,79 @@
+"""Noise simulation: Pauli-frame execution, sampling engines, decoding.
+
+Two execution engines share one contract (see ``sim.sampler``):
+
+* :class:`ReferenceSampler` — the per-shot :class:`ProtocolRunner` oracle;
+* :class:`BatchedSampler` — the bit-packed F2-linear batch engine, which
+  matches the reference bit-for-bit under a fixed seed and is the default
+  everywhere hot (subset sampling, Fig. 4, the CLI).
+
+An explicit ``__init__`` (rather than an implicit namespace package) keeps
+``find_packages(where="src")`` in ``setup.py`` from silently dropping
+``repro.sim`` out of installs and wheels.
+"""
+
+from .decoder import LookupDecoder
+from .frame import Injection, ProtocolRunner, RunResult, protocol_locations
+from .logical import LogicalJudge
+from .matching import MatchingDecoder, is_matchable
+from .noise import (
+    E1_1,
+    ScaledNoiseModel,
+    fault_draws,
+    materialize_stratum,
+    sample_injections,
+    sample_injections_fixed_k,
+    sample_injections_model,
+    sample_injections_stratum,
+)
+from .reference import TableauProtocolRunner, TableauRunResult
+from .sampler import (
+    BatchedSampler,
+    BatchResult,
+    CompiledProtocol,
+    ReferenceSampler,
+    make_sampler,
+)
+from .subset import (
+    StratumStats,
+    SubsetEstimate,
+    SubsetSampler,
+    binomial_weight,
+    tail_weight,
+    wilson_interval,
+)
+from .tableau import Tableau, run_circuit
+
+__all__ = [
+    "BatchResult",
+    "BatchedSampler",
+    "CompiledProtocol",
+    "E1_1",
+    "Injection",
+    "LogicalJudge",
+    "LookupDecoder",
+    "MatchingDecoder",
+    "ProtocolRunner",
+    "ReferenceSampler",
+    "RunResult",
+    "ScaledNoiseModel",
+    "StratumStats",
+    "SubsetEstimate",
+    "SubsetSampler",
+    "Tableau",
+    "TableauProtocolRunner",
+    "TableauRunResult",
+    "binomial_weight",
+    "fault_draws",
+    "is_matchable",
+    "make_sampler",
+    "materialize_stratum",
+    "protocol_locations",
+    "run_circuit",
+    "sample_injections",
+    "sample_injections_fixed_k",
+    "sample_injections_model",
+    "sample_injections_stratum",
+    "tail_weight",
+    "wilson_interval",
+]

@@ -9,6 +9,11 @@ recovery application, early termination on hooks — reading fault injections
 from a static location map so that conditionally-executed branches have
 stable location identities (the subset sampler relies on this; see
 ``sim.subset``).
+
+This per-shot runner is the *oracle*: the batched bit-packed engine in
+``sim.sampler`` compiles the same semantics into F2-linear segment maps
+and is cross-validated against it bit-for-bit. Prefer the batched engine
+for Monte-Carlo volume; prefer this runner for debugging single shots.
 """
 
 from __future__ import annotations

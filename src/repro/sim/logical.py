@@ -33,3 +33,31 @@ class LogicalJudge:
         residual = self.x_decoder.correct(result.data_x)
         parities = self.logical_z @ residual % 2
         return bool(parities.any())
+
+    def failure_mask(self, data_x: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`is_logical_failure` over a ``(shots, n)`` batch.
+
+        The decoder lookup is the only non-linear step, so it runs once per
+        *distinct* syndrome in the batch; everything else is two GF(2)
+        matrix products across the whole shot axis.
+        """
+        data_x = np.asarray(data_x, dtype=np.uint8)
+        if data_x.ndim != 2:
+            raise ValueError("expected a (shots, n) batch of X residuals")
+        if data_x.shape[0] == 0:
+            return np.zeros(0, dtype=bool)
+        checks = self.x_decoder.checks
+        syndromes = (data_x @ checks.T) % 2  # (shots, m)
+        m = syndromes.shape[1]
+        weights = np.left_shift(np.int64(1), np.arange(m, dtype=np.int64))
+        unique_ids, inverse = np.unique(syndromes @ weights, return_inverse=True)
+        correction_parity = np.empty(
+            (unique_ids.size, self.logical_z.shape[0]), dtype=np.uint8
+        )
+        for u, syndrome_id in enumerate(unique_ids):
+            bits = ((int(syndrome_id) >> np.arange(m)) & 1).astype(np.uint8)
+            correction = self.x_decoder.decode(bits)
+            correction_parity[u] = self.logical_z @ correction % 2
+        raw_parity = (data_x @ self.logical_z.T) % 2  # (shots, k)
+        parity = raw_parity ^ correction_parity[inverse]
+        return parity.any(axis=1)

@@ -29,6 +29,8 @@ __all__ = [
     "sample_injections",
     "sample_injections_model",
     "sample_injections_fixed_k",
+    "sample_injections_stratum",
+    "materialize_stratum",
 ]
 
 
@@ -157,3 +159,52 @@ def sample_injections_fixed_k(
         key, kind, wires = locations[int(idx)]
         injections[key] = _draw_fault(kind, wires, rng)
     return injections
+
+
+def sample_injections_stratum(
+    locations, k: int, shots: int, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized stratum draw: ``shots`` configurations of exactly ``k``
+    faults each, as index arrays instead of per-shot dicts.
+
+    Returns ``(loc_idx, draw_idx)``, both of shape ``(shots, k)``:
+    ``loc_idx[s]`` are the failing locations of shot ``s`` (a uniform
+    k-subset, via random-key selection) and ``draw_idx[s, j]`` indexes the
+    uniform conditional draw inside ``fault_draws(...)`` of that location.
+    The whole stratum costs two ``rng`` calls, which is what makes the
+    batched engine's end-to-end throughput possible; use
+    :func:`materialize_stratum` to expand into the dict form the per-shot
+    runner consumes. (The index stream differs from ``shots`` sequential
+    :func:`sample_injections_fixed_k` calls, but is identical for every
+    engine consuming the same batch — engine cross-validation stays exact.)
+    """
+    num = len(locations)
+    if k > num:
+        raise ValueError("more faults than locations")
+    keys = rng.random((shots, num))
+    if k == num:
+        loc_idx = np.tile(np.arange(num, dtype=np.intp), (shots, 1))
+    else:
+        loc_idx = np.argpartition(keys, k, axis=1)[:, :k].astype(np.intp)
+    draw_counts = np.asarray(
+        [len(fault_draws(kind, wires)) for _, kind, wires in locations],
+        dtype=np.int64,
+    )
+    uniform = rng.random((shots, k))
+    draw_idx = np.floor(uniform * draw_counts[loc_idx]).astype(np.intp)
+    return loc_idx, draw_idx
+
+
+def materialize_stratum(locations, loc_idx, draw_idx) -> list[dict]:
+    """Expand :func:`sample_injections_stratum` indices into injection dicts."""
+    tables = [fault_draws(kind, wires) for _, kind, wires in locations]
+    keys = [key for key, _, _ in locations]
+    out = []
+    for shot_locs, shot_draws in zip(loc_idx, draw_idx):
+        out.append(
+            {
+                keys[l]: tables[l][d]
+                for l, d in zip(shot_locs.tolist(), shot_draws.tolist())
+            }
+        )
+    return out

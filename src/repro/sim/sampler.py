@@ -1,0 +1,578 @@
+"""Batched, bit-packed Pauli-frame sampling engines (the Monte-Carlo hot path).
+
+The per-shot :class:`~repro.sim.frame.ProtocolRunner` walks the instruction
+list once per fault configuration, paying Python-interpreter cost for every
+instruction of every shot. But the Pauli-frame semantics are *F2-linear*:
+within one segment (prep, a verification layer, or a correction branch —
+the units between which the Fig. 3 decision tree branches) the outgoing
+frame and every recorded measurement flip are XORs of
+
+* a fixed linear image of the incoming frame, and
+* a fixed signature per injected fault draw.
+
+:class:`CompiledProtocol` therefore compiles each segment once into
+
+* ``out_rows`` — for each outgoing frame component, the list of incoming
+  components whose XOR produces it (computed by symbolic propagation with
+  integer bitmasks), and
+* a cache of per-(location, draw) fault signatures (residual wires +
+  flipped bits, computed by scalar propagation of the draw to segment end).
+
+:class:`BatchedSampler` then executes *all shots at once*: the frame of
+shot ``s`` lives in bit ``s`` of packed ``uint64`` words, so one segment
+application is a handful of word-wide XOR reductions instead of
+``shots × instructions`` dict updates. Branch divergence is handled with
+per-shot masks — each branch segment is applied only to the shots whose
+verification signature selects it, which is exactly the reference runner's
+control flow evaluated in parallel.
+
+Given the same per-shot injection dicts, the batched engine reproduces the
+reference runner **bit-for-bit**: same data frame, same recorded flips,
+same branches, same termination — the cross-validation suite asserts this
+on enumerated and random fault sets. :class:`ReferenceSampler` wraps the
+per-shot runner behind the same interface so every consumer can switch
+engines with one argument (``engine="batched" | "reference"``).
+
+Packing convention: bit ``s`` of word ``s // 64`` (little bit order), so
+byte-level views match ``np.packbits(..., bitorder="little")`` on
+little-endian hosts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..circuits.circuit import Circuit
+from ..circuits.gates import (
+    CX,
+    ConditionalPauli,
+    H,
+    MeasureX,
+    MeasureZ,
+    ResetX,
+    ResetZ,
+)
+from ..core.faults import PauliFrame, apply_instruction
+from ..core.protocol import DeterministicProtocol
+from .frame import Injection, ProtocolRunner, RunResult, protocol_locations
+from .logical import LogicalJudge
+from .noise import fault_draws, materialize_stratum
+
+__all__ = [
+    "FaultSignature",
+    "CompiledSegment",
+    "CompiledProtocol",
+    "BatchResult",
+    "BatchedSampler",
+    "ReferenceSampler",
+    "make_sampler",
+]
+
+_WORD = np.uint64
+_ONE = np.uint64(1)
+
+
+# -- bit packing --------------------------------------------------------------
+
+
+def _num_words(num_shots: int) -> int:
+    return (num_shots + 63) // 64
+
+
+def _pack_flags(flags: np.ndarray, words: int) -> np.ndarray:
+    """(S,) 0/1 array -> (words,) uint64, bit s of word s//64 = shot s."""
+    packed = np.packbits(np.asarray(flags, dtype=np.uint8), bitorder="little")
+    out = np.zeros(words * 8, dtype=np.uint8)
+    out[: packed.size] = packed
+    return out.view(_WORD)
+
+
+def _pack_shot_indices(shots: Sequence[int], words: int) -> np.ndarray:
+    """Shot index list -> (words,) uint64 mask with those bits set."""
+    idx = np.asarray(shots, dtype=np.uint64)
+    mask = np.zeros(words, dtype=_WORD)
+    np.bitwise_or.at(mask, (idx >> np.uint64(6)).astype(np.intp), _ONE << (idx & np.uint64(63)))
+    return mask
+
+
+def _unpack_words(packed: np.ndarray, num_shots: int) -> np.ndarray:
+    """(words,) uint64 -> (S,) uint8 of the low ``num_shots`` bits."""
+    return np.unpackbits(
+        np.ascontiguousarray(packed).view(np.uint8),
+        bitorder="little",
+        count=num_shots,
+    )
+
+
+def _mask_to_rows(mask: int) -> np.ndarray:
+    """Integer bitmask -> sorted array of set-bit indices."""
+    rows = []
+    index = 0
+    while mask:
+        if mask & 1:
+            rows.append(index)
+        mask >>= 1
+        index += 1
+    return np.asarray(rows, dtype=np.intp)
+
+
+# -- compilation --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FaultSignature:
+    """End-of-segment image of one injected fault draw."""
+
+    x_wires: tuple[int, ...]
+    z_wires: tuple[int, ...]
+    flips: tuple[str, ...]
+
+
+class CompiledSegment:
+    """F2-linear form of one protocol segment.
+
+    ``out_rows[i]`` lists the incoming state components (x wires first,
+    then z wires, ``2 * num_wires`` total) whose XOR yields outgoing
+    component ``i``; ``bit_rows`` does the same for each measured bit.
+    Fault signatures are propagated lazily per (instruction index, draw)
+    and cached — strata hit the same few hundred draws over and over.
+    """
+
+    def __init__(self, key: tuple, circuit: Circuit, num_wires: int):
+        self.key = key
+        self.circuit = circuit
+        self.num_wires = num_wires
+        sym_x = [1 << w for w in range(num_wires)]
+        sym_z = [1 << (num_wires + w) for w in range(num_wires)]
+        bit_masks: list[tuple[str, int]] = []
+        for ins in circuit.instructions:
+            if isinstance(ins, CX):
+                sym_x[ins.target] ^= sym_x[ins.control]
+                sym_z[ins.control] ^= sym_z[ins.target]
+            elif isinstance(ins, H):
+                q = ins.qubit
+                sym_x[q], sym_z[q] = sym_z[q], sym_x[q]
+            elif isinstance(ins, (ResetZ, ResetX)):
+                sym_x[ins.qubit] = 0
+                sym_z[ins.qubit] = 0
+            elif isinstance(ins, MeasureZ):
+                bit_masks.append((ins.bit, sym_x[ins.qubit]))
+            elif isinstance(ins, MeasureX):
+                bit_masks.append((ins.bit, sym_z[ins.qubit]))
+            elif isinstance(ins, ConditionalPauli):
+                pass
+            else:
+                raise TypeError(f"unknown instruction {ins!r}")
+        self.out_rows = [_mask_to_rows(m) for m in sym_x + sym_z]
+        self.bit_rows = [(bit, _mask_to_rows(m)) for bit, m in bit_masks]
+        self._signatures: dict[tuple[int, Injection], FaultSignature] = {}
+
+    def fault_signature(self, index: int, injection: Injection) -> FaultSignature:
+        """Propagated image of ``injection`` after instruction ``index``."""
+        cache_key = (index, injection)
+        signature = self._signatures.get(cache_key)
+        if signature is None:
+            frame = PauliFrame.zero(self.num_wires)
+            if injection.flip:
+                frame.flip(self.circuit.instructions[index].bit)
+            else:
+                for wire, letter in injection.paulis:
+                    frame.insert(wire, letter)
+            for ins in self.circuit.instructions[index + 1 :]:
+                apply_instruction(frame, ins)
+            signature = FaultSignature(
+                x_wires=tuple(int(w) for w in np.nonzero(frame.x)[0]),
+                z_wires=tuple(int(w) for w in np.nonzero(frame.z)[0]),
+                flips=tuple(sorted(frame.flipped_bits())),
+            )
+            self._signatures[cache_key] = signature
+        return signature
+
+
+class CompiledProtocol:
+    """All segments of a protocol in compiled F2-linear form."""
+
+    def __init__(self, protocol: DeterministicProtocol):
+        self.protocol = protocol
+        self.num_wires = protocol.num_wires
+        self.segments: dict[tuple, CompiledSegment] = {}
+        self._add(("prep",), protocol.prep_segment)
+        for li, layer in enumerate(protocol.layers):
+            self._add(("verif", li), layer.circuit)
+            for signature, branch in layer.branches.items():
+                self._add(("branch", li, signature), branch.circuit)
+
+    def _add(self, key: tuple, circuit: Circuit) -> None:
+        self.segments[key] = CompiledSegment(key, circuit, self.num_wires)
+
+
+# -- batched execution --------------------------------------------------------
+
+
+@dataclass
+class BatchResult:
+    """Unpacked outcomes of a batch of protocol executions.
+
+    Mirrors :class:`~repro.sim.frame.RunResult` field-for-field across the
+    shot axis; :meth:`result` rebuilds the per-shot view for
+    cross-validation against the reference runner.
+    """
+
+    num_shots: int
+    n: int
+    data_x: np.ndarray  # (shots, n) uint8
+    data_z: np.ndarray  # (shots, n) uint8
+    terminated: np.ndarray  # (shots,) bool
+    flips: dict[str, np.ndarray] = field(default_factory=dict)  # bit -> (shots,) uint8
+    branches_taken: list[list[tuple[int, tuple, tuple]]] = field(default_factory=list)
+
+    def flip_of(self, shot: int, bit: str) -> int:
+        values = self.flips.get(bit)
+        return int(values[shot]) if values is not None else 0
+
+    def result(self, shot: int) -> RunResult:
+        """Per-shot view, shaped like ``ProtocolRunner.run`` output."""
+        return RunResult(
+            data_x=self.data_x[shot].copy(),
+            data_z=self.data_z[shot].copy(),
+            flips={
+                bit: int(values[shot])
+                for bit, values in self.flips.items()
+                if values[shot]
+            },
+            branches_taken=list(self.branches_taken[shot]),
+            terminated_early=bool(self.terminated[shot]),
+        )
+
+
+class _PackedState:
+    """Mutable packed execution state of one batch."""
+
+    def __init__(self, num_wires: int, num_shots: int):
+        self.num_shots = num_shots
+        self.words = _num_words(num_shots)
+        self.x = np.zeros((num_wires, self.words), dtype=_WORD)
+        self.z = np.zeros((num_wires, self.words), dtype=_WORD)
+        self.bits: dict[str, np.ndarray] = {}
+        self.alive = _pack_flags(np.ones(num_shots, dtype=np.uint8), self.words)
+        self.terminated = np.zeros(self.words, dtype=_WORD)
+        self.branch_records: list[tuple[int, tuple, tuple, np.ndarray]] = []
+
+    def bit(self, name: str) -> np.ndarray:
+        values = self.bits.get(name)
+        if values is None:
+            values = np.zeros(self.words, dtype=_WORD)
+        return values
+
+
+class BatchedSampler:
+    """Executes whole strata of fault configurations as packed word ops.
+
+    Parameters
+    ----------
+    protocol:
+        The synthesized protocol; compiled once at construction.
+    judge:
+        Failure judge (defaults to :class:`LogicalJudge` of the code).
+    """
+
+    name = "batched"
+
+    def __init__(self, protocol: DeterministicProtocol, judge: LogicalJudge | None = None):
+        self.protocol = protocol
+        self.judge = judge if judge is not None else LogicalJudge(protocol.code)
+        self.compiled = CompiledProtocol(protocol)
+        self.n = protocol.code.n
+        self.locations = protocol_locations(protocol)
+        self._draw_tables = [
+            fault_draws(kind, wires) for _, kind, wires in self.locations
+        ]
+
+    # -- public API ----------------------------------------------------------
+
+    def run(self, injections_per_shot: Sequence[dict]) -> BatchResult:
+        """Execute one batch; returns full per-shot observables."""
+        state = self._execute(injections_per_shot)
+        num_shots = state.num_shots
+        data_x = self._unpack_data(state.x, num_shots)
+        data_z = self._unpack_data(state.z, num_shots)
+        flips = {
+            bit: _unpack_words(values, num_shots)
+            for bit, values in state.bits.items()
+        }
+        branches: list[list[tuple[int, tuple, tuple]]] = [[] for _ in range(num_shots)]
+        for li, b, f, mask in state.branch_records:
+            for shot in np.nonzero(_unpack_words(mask, num_shots))[0]:
+                branches[shot].append((li, b, f))
+        return BatchResult(
+            num_shots=num_shots,
+            n=self.n,
+            data_x=data_x,
+            data_z=data_z,
+            terminated=_unpack_words(state.terminated, num_shots).astype(bool),
+            flips=flips,
+            branches_taken=branches,
+        )
+
+    def failures(self, injections_per_shot: Sequence[dict]) -> np.ndarray:
+        """Logical-failure verdict per shot (the Monte-Carlo fast path)."""
+        if len(injections_per_shot) == 0:
+            return np.zeros(0, dtype=bool)
+        state = self._execute(injections_per_shot)
+        data_x = self._unpack_data(state.x, state.num_shots)
+        return self.judge.failure_mask(data_x)
+
+    def failures_indexed(
+        self, loc_idx: np.ndarray, draw_idx: np.ndarray
+    ) -> np.ndarray:
+        """Verdicts for an indexed stratum batch, skipping dicts entirely.
+
+        ``loc_idx`` / ``draw_idx`` are ``(shots, k)`` arrays from
+        :func:`repro.sim.noise.sample_injections_stratum`; the grouping into
+        per-(location, draw) shot masks happens with one stable sort instead
+        of ``shots`` dict traversals.
+        """
+        num_shots = loc_idx.shape[0]
+        if num_shots == 0:
+            return np.zeros(0, dtype=bool)
+        words = _num_words(num_shots)
+        grouped = self._group_indexed(loc_idx, draw_idx, words)
+        state = self._execute_grouped(grouped, num_shots)
+        data_x = self._unpack_data(state.x, state.num_shots)
+        return self.judge.failure_mask(data_x)
+
+    # -- execution -----------------------------------------------------------
+
+    def _group_indexed(
+        self, loc_idx: np.ndarray, draw_idx: np.ndarray, words: int
+    ) -> dict[tuple, list[tuple[int, Injection, np.ndarray]]]:
+        """Indexed stratum batch -> per-segment packed fault masks."""
+        num_shots, k = loc_idx.shape
+        grouped: dict[tuple, list[tuple[int, Injection, np.ndarray]]] = {}
+        if k == 0:
+            return grouped
+        max_draws = max(len(table) for table in self._draw_tables)
+        pair_ids = (loc_idx * max_draws + draw_idx).ravel()
+        shot_ids = np.repeat(np.arange(num_shots, dtype=np.intp), k)
+        order = np.argsort(pair_ids, kind="stable")
+        sorted_pairs = pair_ids[order]
+        sorted_shots = shot_ids[order]
+        boundaries = np.flatnonzero(np.diff(sorted_pairs)) + 1
+        starts = np.concatenate([[0], boundaries])
+        ends = np.concatenate([boundaries, [sorted_pairs.size]])
+        for start, end in zip(starts, ends):
+            pair = int(sorted_pairs[start])
+            location = pair // max_draws
+            (segment_key, index), _, _ = self.locations[location]
+            injection = self._draw_tables[location][pair % max_draws]
+            grouped.setdefault(segment_key, []).append(
+                (index, injection, _pack_shot_indices(sorted_shots[start:end], words))
+            )
+        return grouped
+
+    def _unpack_data(self, packed: np.ndarray, num_shots: int) -> np.ndarray:
+        return np.stack(
+            [_unpack_words(packed[w], num_shots) for w in range(self.n)], axis=1
+        )
+
+    def _group_injections(
+        self, injections_per_shot: Sequence[dict], words: int
+    ) -> dict[tuple, list[tuple[int, Injection, np.ndarray]]]:
+        """Bucket per-shot injections into per-segment packed masks."""
+        by_draw: dict[tuple, dict[tuple[int, Injection], list[int]]] = {}
+        for shot, injections in enumerate(injections_per_shot):
+            for (segment_key, index), injection in injections.items():
+                by_draw.setdefault(segment_key, {}).setdefault(
+                    (index, injection), []
+                ).append(shot)
+        grouped: dict[tuple, list[tuple[int, Injection, np.ndarray]]] = {}
+        for segment_key, draws in by_draw.items():
+            grouped[segment_key] = [
+                (index, injection, _pack_shot_indices(shots, words))
+                for (index, injection), shots in draws.items()
+            ]
+        return grouped
+
+    def _execute(self, injections_per_shot: Sequence[dict]) -> _PackedState:
+        num_shots = len(injections_per_shot)
+        if num_shots == 0:
+            return _PackedState(self.compiled.num_wires, num_shots)
+        faults = self._group_injections(
+            injections_per_shot, _num_words(num_shots)
+        )
+        return self._execute_grouped(faults, num_shots)
+
+    def _execute_grouped(self, faults: dict, num_shots: int) -> _PackedState:
+        state = _PackedState(self.compiled.num_wires, num_shots)
+        protocol = self.protocol
+        self._apply_segment(state, ("prep",), state.alive, faults)
+        for li, layer in enumerate(protocol.layers):
+            self._apply_segment(state, ("verif", li), state.alive, faults)
+            b_values = [state.bit(bit) for bit in layer.bits]
+            f_values = [state.bit(bit) for bit in layer.flag_bits]
+            for signature, branch in sorted(layer.branches.items()):
+                mask = self._signature_mask(
+                    state.alive, b_values, f_values, signature
+                )
+                if not mask.any():
+                    continue
+                b, f = signature
+                state.branch_records.append((li, b, f, mask))
+                self._apply_segment(state, ("branch", li, signature), mask, faults)
+                self._apply_recoveries(state, branch, mask)
+                if branch.terminate:
+                    state.terminated |= mask
+                    state.alive &= ~mask
+        return state
+
+    @staticmethod
+    def _signature_mask(alive, b_values, f_values, signature) -> np.ndarray:
+        b, f = signature
+        mask = alive.copy()
+        for values, want in zip(b_values, b):
+            mask &= values if want else ~values
+        for values, want in zip(f_values, f):
+            mask &= values if want else ~values
+        return mask
+
+    def _apply_recoveries(self, state: _PackedState, branch, mask: np.ndarray) -> None:
+        syndrome_values = [state.bit(m.bit) for m in branch.measurements]
+        target = state.x if branch.recovery_kind == "X" else state.z
+        for syndrome, recovery in branch.recoveries.items():
+            recovery_mask = mask.copy()
+            for values, want in zip(syndrome_values, syndrome):
+                recovery_mask &= values if want else ~values
+            if not recovery_mask.any():
+                continue
+            for wire in np.nonzero(recovery)[0]:
+                target[wire] ^= recovery_mask
+
+    def _apply_segment(
+        self,
+        state: _PackedState,
+        segment_key: tuple,
+        mask: np.ndarray,
+        faults: dict,
+    ) -> None:
+        segment = self.compiled.segments[segment_key]
+        num_wires = self.compiled.num_wires
+        incoming = np.concatenate([state.x, state.z], axis=0)
+        outgoing = np.zeros_like(incoming)
+        for component, rows in enumerate(segment.out_rows):
+            if rows.size == 1:
+                outgoing[component] = incoming[rows[0]]
+            elif rows.size:
+                outgoing[component] = np.bitwise_xor.reduce(incoming[rows], axis=0)
+        new_bits: dict[str, np.ndarray] = {}
+        for bit, rows in segment.bit_rows:
+            if rows.size:
+                new_bits[bit] = np.bitwise_xor.reduce(incoming[rows], axis=0)
+            else:
+                new_bits[bit] = np.zeros(state.words, dtype=_WORD)
+        for index, injection, shot_mask in faults.get(segment_key, ()):
+            effective = shot_mask & mask
+            if not effective.any():
+                continue
+            signature = segment.fault_signature(index, injection)
+            for wire in signature.x_wires:
+                outgoing[wire] ^= effective
+            for wire in signature.z_wires:
+                outgoing[num_wires + wire] ^= effective
+            for bit in signature.flips:
+                # Signature flips only name bits measured later in this same
+                # segment, so they are always present in new_bits; a KeyError
+                # here would mean the compilation model was violated.
+                new_bits[bit] ^= effective
+        keep = ~mask
+        state.x = (outgoing[:num_wires] & mask) | (state.x & keep)
+        state.z = (outgoing[num_wires:] & mask) | (state.z & keep)
+        for bit, values in new_bits.items():
+            state.bits[bit] = values & mask
+
+
+# -- reference wrapper --------------------------------------------------------
+
+
+class ReferenceSampler:
+    """The per-shot oracle behind the same interface as the batched engine.
+
+    Wraps :class:`~repro.sim.frame.ProtocolRunner` + :class:`LogicalJudge`;
+    used for cross-validation and as a fallback for exotic protocols.
+    """
+
+    name = "reference"
+
+    def __init__(self, protocol: DeterministicProtocol, judge: LogicalJudge | None = None):
+        self.protocol = protocol
+        self.judge = judge if judge is not None else LogicalJudge(protocol.code)
+        self.runner = ProtocolRunner(protocol)
+        self.n = protocol.code.n
+        self.locations = protocol_locations(protocol)
+
+    def run(self, injections_per_shot: Sequence[dict]) -> BatchResult:
+        results = [self.runner.run(injections) for injections in injections_per_shot]
+        num_shots = len(results)
+        data_x = np.zeros((num_shots, self.n), dtype=np.uint8)
+        data_z = np.zeros((num_shots, self.n), dtype=np.uint8)
+        terminated = np.zeros(num_shots, dtype=bool)
+        flips: dict[str, np.ndarray] = {}
+        branches: list[list[tuple[int, tuple, tuple]]] = []
+        for shot, result in enumerate(results):
+            data_x[shot] = result.data_x
+            data_z[shot] = result.data_z
+            terminated[shot] = result.terminated_early
+            branches.append(list(result.branches_taken))
+            for bit, value in result.flips.items():
+                if value:
+                    flips.setdefault(
+                        bit, np.zeros(num_shots, dtype=np.uint8)
+                    )[shot] = 1
+        return BatchResult(
+            num_shots=num_shots,
+            n=self.n,
+            data_x=data_x,
+            data_z=data_z,
+            terminated=terminated,
+            flips=flips,
+            branches_taken=branches,
+        )
+
+    def failures(self, injections_per_shot: Sequence[dict]) -> np.ndarray:
+        return np.fromiter(
+            (
+                self.judge.is_logical_failure(self.runner.run(injections))
+                for injections in injections_per_shot
+            ),
+            dtype=bool,
+            count=len(injections_per_shot),
+        )
+
+    def failures_indexed(
+        self, loc_idx: np.ndarray, draw_idx: np.ndarray
+    ) -> np.ndarray:
+        """Same indexed-batch contract as the batched engine (for swapping)."""
+        return self.failures(
+            materialize_stratum(self.locations, loc_idx, draw_idx)
+        )
+
+
+_ENGINES = {"batched": BatchedSampler, "reference": ReferenceSampler}
+
+
+def make_sampler(
+    protocol: DeterministicProtocol,
+    *,
+    engine: str = "batched",
+    judge: LogicalJudge | None = None,
+):
+    """Engine factory: ``engine`` is ``"batched"`` or ``"reference"``."""
+    try:
+        cls = _ENGINES[engine]
+    except KeyError:
+        raise ValueError(
+            f"unknown engine {engine!r} (expected one of {sorted(_ENGINES)})"
+        ) from None
+    return cls(protocol, judge=judge)

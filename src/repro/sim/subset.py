@@ -25,6 +25,12 @@ confidence bound (``f_k <= 1``). Stratum ``k = 0`` is deterministic and
 evaluated once; stratum ``k = 1`` can optionally be *enumerated exactly*
 (every location and every fault draw, probability-weighted), which pins
 the leading coefficient of FT circuits (``f_1 = 0``) with zero variance.
+
+Execution is pluggable: :meth:`SubsetSampler.for_protocol` wires the
+sampler to a batch engine (``repro.sim.sampler``, default the bit-packed
+``"batched"`` one) that evaluates whole strata per call; the legacy
+per-shot ``failure_fn`` constructor path remains for custom judges and
+keeps its historical draw stream. See ``docs/sampler.md``.
 """
 
 from __future__ import annotations
@@ -34,8 +40,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from .frame import Injection
-from .noise import fault_draws, sample_injections_fixed_k
+from .frame import Injection, protocol_locations
+from .noise import (
+    fault_draws,
+    sample_injections_fixed_k,
+    sample_injections_stratum,
+)
 
 __all__ = [
     "SubsetEstimate",
@@ -135,6 +145,7 @@ class SubsetSampler:
     failure_fn:
         Callable mapping an injection dict to ``True`` on logical failure —
         typically ``lambda inj: judge.is_logical_failure(runner.run(inj))``.
+        May be ``None`` when an ``engine`` is supplied.
     locations:
         Static location list from :func:`repro.sim.frame.protocol_locations`.
     k_max:
@@ -142,6 +153,17 @@ class SubsetSampler:
         truncation bound for everything above it.
     rng:
         Numpy generator (seeded for reproducibility).
+    engine:
+        Optional batch execution engine (``repro.sim.sampler``): an object
+        with ``failures(list_of_injection_dicts) -> bool array`` and
+        optionally ``failures_indexed(loc_idx, draw_idx)``. When given, the
+        sampler evaluates whole strata per call instead of shot-by-shot —
+        use :meth:`for_protocol` to wire one up. Engines built from the
+        same protocol produce identical tallies for the same seed, whether
+        batched or reference (the batch *generation* stream is shared).
+    batch_size:
+        Largest number of configurations evaluated per engine call (bounds
+        peak memory of exact k=2 enumeration).
     """
 
     def __init__(
@@ -151,28 +173,75 @@ class SubsetSampler:
         *,
         k_max: int = 3,
         rng: np.random.Generator | None = None,
+        engine=None,
+        batch_size: int = 8192,
     ):
         if k_max < 1:
             raise ValueError("k_max must be at least 1")
         if k_max > len(locations):
             k_max = len(locations)
+        if failure_fn is None and engine is None:
+            raise ValueError("need a failure_fn or an engine")
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
         self.failure_fn = failure_fn
         self.locations = list(locations)
         self.k_max = k_max
         self.rng = rng if rng is not None else np.random.default_rng()
+        self.engine = engine
+        self.batch_size = batch_size
         self.strata: dict[int, StratumStats] = {
             k: StratumStats(k) for k in range(k_max + 1)
         }
         self._check_zero_stratum()
 
+    @classmethod
+    def for_protocol(
+        cls,
+        protocol,
+        *,
+        engine: str = "batched",
+        judge=None,
+        k_max: int = 3,
+        rng: np.random.Generator | None = None,
+        batch_size: int = 8192,
+    ) -> "SubsetSampler":
+        """Build a sampler over a protocol's full location universe.
+
+        ``engine="batched"`` runs strata through the bit-packed engine
+        (:class:`repro.sim.sampler.BatchedSampler`); ``"reference"`` keeps
+        the per-shot oracle behind the identical interface.
+        """
+        from .sampler import make_sampler  # deferred: sampler imports noise
+
+        sampler_engine = make_sampler(protocol, engine=engine, judge=judge)
+        return cls(
+            None,
+            protocol_locations(protocol),
+            k_max=k_max,
+            rng=rng,
+            engine=sampler_engine,
+            batch_size=batch_size,
+        )
+
     # -- sampling ------------------------------------------------------------
+
+    def _eval_batch(self, injection_dicts: list[dict]) -> np.ndarray:
+        """Failure verdicts for a list of injection dicts (either path)."""
+        if self.engine is not None:
+            return np.asarray(self.engine.failures(injection_dicts), dtype=bool)
+        return np.fromiter(
+            (bool(self.failure_fn(d)) for d in injection_dicts),
+            dtype=bool,
+            count=len(injection_dicts),
+        )
 
     def _check_zero_stratum(self) -> None:
         """Stratum 0 is deterministic: evaluate the fault-free run once."""
         stats = self.strata[0]
         stats.exact = True
         stats.trials = 1
-        stats.failures = 1 if self.failure_fn({}) else 0
+        stats.failures = 1 if bool(self._eval_batch([{}])[0]) else 0
 
     def enumerate_k1_exact(self) -> None:
         """Replace stratum-1 sampling with exact weighted enumeration.
@@ -181,12 +250,20 @@ class SubsetSampler:
         uniform over the universe and the fault draw is uniform within the
         location's kind, so ``f_1`` is a finite probability-weighted sum.
         """
-        total = 0.0
+        configurations: list[dict] = []
+        weights: list[float] = []
         for key, kind, wires in self.locations:
             draws = fault_draws(kind, wires)
+            weight = 1.0 / (len(self.locations) * len(draws))
             for injection in draws:
-                if self.failure_fn({key: injection}):
-                    total += 1.0 / (len(self.locations) * len(draws))
+                configurations.append({key: injection})
+                weights.append(weight)
+        total = 0.0
+        for start in range(0, len(configurations), self.batch_size):
+            chunk = configurations[start : start + self.batch_size]
+            verdicts = self._eval_batch(chunk)
+            for offset in np.nonzero(verdicts)[0]:
+                total += weights[start + int(offset)]
         stats = self.strata[1]
         stats.exact = True
         # Store as a high-resolution fraction for reporting.
@@ -222,6 +299,17 @@ class SubsetSampler:
             )
         pair_count = math.comb(num, 2)
         total = 0.0
+        configurations: list[dict] = []
+        weights: list[float] = []
+
+        def flush():
+            nonlocal total
+            verdicts = self._eval_batch(configurations)
+            for offset in np.nonzero(verdicts)[0]:
+                total += weights[int(offset)]
+            configurations.clear()
+            weights.clear()
+
         for i in range(num):
             key_i = self.locations[i][0]
             for j in range(i + 1, num):
@@ -229,25 +317,48 @@ class SubsetSampler:
                 weight = 1.0 / (pair_count * len(draws[i]) * len(draws[j]))
                 for draw_i in draws[i]:
                     for draw_j in draws[j]:
-                        if self.failure_fn({key_i: draw_i, key_j: draw_j}):
-                            total += weight
+                        configurations.append({key_i: draw_i, key_j: draw_j})
+                        weights.append(weight)
+                if len(configurations) >= self.batch_size:
+                    flush()
+        if configurations:
+            flush()
         stats = self.strata[2]
         stats.exact = True
         stats.trials = 10**9
         stats.failures = round(total * stats.trials)
 
     def sample_stratum(self, k: int, shots: int) -> StratumStats:
-        """Run ``shots`` Monte-Carlo trials in stratum ``k``."""
+        """Run ``shots`` Monte-Carlo trials in stratum ``k``.
+
+        With an engine, the whole request is drawn vectorized and evaluated
+        in ``batch_size`` slabs; the legacy ``failure_fn`` path keeps the
+        original shot-by-shot draw stream for backward reproducibility.
+        """
         stats = self.strata[k]
         if stats.exact:
             return stats
-        for _ in range(shots):
-            injections = sample_injections_fixed_k(
-                self.locations, k, self.rng
+        if self.engine is None:
+            for _ in range(shots):
+                injections = sample_injections_fixed_k(
+                    self.locations, k, self.rng
+                )
+                stats.trials += 1
+                if self.failure_fn(injections):
+                    stats.failures += 1
+            return stats
+        remaining = shots
+        while remaining > 0:
+            step = min(remaining, self.batch_size)
+            loc_idx, draw_idx = sample_injections_stratum(
+                self.locations, k, step, self.rng
             )
-            stats.trials += 1
-            if self.failure_fn(injections):
-                stats.failures += 1
+            verdicts = np.asarray(
+                self.engine.failures_indexed(loc_idx, draw_idx), dtype=bool
+            )
+            stats.trials += step
+            stats.failures += int(verdicts.sum())
+            remaining -= step
         return stats
 
     def sample(
@@ -255,15 +366,21 @@ class SubsetSampler:
         shots: int,
         *,
         p_ref: float = 0.1,
-        batch: int = 50,
+        batch: int | None = None,
         allocation: str = "dynamic",
     ) -> None:
         """Distribute ``shots`` trials over strata ``1..k_max``.
 
         ``allocation='dynamic'`` targets the stratum whose statistical
         uncertainty contributes most to ``Var[p_L(p_ref)]`` (the DSS
-        behaviour); ``'uniform'`` splits shots evenly.
+        behaviour); ``'uniform'`` splits shots evenly. ``batch`` is the
+        re-allocation granularity; with a batch engine it defaults to 500
+        (each batch is one engine call, so fine-grained re-allocation
+        would squander the vectorization), per-shot mode keeps the
+        historical 50.
         """
+        if batch is None:
+            batch = 50 if self.engine is None else 500
         sampled = [k for k in range(1, self.k_max + 1) if not self.strata[k].exact]
         if not sampled:
             return

@@ -1,0 +1,212 @@
+"""Cross-validation of the batched bit-packed engine against the per-shot
+reference runner.
+
+The batched engine's claim is *bit-for-bit* equivalence: for the same
+injection dicts it must reproduce every observable of
+``ProtocolRunner.run`` — data frame, recorded flips, branch decisions,
+early termination — and hence identical acceptance/logical-failure
+verdicts. These tests pin that on enumerated k<=1 fault sets, sampled
+k=2 pairs, and seeded random strata for the fast catalog codes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim.frame import ProtocolRunner, protocol_locations
+from repro.sim.logical import LogicalJudge
+from repro.sim.noise import (
+    fault_draws,
+    materialize_stratum,
+    sample_injections_fixed_k,
+    sample_injections_stratum,
+)
+from repro.sim.sampler import BatchedSampler, ReferenceSampler, make_sampler
+from repro.sim.subset import SubsetSampler
+
+from ..conftest import FAST_CODES, cached_protocol
+
+CROSS_CODES = ["steane", "shor", "surface_3", "carbon"]
+
+
+def assert_shot_matches(batch_result, shot, reference_result):
+    """One shot of a BatchResult must mirror a reference RunResult."""
+    view = batch_result.result(shot)
+    assert np.array_equal(view.data_x, reference_result.data_x)
+    assert np.array_equal(view.data_z, reference_result.data_z)
+    bits = set(view.flips) | set(reference_result.flips)
+    for bit in bits:
+        assert view.flips.get(bit, 0) == reference_result.flips.get(bit, 0), bit
+    assert view.branches_taken == reference_result.branches_taken
+    assert view.terminated_early == reference_result.terminated_early
+
+
+def assert_batches_match(protocol, injection_dicts):
+    batched = BatchedSampler(protocol)
+    runner = ProtocolRunner(protocol)
+    batch = batched.run(injection_dicts)
+    for shot, injections in enumerate(injection_dicts):
+        assert_shot_matches(batch, shot, runner.run(injections))
+
+
+class TestEnumeratedFaults:
+    @pytest.mark.parametrize("key", CROSS_CODES)
+    def test_every_single_fault_draw_matches(self, key):
+        """Exhaustive k=1: every location, every conditional draw."""
+        protocol = cached_protocol(key)
+        injection_dicts = [{}]  # fault-free shot rides along
+        for location, kind, wires in protocol_locations(protocol):
+            injection_dicts += [
+                {location: draw} for draw in fault_draws(kind, wires)
+            ]
+        assert_batches_match(protocol, injection_dicts)
+
+    @pytest.mark.parametrize("key", ["steane", "surface_3"])
+    def test_sampled_fault_pairs_match(self, key):
+        """k=2 spot-check over random (pair, draw) combinations."""
+        protocol = cached_protocol(key)
+        locations = protocol_locations(protocol)
+        rng = np.random.default_rng(97)
+        injection_dicts = []
+        for _ in range(300):
+            i, j = rng.choice(len(locations), size=2, replace=False)
+            picks = {}
+            for index in (int(i), int(j)):
+                location, kind, wires = locations[index]
+                draws = fault_draws(kind, wires)
+                picks[location] = draws[rng.integers(len(draws))]
+            injection_dicts.append(picks)
+        assert_batches_match(protocol, injection_dicts)
+
+
+class TestRandomStrata:
+    @pytest.mark.parametrize("key", CROSS_CODES)
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_seeded_stratum_outcomes_match(self, key, k):
+        protocol = cached_protocol(key)
+        locations = protocol_locations(protocol)
+        rng = np.random.default_rng(hash((key, k)) % 2**32)
+        injection_dicts = [
+            sample_injections_fixed_k(locations, k, rng) for _ in range(150)
+        ]
+        assert_batches_match(protocol, injection_dicts)
+
+    @pytest.mark.parametrize("key", CROSS_CODES)
+    def test_failure_verdicts_identical(self, key):
+        """The headline contract: identical logical-failure verdicts."""
+        protocol = cached_protocol(key)
+        batched = BatchedSampler(protocol)
+        reference = ReferenceSampler(protocol)
+        rng = np.random.default_rng(5)
+        loc_idx, draw_idx = sample_injections_stratum(
+            batched.locations, 2, 400, rng
+        )
+        assert np.array_equal(
+            batched.failures_indexed(loc_idx, draw_idx),
+            reference.failures_indexed(loc_idx, draw_idx),
+        )
+
+    def test_indexed_equals_dict_path(self):
+        """Grouping by index arrays and by dicts must execute identically."""
+        protocol = cached_protocol("steane")
+        batched = BatchedSampler(protocol)
+        rng = np.random.default_rng(11)
+        loc_idx, draw_idx = sample_injections_stratum(
+            batched.locations, 3, 200, rng
+        )
+        dicts = materialize_stratum(batched.locations, loc_idx, draw_idx)
+        assert np.array_equal(
+            batched.failures_indexed(loc_idx, draw_idx),
+            batched.failures(dicts),
+        )
+
+
+class TestVectorizedJudge:
+    def test_failure_mask_matches_per_shot_judge(self):
+        protocol = cached_protocol("steane")
+        judge = LogicalJudge(protocol.code)
+        batched = BatchedSampler(protocol)
+        rng = np.random.default_rng(23)
+        loc_idx, draw_idx = sample_injections_stratum(
+            batched.locations, 2, 300, rng
+        )
+        dicts = materialize_stratum(batched.locations, loc_idx, draw_idx)
+        batch = batched.run(dicts)
+        expected = np.array(
+            [judge.is_logical_failure(batch.result(s)) for s in range(300)]
+        )
+        assert np.array_equal(judge.failure_mask(batch.data_x), expected)
+
+    def test_failure_mask_empty(self):
+        judge = LogicalJudge(cached_protocol("steane").code)
+        assert judge.failure_mask(np.zeros((0, 7), dtype=np.uint8)).size == 0
+
+
+class TestSubsetSamplerEngines:
+    @pytest.mark.parametrize("key", FAST_CODES)
+    def test_engines_produce_identical_tallies(self, key):
+        """Same protocol + same seed => same trials/failures per stratum,
+        whichever engine executes the shots."""
+        protocol = cached_protocol(key)
+        tallies = {}
+        for engine in ("batched", "reference"):
+            sampler = SubsetSampler.for_protocol(
+                protocol,
+                engine=engine,
+                k_max=2,
+                rng=np.random.default_rng(2025),
+            )
+            sampler.sample(600, allocation="uniform")
+            tallies[engine] = {
+                k: (stats.trials, stats.failures)
+                for k, stats in sampler.strata.items()
+            }
+        assert tallies["batched"] == tallies["reference"]
+
+    def test_exact_k1_matches_legacy_path(self):
+        protocol = cached_protocol("steane")
+        runner = ProtocolRunner(protocol)
+        judge = LogicalJudge(protocol.code)
+        legacy = SubsetSampler(
+            lambda inj: judge.is_logical_failure(runner.run(inj)),
+            protocol_locations(protocol),
+            k_max=2,
+            rng=np.random.default_rng(0),
+        )
+        legacy.enumerate_k1_exact()
+        batched = SubsetSampler.for_protocol(
+            protocol, engine="batched", k_max=2, rng=np.random.default_rng(0)
+        )
+        batched.enumerate_k1_exact()
+        assert legacy.strata[1].failures == batched.strata[1].failures
+
+    def test_exact_k2_matches_across_engines(self):
+        protocol = cached_protocol("steane")
+        sums = {}
+        for engine in ("batched", "reference"):
+            sampler = SubsetSampler.for_protocol(
+                protocol, engine=engine, k_max=2, rng=np.random.default_rng(0)
+            )
+            sampler.enumerate_k2_exact()
+            sums[engine] = sampler.strata[2].failures
+        assert sums["batched"] == sums["reference"]
+
+    def test_constructor_requires_some_evaluator(self):
+        with pytest.raises(ValueError):
+            SubsetSampler(None, [((("seg",), 0), "meas", (0,))], k_max=1)
+
+
+class TestEngineFactory:
+    def test_make_sampler_names(self):
+        protocol = cached_protocol("steane")
+        assert make_sampler(protocol, engine="batched").name == "batched"
+        assert make_sampler(protocol, engine="reference").name == "reference"
+
+    def test_make_sampler_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            make_sampler(cached_protocol("steane"), engine="warp")
+
+    def test_empty_batch(self):
+        engine = BatchedSampler(cached_protocol("steane"))
+        assert engine.failures([]).size == 0
+        result = engine.run([])
+        assert result.num_shots == 0

@@ -1,0 +1,57 @@
+"""Guard: the suite must always collect cleanly.
+
+The seed repository shipped 16 modules that errored at collection
+(``attempted relative import with no known parent package``), silently
+skipping the entire cross-validation surface. This test runs a real
+``pytest --collect-only`` subprocess so any future packaging regression
+fails loudly instead of shrinking the suite.
+"""
+
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: Collection floor: the fully-repaired seed suite plus the engine tests.
+MIN_COLLECTED = 607
+
+
+def test_collect_only_reports_no_errors():
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    )
+    result = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "pytest",
+            "--collect-only",
+            "-q",
+            "-p",
+            "no:cacheprovider",
+        ],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    tail = "\n".join(result.stdout.strip().splitlines()[-5:])
+    assert result.returncode == 0, f"collection failed:\n{tail}\n{result.stderr[-2000:]}"
+    # The summary line reads "N tests collected in S" when clean and
+    # "N tests collected, M errors in S" when collection broke.
+    match = re.search(r"(\d+) tests collected([^\n]*)", result.stdout)
+    assert match, f"no collection summary found:\n{tail}"
+    assert "error" not in match.group(2).lower(), (
+        f"collection errors:\n{match.group(0)}"
+    )
+    collected = int(match.group(1))
+    assert collected >= MIN_COLLECTED, (
+        f"only {collected} tests collected (floor {MIN_COLLECTED}) — "
+        "did a module drop out of collection?"
+    )
