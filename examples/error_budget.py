@@ -20,22 +20,14 @@ import numpy as np
 from repro.codes.catalog import get_code
 from repro.core.analysis import two_fault_error_budget
 from repro.core.protocol import synthesize_protocol
-from repro.sim.frame import ProtocolRunner, protocol_locations
-from repro.sim.logical import LogicalJudge
-from repro.sim.noise import ScaledNoiseModel, sample_injections_model
+from repro.sim.noise import ScaledNoiseModel
+from repro.sim.sampler import make_sampler
+from repro.sim.subset import direct_mc
 
 
-def scaled_logical_rate(protocol, model, shots, rng):
-    runner = ProtocolRunner(protocol)
-    judge = LogicalJudge(protocol.code)
-    locations = protocol_locations(protocol)
-    failures = sum(
-        judge.is_logical_failure(
-            runner.run(sample_injections_model(locations, model, rng))
-        )
-        for _ in range(shots)
-    )
-    return failures / shots
+def scaled_logical_rate(engine, model, shots, rng):
+    """Direct Bernoulli Monte-Carlo on the batched engine."""
+    return direct_mc(engine, model, shots, rng=rng).rate
 
 
 def main():
@@ -48,13 +40,14 @@ def main():
 
         print("\nuniform vs device-flavoured noise (p = 0.005, 6000 shots):")
         shots = 6000
+        engine = make_sampler(protocol)
         uniform = ScaledNoiseModel(p=0.005)
         skewed = ScaledNoiseModel(p=0.005, two_qubit=5.0, measurement=10.0)
         rate_uniform = scaled_logical_rate(
-            protocol, uniform, shots, np.random.default_rng(1)
+            engine, uniform, shots, np.random.default_rng(1)
         )
         rate_skewed = scaled_logical_rate(
-            protocol, skewed, shots, np.random.default_rng(2)
+            engine, skewed, shots, np.random.default_rng(2)
         )
         print(f"  E1_1 uniform:            p_L = {rate_uniform:.2e}")
         print(f"  2q x5, measurement x10:  p_L = {rate_skewed:.2e}")

@@ -1,0 +1,83 @@
+"""Print old-vs-new deltas between committed and fresh BENCH_*.json files.
+
+CI runs the smoke benchmarks into a scratch directory and calls this to
+append a markdown comparison table to the job summary::
+
+    python scripts/bench_delta.py --old . --new bench-out >> "$GITHUB_STEP_SUMMARY"
+
+Numeric keys are compared with a percentage delta; missing counterparts
+(first run of a new benchmark) render as ``new``. The script never fails
+the build — regressions are surfaced for humans, the hard floors live in
+the benchmark scripts themselves.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+#: Keys worth a row in the summary (seconds and speedups tell the story).
+_METRIC_SUFFIXES = ("_seconds", "_speedup", "shots_per_second", "speedup")
+
+
+def _is_metric(key: str, value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(
+        value, bool
+    ) and key.endswith(_METRIC_SUFFIXES)
+
+
+def _load(path: Path) -> dict:
+    try:
+        return json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return {}
+
+
+def render_deltas(old_dir: Path, new_dir: Path) -> str:
+    lines = ["## Benchmark deltas (committed vs this run)", ""]
+    fresh = sorted(new_dir.glob("BENCH_*.json"))
+    if not fresh:
+        return "\n".join(lines + ["_no fresh BENCH_*.json files found_"])
+    lines += [
+        "| benchmark | metric | committed | this run | delta |",
+        "|---|---|---:|---:|---:|",
+    ]
+    for new_path in fresh:
+        new_record = _load(new_path)
+        old_record = _load(old_dir / new_path.name)
+        name = new_record.get("benchmark", new_path.stem)
+        for key, new_value in new_record.items():
+            if not _is_metric(key, new_value):
+                continue
+            old_value = old_record.get(key)
+            if isinstance(old_value, (int, float)) and not isinstance(
+                old_value, bool
+            ) and old_value:
+                change = (new_value - old_value) / old_value * 100.0
+                delta = f"{change:+.1f}%"
+                old_text = f"{old_value:g}"
+            else:
+                delta = "new"
+                old_text = "—"
+            lines.append(
+                f"| {name} | {key} | {old_text} | {new_value:g} | {delta} |"
+            )
+    return "\n".join(lines)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--old", type=Path, default=Path("."), help="committed BENCH dir"
+    )
+    parser.add_argument(
+        "--new", type=Path, required=True, help="freshly generated BENCH dir"
+    )
+    args = parser.parse_args()
+    print(render_deltas(args.old, args.new))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

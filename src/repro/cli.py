@@ -7,10 +7,16 @@ Usage (after ``pip install -e .``)::
     python -m repro synthesize steane -o p.json --qasm out_dir
     python -m repro check steane               # exhaustive FT certificate
     python -m repro check --load p.json
+    python -m repro ftcheck steane --survey 2000   # certificate + t=2 survey
+    python -m repro budget steane              # exact two-fault error budget
     python -m repro simulate steane --shots 4000 --p 1e-3 1e-2
+    python -m repro simulate steane --direct   # Bernoulli direct MC per p
     python -m repro table1 --fast              # regenerate Table I
     python -m repro figure4 --codes steane shor --shots 2000
 
+The certificate (``check`` / ``ftcheck``), budget, and simulation commands
+all evaluate on the batched bit-packed engine by default; ``--engine
+reference`` swaps in the per-shot oracle (identical output, slower).
 Every command prints human-readable output; machine-readable artifacts go
 through ``--output`` (protocol JSON) and ``--qasm`` (OpenQASM export).
 """
@@ -65,6 +71,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--load", type=Path, help="check a protocol JSON instead"
     )
 
+    ftcheck = sub.add_parser(
+        "ftcheck",
+        help=(
+            "batched FT certificate: exhaustive single-fault check plus an "
+            "optional t=2 fault-pair survey"
+        ),
+    )
+    ftcheck.add_argument("code", nargs="?", help="catalog code key")
+    ftcheck.add_argument(
+        "--load", type=Path, help="check a protocol JSON instead"
+    )
+    ftcheck.add_argument(
+        "--engine",
+        choices=["batched", "reference"],
+        default="batched",
+        help="evaluation engine (identical verdicts; batched is ~10x+ faster)",
+    )
+    ftcheck.add_argument(
+        "--max-violations",
+        type=int,
+        default=10,
+        help="stop after this many violations",
+    )
+    ftcheck.add_argument(
+        "--survey",
+        type=int,
+        default=0,
+        metavar="PAIRS",
+        help="also sample PAIRS random fault pairs against the t=2 bound",
+    )
+    ftcheck.add_argument(
+        "--seed", type=int, default=2025, help="survey sampling seed"
+    )
+
     simulate = sub.add_parser(
         "simulate", help="circuit-level noise simulation (Fig. 4 pipeline)"
     )
@@ -88,6 +128,14 @@ def build_parser() -> argparse.ArgumentParser:
             "per-shot reference runner (identical results, slower)"
         ),
     )
+    simulate.add_argument(
+        "--direct",
+        action="store_true",
+        help=(
+            "also run plain Bernoulli Monte-Carlo at each --p on the "
+            "batched engine (consistency check of the subset estimator)"
+        ),
+    )
 
     table1 = sub.add_parser("table1", help="regenerate the paper's Table I")
     table1.add_argument(
@@ -100,6 +148,11 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=300.0,
         help="wall-clock budget per global-optimization row (seconds)",
+    )
+    table1.add_argument(
+        "--verify-ft",
+        action="store_true",
+        help="run the batched FT certificate per row (adds an FT column)",
     )
 
     figure4 = sub.add_parser("figure4", help="regenerate the paper's Fig. 4")
@@ -129,6 +182,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=2_000_000,
         help="guard on the enumeration size (runs grow ~N^2 in locations)",
+    )
+    budget.add_argument(
+        "--engine",
+        choices=["batched", "reference"],
+        default="batched",
+        help="evaluation engine (bit-identical budgets; batched is faster)",
     )
 
     return parser
@@ -191,19 +250,25 @@ def _cmd_synthesize(args) -> int:
     return 0
 
 
-def _cmd_check(args) -> int:
-    from .core.ftcheck import check_fault_tolerance
-
+def _load_or_synthesize(args):
+    """Shared protocol resolution for the certificate commands."""
     if args.load:
         from .core.serialize import load_protocol
 
-        protocol = load_protocol(args.load)
-    elif args.code:
+        return load_protocol(args.load)
+    if args.code:
         from .codes.catalog import get_code
         from .core.protocol import synthesize_protocol
 
-        protocol = synthesize_protocol(get_code(args.code))
-    else:
+        return synthesize_protocol(get_code(args.code))
+    return None
+
+
+def _cmd_check(args) -> int:
+    from .core.ftcheck import check_fault_tolerance
+
+    protocol = _load_or_synthesize(args)
+    if protocol is None:
         print("error: give a code key or --load", file=sys.stderr)
         return 2
     violations = check_fault_tolerance(protocol)
@@ -217,6 +282,50 @@ def _cmd_check(args) -> int:
         "wt_S <= 1)"
     )
     return 0
+
+
+def _cmd_ftcheck(args) -> int:
+    import time
+
+    from .core.ftcheck import check_fault_tolerance, second_order_survey
+
+    protocol = _load_or_synthesize(args)
+    if protocol is None:
+        print("error: give a code key or --load", file=sys.stderr)
+        return 2
+    start = time.perf_counter()
+    violations = check_fault_tolerance(
+        protocol,
+        engine=args.engine,
+        max_violations=args.max_violations,
+    )
+    seconds = time.perf_counter() - start
+    if violations:
+        print(
+            f"{protocol.code.name}: NOT fault tolerant — "
+            f"{len(violations)} violations ({args.engine} engine, "
+            f"{seconds:.3f}s):"
+        )
+        for violation in violations:
+            print(f"  {violation}")
+    else:
+        print(
+            f"{protocol.code.name}: fault tolerant — every single fault "
+            f"leaves wt_S <= 1 ({args.engine} engine, {seconds:.3f}s)"
+        )
+    if args.survey:
+        survey = second_order_survey(
+            protocol,
+            samples=args.survey,
+            rng=np.random.default_rng(args.seed),
+            engine=args.engine,
+        )
+        print(
+            f"  t=2 survey: {survey['violations']}/"
+            f"{survey['pairs_checked']} sampled fault pairs exceed wt_S = 2 "
+            f"({survey['violation_fraction']:.2%})"
+        )
+    return 1 if violations else 0
 
 
 def _cmd_simulate(args) -> int:
@@ -239,6 +348,13 @@ def _cmd_simulate(args) -> int:
     )
     for estimate in sampler.curve(sorted(args.p)):
         print(f"  {estimate}")
+    if args.direct:
+        from .sim.noise import E1_1
+        from .sim.subset import direct_mc
+
+        rng = np.random.default_rng(args.seed + 1)
+        for p in sorted(args.p):
+            print(f"  {direct_mc(sampler.engine, E1_1(p=p), args.shots, rng=rng)}")
     return 0
 
 
@@ -251,7 +367,11 @@ def _cmd_table1(args) -> int:
     )
 
     rows = TABLE1_FAST_ROWS if args.fast else TABLE1_ROWS
-    results = run_table1(rows, global_time_budget=args.global_budget)
+    results = run_table1(
+        rows,
+        global_time_budget=args.global_budget,
+        verify_ft=args.verify_ft,
+    )
     print(render_table1(results))
     return 0
 
@@ -276,7 +396,9 @@ def _cmd_budget(args) -> int:
     from .core.protocol import synthesize_protocol
 
     protocol = synthesize_protocol(get_code(args.code))
-    budget = two_fault_error_budget(protocol, max_runs=args.max_runs)
+    budget = two_fault_error_budget(
+        protocol, max_runs=args.max_runs, engine=args.engine
+    )
     print(budget.render())
     return 0
 
@@ -285,6 +407,7 @@ _COMMANDS = {
     "codes": _cmd_codes,
     "synthesize": _cmd_synthesize,
     "check": _cmd_check,
+    "ftcheck": _cmd_ftcheck,
     "simulate": _cmd_simulate,
     "table1": _cmd_table1,
     "figure4": _cmd_figure4,

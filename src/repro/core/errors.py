@@ -58,17 +58,24 @@ def dangerous_errors(
 
     Returns minimal coset representatives; with ``dedupe`` (default) each
     coset appears once — detection parities and correctability only depend
-    on the coset.
+    on the coset. The wt_S >= 2 filter runs as one batched coset reduction
+    over every propagated fault at once; only the (few) survivors pay the
+    per-row canonicalization.
     """
     code = prep.code
     reducer = error_reducer(code, kind)
+    candidates = [
+        pf.data_x(code.n) if kind == "X" else pf.data_z(code.n)
+        for pf in propagate_all_faults(prep.circuit)
+    ]
+    if not candidates:
+        return []
+    rows = np.asarray(candidates, dtype=np.uint8)
+    weights = reducer.coset_weights_dedup(rows)
     seen: set[bytes] = set()
     out: list[np.ndarray] = []
-    for pf in propagate_all_faults(prep.circuit):
-        error = pf.data_x(code.n) if kind == "X" else pf.data_z(code.n)
-        if not error.any():
-            continue
-        if reducer.coset_weight(error) < 2:
+    for error, weight in zip(rows, weights):
+        if weight < 2 or not error.any():
             continue
         if dedupe:
             label = reducer.canonical(error)

@@ -10,16 +10,23 @@ no residual.
 
 This is a *proof by enumeration*, not a statistical test — it complements
 the Fig. 4 noise simulations and is run over every catalog code in the test
-suite.
+suite. The enumeration is evaluated through the batched bit-packed engine
+(``repro.sim.sampler``): the fault set becomes one k = 1 index stratum,
+executed in a handful of packed calls with a vectorized residual-weight
+reduction, instead of one per-shot ``ProtocolRunner`` walk per fault.
+``engine="reference"`` keeps the per-shot oracle path (identical verdicts,
+cross-validated in ``tests/integration/test_certificates.py``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..sim.frame import Injection, ProtocolRunner
+import numpy as np
+
+from ..sim.frame import Injection, ProtocolRunner, protocol_locations
+from ..sim.noise import draw_tables
 from .errors import error_reducer
-from .faults import ONE_QUBIT_PAULIS, TWO_QUBIT_PAULIS
 from .protocol import DeterministicProtocol
 
 __all__ = [
@@ -48,37 +55,42 @@ class FTViolation:
         )
 
 
+def _checkable_strata(locations):
+    """Always-executed fault set as one k = 1 index stratum.
+
+    The single source of the certificate enumeration order (also consumed
+    by :func:`enumerate_checkable_injections`): every non-branch location,
+    every equally-likely conditional draw, in the shared ``fault_draws``
+    table order. Returns ``(pool, loc_idx, draw_idx)`` where ``pool[r]``
+    is the (location key, Injection) pair evaluated by row ``r`` of the
+    ``(rows, 1)`` index arrays.
+    """
+    tables = draw_tables(locations)
+    pool: list[tuple[tuple, Injection]] = []
+    loc_rows: list[int] = []
+    draw_rows: list[int] = []
+    for index, (key, _, _) in enumerate(locations):
+        if key[0][0] == "branch":
+            continue
+        for draw_index, injection in enumerate(tables[index]):
+            pool.append((key, injection))
+            loc_rows.append(index)
+            draw_rows.append(draw_index)
+    loc_idx = np.asarray(loc_rows, dtype=np.intp)[:, None]
+    draw_idx = np.asarray(draw_rows, dtype=np.intp)[:, None]
+    return pool, loc_idx, draw_idx
+
+
 def enumerate_checkable_injections(protocol: DeterministicProtocol):
     """(location, Injection) pairs for every always-executed fault.
 
     Mirrors ``core.faults.enumerate_faults`` (the E1_1 location model) over
-    the prep segment and each verification segment.
+    the prep segment and each verification segment. Delegates to
+    :func:`_checkable_strata`, so the survey pool and the certificate
+    stratum are one enumeration by construction.
     """
-    from ..sim.frame import _segment_locations  # shared location map
-
-    segments = [(("prep",), protocol.prep_segment)]
-    for li, layer in enumerate(protocol.layers):
-        segments.append(((("verif", li)), layer.circuit))
-    for key, circuit in segments:
-        for location, kind, wires in _segment_locations(key, circuit):
-            if kind == "1q":
-                for letter in ONE_QUBIT_PAULIS:
-                    yield location, Injection(paulis=((wires[0], letter),))
-            elif kind == "2q":
-                c, t = wires
-                for pair in TWO_QUBIT_PAULIS:
-                    paulis = tuple(
-                        (w, letter)
-                        for w, letter in ((c, pair[0]), (t, pair[1]))
-                        if letter != "I"
-                    )
-                    yield location, Injection(paulis=paulis)
-            elif kind == "reset_z":
-                yield location, Injection(paulis=((wires[0], "X"),))
-            elif kind == "reset_x":
-                yield location, Injection(paulis=((wires[0], "Z"),))
-            elif kind == "meas":
-                yield location, Injection(flip=True)
+    pool, _, _ = _checkable_strata(protocol_locations(protocol))
+    yield from pool
 
 
 def second_order_survey(
@@ -86,6 +98,8 @@ def second_order_survey(
     *,
     samples: int = 2000,
     rng=None,
+    engine: str = "batched",
+    batch_size: int = 8192,
 ) -> dict:
     """Survey Definition 1 at t = 2: fraction of fault *pairs* leaving
     ``wt_S > 2`` residuals.
@@ -97,28 +111,32 @@ def second_order_survey(
     always-executed faults and reports the violation fraction. A d = 3
     protocol is *allowed* to violate t = 2 (⌊d/2⌋ = 1); the number is a
     design-space observable, not a pass/fail certificate.
+
+    The pair draw stream is engine-independent (identical to the historical
+    per-shot loop for a given ``rng``); only the evaluation is batched.
     """
-    import numpy as np
+    from ..sim.sampler import make_sampler
 
     rng = rng if rng is not None else np.random.default_rng()
-    runner = ProtocolRunner(protocol)
+    sampler = make_sampler(protocol, engine=engine)
     x_reducer = error_reducer(protocol.code, "X")
     z_reducer = error_reducer(protocol.code, "Z")
     pool = list(enumerate_checkable_injections(protocol))
-    violations = 0
-    checked = 0
+    pairs: list[dict] = []
     for _ in range(samples):
         i, j = rng.choice(len(pool), size=2, replace=False)
         (loc_i, inj_i), (loc_j, inj_j) = pool[int(i)], pool[int(j)]
         if loc_i == loc_j:
             continue
-        result = runner.run({loc_i: inj_i, loc_j: inj_j})
-        checked += 1
-        if (
-            x_reducer.coset_weight(result.data_x) > 2
-            or z_reducer.coset_weight(result.data_z) > 2
-        ):
-            violations += 1
+        pairs.append({loc_i: inj_i, loc_j: inj_j})
+    violations = 0
+    for start in range(0, len(pairs), batch_size):
+        chunk = pairs[start : start + batch_size]
+        x_weights, z_weights = sampler.residual_weights(
+            chunk, x_reducer, z_reducer
+        )
+        violations += int(((x_weights > 2) | (z_weights > 2)).sum())
+    checked = len(pairs)
     return {
         "pairs_checked": checked,
         "violations": violations,
@@ -127,31 +145,59 @@ def second_order_survey(
 
 
 def check_fault_tolerance(
-    protocol: DeterministicProtocol, *, max_violations: int = 10
+    protocol: DeterministicProtocol,
+    *,
+    max_violations: int = 10,
+    engine: str = "batched",
+    batch_size: int = 8192,
 ) -> list[FTViolation]:
     """Run every single-fault scenario; return violations (empty = FT).
 
-    Also asserts the fault-free run is completely silent.
+    Also asserts the fault-free run is completely silent. The enumeration
+    is evaluated as index strata on the selected engine (batched by
+    default); violations come back in enumeration order, capped at
+    ``max_violations``, exactly as the per-shot walk reported them.
     """
-    runner = ProtocolRunner(protocol)
+    from ..sim.sampler import make_sampler
+
+    sampler = make_sampler(protocol, engine=engine)
     x_reducer = error_reducer(protocol.code, "X")
     z_reducer = error_reducer(protocol.code, "Z")
 
-    clean = runner.run()
-    if clean.data_x.any() or clean.data_z.any() or any(clean.flips.values()):
+    clean = sampler.run([{}])
+    if (
+        clean.data_x.any()
+        or clean.data_z.any()
+        or any(values.any() for values in clean.flips.values())
+    ):
         raise AssertionError(
             f"{protocol.code.name}: fault-free run is not silent"
         )
 
+    pool, loc_idx, draw_idx = _checkable_strata(sampler.locations)
     violations: list[FTViolation] = []
-    for location, injection in enumerate_checkable_injections(protocol):
-        result = runner.run({location: injection})
-        x_weight = x_reducer.coset_weight(result.data_x)
-        z_weight = z_reducer.coset_weight(result.data_z)
-        if x_weight > 1 or z_weight > 1:
+    evidence_runner: ProtocolRunner | None = None
+    for start in range(0, len(pool), batch_size):
+        stop = start + batch_size
+        x_weights, z_weights = sampler.residual_weights_indexed(
+            loc_idx[start:stop], draw_idx[start:stop], x_reducer, z_reducer
+        )
+        for offset in np.nonzero((x_weights > 1) | (z_weights > 1))[0]:
+            location, injection = pool[start + int(offset)]
+            # Violations are rare (zero for a correct protocol), so the
+            # flip evidence is gathered with one per-shot replay each.
+            if evidence_runner is None:
+                evidence_runner = ProtocolRunner(protocol)
+            flips = evidence_runner.run({location: injection}).flips
             violations.append(
-                FTViolation(location, injection, x_weight, z_weight, result.flips)
+                FTViolation(
+                    location,
+                    injection,
+                    int(x_weights[offset]),
+                    int(z_weights[offset]),
+                    flips,
+                )
             )
             if len(violations) >= max_violations:
-                break
+                return violations
     return violations

@@ -27,7 +27,8 @@ import numpy as np
 
 from ..codes.catalog import get_code
 from ..core.protocol import DeterministicProtocol, synthesize_protocol
-from ..sim.subset import SubsetEstimate, SubsetSampler
+from ..sim.noise import E1_1
+from ..sim.subset import DirectEstimate, SubsetEstimate, SubsetSampler, direct_mc
 
 __all__ = [
     "FIGURE4_CODES",
@@ -68,6 +69,9 @@ class Figure4Series:
     seconds: float
     locations: int
     engine: str = "batched"
+    #: Optional direct (Bernoulli) Monte-Carlo cross-check of the subset
+    #: estimator at one fixed rate, on the same batch engine.
+    direct: DirectEstimate | None = None
 
     @property
     def slope(self) -> float:
@@ -100,6 +104,8 @@ def run_series(
     seed: int = 2025,
     exact_k1: bool = True,
     engine: str = "batched",
+    direct_check_at: float | None = None,
+    direct_shots: int = 4000,
 ) -> Figure4Series:
     """Simulate one code's curve (paper defaults: 8000 shots, k_max keeps
     the truncation tail well under the statistical error at p <= 0.1).
@@ -108,6 +114,11 @@ def run_series(
     the bit-packed ``"batched"`` engine by default, or the per-shot
     ``"reference"`` oracle. Both produce identical series for the same
     seed — the engines differ only in wall-clock.
+
+    ``direct_check_at`` additionally runs ``direct_shots`` of plain
+    Bernoulli Monte-Carlo at that physical rate on the same engine (the
+    vectorized ``sample_injections_model_batch`` path) — an end-to-end
+    consistency check of the subset decomposition, qsample-style.
     """
     sweep = FIGURE4_SWEEP if sweep is None else sorted(sweep)
     if protocol is None:
@@ -127,6 +138,14 @@ def run_series(
         sampler.enumerate_k1_exact()
     sampler.sample(shots, p_ref=0.1)
     estimates = sampler.curve(sweep)
+    direct = None
+    if direct_check_at is not None:
+        direct = direct_mc(
+            sampler.engine,
+            E1_1(p=direct_check_at),
+            direct_shots,
+            rng=np.random.default_rng(seed + 1),
+        )
     return Figure4Series(
         code=code_key,
         estimates=estimates,
@@ -135,13 +154,21 @@ def run_series(
         seconds=time.monotonic() - start,
         locations=len(sampler.locations),
         engine=engine,
+        direct=direct,
     )
 
 
 def _series_task(args: tuple) -> Figure4Series:
     """Module-level worker body so multiprocessing can pickle it."""
-    code, shots, sweep, seed, engine = args
-    return run_series(code, shots=shots, sweep=sweep, seed=seed, engine=engine)
+    code, shots, sweep, seed, engine, direct_check_at = args
+    return run_series(
+        code,
+        shots=shots,
+        sweep=sweep,
+        seed=seed,
+        engine=engine,
+        direct_check_at=direct_check_at,
+    )
 
 
 def run_figure4(
@@ -152,6 +179,7 @@ def run_figure4(
     seed: int = 2025,
     engine: str = "batched",
     workers: int = 1,
+    direct_check_at: float | None = None,
 ) -> list[Figure4Series]:
     """Regenerate all Fig. 4 series.
 
@@ -162,7 +190,9 @@ def run_figure4(
     independently.
     """
     codes = FIGURE4_CODES if codes is None else codes
-    tasks = [(code, shots, sweep, seed, engine) for code in codes]
+    tasks = [
+        (code, shots, sweep, seed, engine, direct_check_at) for code in codes
+    ]
     if workers > 1 and len(codes) > 1:
         with multiprocessing.get_context("spawn").Pool(
             min(workers, len(codes))
@@ -185,4 +215,6 @@ def render_figure4(series: list[Figure4Series]) -> str:
                 f"   p={est.p:9.3e}  pL={est.mean:9.3e}  "
                 f"[{est.lower:9.3e}, {est.upper:9.3e}]  tail={est.tail:8.2e}"
             )
+        if s.direct is not None:
+            lines.append(f"   direct-MC check: {s.direct}")
     return "\n".join(lines)

@@ -76,6 +76,8 @@ class Table1Row:
     metrics: ProtocolMetrics
     seconds: float
     global_candidates: int | None = None
+    #: Batched FT certificate verdict (None when not requested).
+    ft_certified: bool | None = None
 
     def cells(self) -> dict:
         row = dict(self.metrics.as_row())
@@ -85,6 +87,8 @@ class Table1Row:
         row["sec"] = round(self.seconds, 1)
         if self.global_candidates is not None:
             row["explored"] = self.global_candidates
+        if self.ft_certified is not None:
+            row["ft"] = self.ft_certified
         return row
 
 
@@ -94,8 +98,15 @@ def run_row(
     verification_method: str,
     *,
     global_time_budget: float | None = 600.0,
+    verify_ft: bool = False,
 ) -> Table1Row:
-    """Synthesize one Table-I row and extract its metrics."""
+    """Synthesize one Table-I row and extract its metrics.
+
+    ``verify_ft`` additionally runs the exhaustive single-fault
+    certificate on the synthesized protocol — cheap now that it executes
+    on the batched engine, so the regenerated table can carry a proof
+    column next to the metrics.
+    """
     code = get_code(code_key)
     start = time.monotonic()
     candidates = None
@@ -103,6 +114,7 @@ def run_row(
         result = globally_optimize_protocol(
             code, prep_method=prep_method, time_budget=global_time_budget
         )
+        protocol = result.protocol
         metrics = result.metrics
         candidates = result.candidates_explored
     else:
@@ -112,6 +124,11 @@ def run_row(
             verification_method=verification_method,
         )
         metrics = protocol_metrics(protocol)
+    ft_certified = None
+    if verify_ft:
+        from ..core.ftcheck import check_fault_tolerance
+
+        ft_certified = not check_fault_tolerance(protocol, max_violations=1)
     return Table1Row(
         code=code_key,
         prep_method=prep_method,
@@ -119,6 +136,7 @@ def run_row(
         metrics=metrics,
         seconds=time.monotonic() - start,
         global_candidates=candidates,
+        ft_certified=ft_certified,
     )
 
 
@@ -126,11 +144,18 @@ def run_table1(
     rows: list[tuple[str, str, str]] | None = None,
     *,
     global_time_budget: float | None = 600.0,
+    verify_ft: bool = False,
 ) -> list[Table1Row]:
     """Regenerate Table I (all rows by default)."""
     rows = TABLE1_ROWS if rows is None else rows
     return [
-        run_row(code, prep, verif, global_time_budget=global_time_budget)
+        run_row(
+            code,
+            prep,
+            verif,
+            global_time_budget=global_time_budget,
+            verify_ft=verify_ft,
+        )
         for code, prep, verif in rows
     ]
 
@@ -147,12 +172,17 @@ def render_table1(rows: list[Table1Row]) -> str:
         fragments = " || ".join(
             f"{layer.kind}: {layer.format_fragment()}" for layer in m.layers
         )
+        certified = (
+            ""
+            if row.ft_certified is None
+            else (" FT " if row.ft_certified else " !! ")
+        )
         lines.append(
             f"{row.code:<12} {row.prep_method[:4]:<4} "
             f"{row.verification_method[:6]:<6} {m.n:>3} {m.k:>2} "
             f"{m.total_verification_ancillas:>4} "
             f"{m.total_verification_cnots:>5} "
             f"{m.average_correction_ancillas:>5.2f} "
-            f"{m.average_correction_cnots:>6.2f}  {fragments}"
+            f"{m.average_correction_cnots:>6.2f} {certified} {fragments}"
         )
     return "\n".join(lines)

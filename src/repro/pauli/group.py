@@ -68,7 +68,27 @@ class CosetReducer:
             return np.zeros(0, dtype=np.int64)
         # (errors, span, n) XOR broadcast; memory ~ rows * 2^rank * n bytes.
         diffs = mat[:, None, :] ^ self._span[None, :, :]
-        return diffs.sum(axis=2).min(axis=1)
+        return diffs.sum(axis=2).min(axis=1).astype(np.int64)
+
+    def coset_weights_dedup(self, mat) -> np.ndarray:
+        """Coset weights for every row, reducing each *distinct* row once.
+
+        Monte-Carlo batches repeat the same few residual patterns across
+        thousands of shots, so the span broadcast of
+        :meth:`coset_weights_batch` runs over the unique rows only and the
+        result is scattered back — cost O(unique * 2^rank * n) instead of
+        O(rows * 2^rank * n).
+        """
+        mat = as_bit_matrix(mat, self.n)
+        if mat.shape[0] == 0:
+            return np.zeros(0, dtype=np.int64)
+        # Small broadcasts are cheaper than the unique() round trip.
+        if mat.shape[0] * self._span.shape[0] * self.n <= 1 << 20:
+            return self.coset_weights_batch(mat)
+        packed = np.packbits(mat, axis=1)
+        unique_rows, inverse = np.unique(packed, axis=0, return_inverse=True)
+        unpacked = np.unpackbits(unique_rows, axis=1, count=self.n)
+        return self.coset_weights_batch(unpacked)[inverse.ravel()]
 
     def contains(self, vec) -> bool:
         """True iff ``vec`` is itself a group element."""

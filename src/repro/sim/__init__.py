@@ -19,11 +19,14 @@ from .matching import MatchingDecoder, is_matchable
 from .noise import (
     E1_1,
     ScaledNoiseModel,
+    draw_counts,
+    draw_tables,
     fault_draws,
     materialize_stratum,
     sample_injections,
     sample_injections_fixed_k,
     sample_injections_model,
+    sample_injections_model_batch,
     sample_injections_stratum,
 )
 from .reference import TableauProtocolRunner, TableauRunResult
@@ -35,10 +38,12 @@ from .sampler import (
     make_sampler,
 )
 from .subset import (
+    DirectEstimate,
     StratumStats,
     SubsetEstimate,
     SubsetSampler,
     binomial_weight,
+    direct_mc,
     tail_weight,
     wilson_interval,
 )
@@ -48,6 +53,7 @@ __all__ = [
     "BatchResult",
     "BatchedSampler",
     "CompiledProtocol",
+    "DirectEstimate",
     "E1_1",
     "Injection",
     "LogicalJudge",
@@ -64,6 +70,9 @@ __all__ = [
     "TableauProtocolRunner",
     "TableauRunResult",
     "binomial_weight",
+    "direct_mc",
+    "draw_counts",
+    "draw_tables",
     "fault_draws",
     "is_matchable",
     "make_sampler",
@@ -73,6 +82,7 @@ __all__ = [
     "sample_injections",
     "sample_injections_fixed_k",
     "sample_injections_model",
+    "sample_injections_model_batch",
     "sample_injections_stratum",
     "tail_weight",
     "wilson_interval",

@@ -21,12 +21,28 @@ __all__ = ["LogicalJudge"]
 
 
 class LogicalJudge:
-    """Decides logical failure of protocol runs for one code."""
+    """Decides logical failure of protocol runs for one code.
 
-    def __init__(self, code: CSSCode):
+    ``x_decoder`` defaults to the paper's lookup table over the Z checks
+    (Z checks detect X errors); any decoder exposing ``checks`` and
+    ``decode(syndrome)`` — e.g.
+    :class:`~repro.sim.matching.MatchingDecoder` for matchable codes at
+    larger distance — plugs into both the per-shot and the batched path.
+    """
+
+    def __init__(self, code: CSSCode, x_decoder=None):
         self.code = code
-        self.x_decoder = LookupDecoder(code.hz)  # Z checks detect X errors
+        self.x_decoder = (
+            LookupDecoder(code.hz) if x_decoder is None else x_decoder
+        )
         self.logical_z = code.logical_z
+
+    @classmethod
+    def with_matching(cls, code: CSSCode) -> "LogicalJudge":
+        """Judge backed by the MWPM decoder (requires a matchable ``hz``)."""
+        from .matching import MatchingDecoder
+
+        return cls(code, x_decoder=MatchingDecoder(code.hz))
 
     def is_logical_failure(self, result: RunResult) -> bool:
         """Perfect EC + destructive Z readout: did a logical-Z parity flip?"""
@@ -37,9 +53,10 @@ class LogicalJudge:
     def failure_mask(self, data_x: np.ndarray) -> np.ndarray:
         """Vectorized :meth:`is_logical_failure` over a ``(shots, n)`` batch.
 
-        The decoder lookup is the only non-linear step, so it runs once per
+        The decoder is the only non-linear step, so it runs once per
         *distinct* syndrome in the batch; everything else is two GF(2)
-        matrix products across the whole shot axis.
+        matrix products across the whole shot axis. This makes even an
+        expensive decoder (MWPM) cost O(unique syndromes), not O(shots).
         """
         data_x = np.asarray(data_x, dtype=np.uint8)
         if data_x.ndim != 2:

@@ -69,6 +69,10 @@ class MatchingDecoder:
         for index, component in enumerate(nx.connected_components(self.graph)):
             for node in component:
                 self._component_of[node] = index
+        # Syndrome -> correction memo. Matching is by far the most
+        # expensive decode step; batched judging dedups syndromes within
+        # one batch, and this cache amortizes them across batches too.
+        self._decode_cache: dict[bytes, np.ndarray] = {}
 
     # -- api -----------------------------------------------------------------
 
@@ -79,20 +83,24 @@ class MatchingDecoder:
     def decode(self, syndrome) -> np.ndarray:
         """A minimum-weight error consistent with ``syndrome``."""
         syndrome = np.asarray(syndrome, dtype=np.uint8)
+        key = syndrome.tobytes()
+        cached = self._decode_cache.get(key)
+        if cached is not None:
+            return cached.copy()
         flagged = [int(i) for i in np.nonzero(syndrome)[0]]
         correction = np.zeros(self.n, dtype=np.uint8)
-        if not flagged:
-            return correction
-        # Decode each connected component of the check graph on its own —
-        # no error can connect checks in different components.
-        groups: dict[int, list[int]] = {}
-        for check in flagged:
-            groups.setdefault(self._component_of[check], []).append(check)
-        for component, members in sorted(groups.items()):
-            correction ^= self._decode_component(members)
-        if (self.syndrome(correction) != syndrome).any():
-            raise AssertionError("matching produced wrong syndrome")
-        return correction
+        if flagged:
+            # Decode each connected component of the check graph on its
+            # own — no error can connect checks in different components.
+            groups: dict[int, list[int]] = {}
+            for check in flagged:
+                groups.setdefault(self._component_of[check], []).append(check)
+            for component, members in sorted(groups.items()):
+                correction ^= self._decode_component(members)
+            if (self.syndrome(correction) != syndrome).any():
+                raise AssertionError("matching produced wrong syndrome")
+        self._decode_cache[key] = correction
+        return correction.copy()
 
     def _decode_component(self, flagged: list[int]) -> np.ndarray:
         has_boundary = _BOUNDARY in self._distance[flagged[0]]

@@ -16,6 +16,7 @@ unless executed, which keeps per-location failures i.i.d.; DESIGN.md §2).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -26,8 +27,11 @@ __all__ = [
     "E1_1",
     "ScaledNoiseModel",
     "fault_draws",
+    "draw_tables",
+    "draw_counts",
     "sample_injections",
     "sample_injections_model",
+    "sample_injections_model_batch",
     "sample_injections_fixed_k",
     "sample_injections_stratum",
     "materialize_stratum",
@@ -43,6 +47,10 @@ class E1_1:
     def probability(self, kind: str) -> float:
         return self.p
 
+    def kind_rates(self, locations) -> np.ndarray:
+        """Per-location failure rates (uniform for E1_1)."""
+        return np.full(len(locations), self.p, dtype=np.float64)
+
 
 @dataclass(frozen=True)
 class ScaledNoiseModel:
@@ -53,6 +61,9 @@ class ScaledNoiseModel:
     (defaults 1.0, i.e. E1_1). Example — trapped-ion-flavoured budget::
 
         ScaledNoiseModel(p, two_qubit=5.0, measurement=10.0)
+
+    Every scaled rate is validated once at construction, so the sampling
+    hot paths (:meth:`kind_rates`, :meth:`probability`) never re-check.
     """
 
     p: float
@@ -69,11 +80,35 @@ class ScaledNoiseModel:
         "meas": "measurement",
     }
 
+    def __post_init__(self):
+        for kind, attr in self._FACTORS.items():
+            rate = self.p * getattr(self, attr)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(
+                    f"scaled rate {rate} for kind {kind!r} outside [0, 1]"
+                )
+
     def probability(self, kind: str) -> float:
-        rate = self.p * getattr(self, self._FACTORS[kind])
-        if not 0.0 <= rate <= 1.0:
-            raise ValueError(f"scaled rate {rate} outside [0, 1]")
-        return rate
+        return self.p * getattr(self, self._FACTORS[kind])
+
+    def kind_rates(self, locations) -> np.ndarray:
+        """Per-location failure rates, one pass over the location list."""
+        by_kind = {
+            kind: self.probability(kind) for kind in self._FACTORS
+        }
+        return np.asarray(
+            [by_kind[kind] for _, kind, _ in locations], dtype=np.float64
+        )
+
+
+def _model_rates(locations, model) -> np.ndarray:
+    """Per-location rates from any noise model (vectorized when possible)."""
+    if hasattr(model, "kind_rates"):
+        return np.asarray(model.kind_rates(locations), dtype=np.float64)
+    return np.asarray(
+        [model.probability(kind) for _, kind, _ in locations],
+        dtype=np.float64,
+    )
 
 
 def _draw_fault(kind: str, wires, rng: np.random.Generator) -> Injection:
@@ -102,7 +137,9 @@ def fault_draws(kind: str, wires) -> list[Injection]:
 
     The E1_1 conditional draw distribution is uniform within each kind, so
     exact stratum enumeration (``SubsetSampler.enumerate_k1_exact``) weights
-    every returned injection by ``1 / len(fault_draws(...))``.
+    every returned injection by ``1 / len(fault_draws(...))``. Consumers
+    iterating a whole location list should use :func:`draw_tables` /
+    :func:`draw_counts`, which cache per-universe instead of rebuilding.
     """
     if kind == "1q":
         return [Injection(paulis=((wires[0], letter),)) for letter in ONE_QUBIT_PAULIS]
@@ -121,6 +158,47 @@ def fault_draws(kind: str, wires) -> list[Injection]:
     if kind == "meas":
         return [Injection(flip=True)]
     raise ValueError(f"unknown location kind {kind!r}")
+
+
+@lru_cache(maxsize=None)
+def _draw_tables_cached(
+    location_kinds: tuple[tuple[str, tuple[int, ...]], ...]
+) -> tuple[tuple[Injection, ...], ...]:
+    return tuple(
+        tuple(fault_draws(kind, wires)) for kind, wires in location_kinds
+    )
+
+
+def draw_tables(locations) -> tuple[tuple[Injection, ...], ...]:
+    """Per-location :func:`fault_draws` tables, cached per location universe.
+
+    ``materialize_stratum`` / ``sample_injections_stratum`` and the batch
+    engines all hit the same tables; building them once per universe (not
+    per call) takes the table construction off every Monte-Carlo batch.
+    The returned tuples are shared — treat them as immutable.
+    """
+    return _draw_tables_cached(
+        tuple((kind, tuple(wires)) for _, kind, wires in locations)
+    )
+
+
+@lru_cache(maxsize=None)
+def _draw_counts_cached(
+    location_kinds: tuple[tuple[str, tuple[int, ...]], ...]
+) -> np.ndarray:
+    counts = np.asarray(
+        [len(table) for table in _draw_tables_cached(location_kinds)],
+        dtype=np.int64,
+    )
+    counts.setflags(write=False)
+    return counts
+
+
+def draw_counts(locations) -> np.ndarray:
+    """``len(fault_draws(...))`` per location, cached (read-only array)."""
+    return _draw_counts_cached(
+        tuple((kind, tuple(wires)) for _, kind, wires in locations)
+    )
 
 
 def sample_injections(
@@ -145,6 +223,46 @@ def sample_injections_model(
         if roll < model.probability(kind):
             injections[key] = _draw_fault(kind, wires, rng)
     return injections
+
+
+def sample_injections_model_batch(
+    locations, model, shots: int, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized Bernoulli (direct Monte-Carlo) batch at fixed rates.
+
+    The batched counterpart of :func:`sample_injections_model`: every
+    location of every shot fails independently with its per-kind rate from
+    ``model`` (one ``(shots, locations)`` uniform draw), and each failure
+    draws uniformly within its kind. Because shots have *variable* fault
+    weight, the result is a masked index pair ``(loc_idx, draw_idx)`` of
+    shape ``(shots, k_width)`` where ``k_width`` is the largest per-shot
+    fault count in the batch and unused slots hold ``loc_idx == -1``
+    (ignored by ``failures_indexed`` and :func:`materialize_stratum`).
+
+    The rng stream differs from ``shots`` sequential
+    :func:`sample_injections_model` calls, but is identical for every
+    engine consuming the same batch — engine cross-validation stays exact.
+    """
+    num = len(locations)
+    rates = _model_rates(locations, model)
+    fails = rng.random((shots, num)) < rates[None, :]
+    per_shot = fails.sum(axis=1)
+    k_width = int(per_shot.max()) if shots else 0
+    loc_idx = np.full((shots, k_width), -1, dtype=np.intp)
+    draw_idx = np.zeros((shots, k_width), dtype=np.intp)
+    shot_ids, locs = np.nonzero(fails)
+    if shot_ids.size:
+        counts = draw_counts(locations)
+        draws = np.floor(
+            rng.random(shot_ids.size) * counts[locs]
+        ).astype(np.intp)
+        # np.nonzero is row-major, so the column of failure f within its
+        # shot is its rank among that shot's failures.
+        offsets = np.concatenate(([0], np.cumsum(per_shot)[:-1]))
+        cols = np.arange(shot_ids.size) - offsets[shot_ids]
+        loc_idx[shot_ids, cols] = locs
+        draw_idx[shot_ids, cols] = draws
+    return loc_idx, draw_idx
 
 
 def sample_injections_fixed_k(
@@ -186,18 +304,21 @@ def sample_injections_stratum(
         loc_idx = np.tile(np.arange(num, dtype=np.intp), (shots, 1))
     else:
         loc_idx = np.argpartition(keys, k, axis=1)[:, :k].astype(np.intp)
-    draw_counts = np.asarray(
-        [len(fault_draws(kind, wires)) for _, kind, wires in locations],
-        dtype=np.int64,
-    )
+    counts = draw_counts(locations)
     uniform = rng.random((shots, k))
-    draw_idx = np.floor(uniform * draw_counts[loc_idx]).astype(np.intp)
+    draw_idx = np.floor(uniform * counts[loc_idx]).astype(np.intp)
     return loc_idx, draw_idx
 
 
 def materialize_stratum(locations, loc_idx, draw_idx) -> list[dict]:
-    """Expand :func:`sample_injections_stratum` indices into injection dicts."""
-    tables = [fault_draws(kind, wires) for _, kind, wires in locations]
+    """Expand indexed fault configurations into per-shot injection dicts.
+
+    Accepts both the rectangular output of
+    :func:`sample_injections_stratum` and the masked variable-weight output
+    of :func:`sample_injections_model_batch` (``loc_idx == -1`` slots are
+    skipped).
+    """
+    tables = draw_tables(locations)
     keys = [key for key, _, _ in locations]
     out = []
     for shot_locs, shot_draws in zip(loc_idx, draw_idx):
@@ -205,6 +326,7 @@ def materialize_stratum(locations, loc_idx, draw_idx) -> list[dict]:
             {
                 keys[l]: tables[l][d]
                 for l, d in zip(shot_locs.tolist(), shot_draws.tolist())
+                if l >= 0
             }
         )
     return out

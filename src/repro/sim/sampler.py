@@ -59,7 +59,7 @@ from ..core.faults import PauliFrame, apply_instruction
 from ..core.protocol import DeterministicProtocol
 from .frame import Injection, ProtocolRunner, RunResult, protocol_locations
 from .logical import LogicalJudge
-from .noise import fault_draws, materialize_stratum
+from .noise import draw_tables, materialize_stratum
 
 __all__ = [
     "FaultSignature",
@@ -168,7 +168,13 @@ class CompiledSegment:
                 raise TypeError(f"unknown instruction {ins!r}")
         self.out_rows = [_mask_to_rows(m) for m in sym_x + sym_z]
         self.bit_rows = [(bit, _mask_to_rows(m)) for bit, m in bit_masks]
+        self.bit_names = [bit for bit, _ in bit_masks]
+        self._bit_slot = {bit: i for i, bit in enumerate(self.bit_names)}
         self._signatures: dict[tuple[int, Injection], FaultSignature] = {}
+        self._sig_columns: dict[tuple[int, Injection], np.ndarray] = {}
+        self._sig_columns_by_id: dict[
+            tuple[int, int], tuple[Injection, np.ndarray]
+        ] = {}
 
     def fault_signature(self, index: int, injection: Injection) -> FaultSignature:
         """Propagated image of ``injection`` after instruction ``index``."""
@@ -191,9 +197,44 @@ class CompiledSegment:
             self._signatures[cache_key] = signature
         return signature
 
+    def signature_columns(self, index: int, injection: Injection) -> np.ndarray:
+        """Signature as component ids: x wire ``w`` -> ``w``, z wire ``w`` ->
+        ``num_wires + w``, flipped bit -> ``2 * num_wires + bit slot``.
+
+        The id-keyed fast path exploits that draw-table injections are
+        shared canonical instances (``repro.sim.noise.draw_tables``), so the
+        hot loop skips hashing the injection's nested tuples; the pinned
+        reference keeps the id stable.
+        """
+        id_key = (index, id(injection))
+        hit = self._sig_columns_by_id.get(id_key)
+        if hit is not None and hit[0] is injection:
+            return hit[1]
+        cache_key = (index, injection)
+        columns = self._sig_columns.get(cache_key)
+        if columns is None:
+            signature = self.fault_signature(index, injection)
+            offset = 2 * self.num_wires
+            columns = np.asarray(
+                [
+                    *signature.x_wires,
+                    *(self.num_wires + w for w in signature.z_wires),
+                    *(offset + self._bit_slot[b] for b in signature.flips),
+                ],
+                dtype=np.intp,
+            )
+            self._sig_columns[cache_key] = columns
+        self._sig_columns_by_id[id_key] = (injection, columns)
+        return columns
+
 
 class CompiledProtocol:
-    """All segments of a protocol in compiled F2-linear form."""
+    """All segments of a protocol in compiled F2-linear form.
+
+    Also caches the static location universe and the per-location fault
+    draw tables, so every fault-set consumer (stratum sampling, exact
+    enumeration, certificates, Bernoulli batches) shares one table build.
+    """
 
     def __init__(self, protocol: DeterministicProtocol):
         self.protocol = protocol
@@ -204,12 +245,29 @@ class CompiledProtocol:
             self._add(("verif", li), layer.circuit)
             for signature, branch in layer.branches.items():
                 self._add(("branch", li, signature), branch.circuit)
+        self.locations = protocol_locations(protocol)
+        self.draw_tables = draw_tables(self.locations)
 
     def _add(self, key: tuple, circuit: Circuit) -> None:
         self.segments[key] = CompiledSegment(key, circuit, self.num_wires)
 
 
 # -- batched execution --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _SegmentFaults:
+    """One segment's fault batch in applied form.
+
+    ``masks[f]`` selects the shots carrying fault ``f``; ``columns`` is the
+    concatenation of every fault's signature component ids (see
+    :meth:`CompiledSegment.signature_columns`) with ``counts[f]`` entries
+    per fault — exactly the arrays the XOR-reduceat application consumes.
+    """
+
+    masks: np.ndarray  # (faults, words) uint64
+    columns: np.ndarray  # (nnz,) intp — concatenated signature components
+    counts: np.ndarray  # (faults,) intp
 
 
 @dataclass
@@ -219,6 +277,11 @@ class BatchResult:
     Mirrors :class:`~repro.sim.frame.RunResult` field-for-field across the
     shot axis; :meth:`result` rebuilds the per-shot view for
     cross-validation against the reference runner.
+
+    The batched engine additionally attaches the *packed* residual planes
+    (``x_words`` / ``z_words``: data wire-major ``(n, words)`` uint64, bit
+    ``s`` = shot ``s``), which feed the vectorized residual-weight API
+    without a per-shot round trip.
     """
 
     num_shots: int
@@ -228,10 +291,33 @@ class BatchResult:
     terminated: np.ndarray  # (shots,) bool
     flips: dict[str, np.ndarray] = field(default_factory=dict)  # bit -> (shots,) uint8
     branches_taken: list[list[tuple[int, tuple, tuple]]] = field(default_factory=list)
+    x_words: np.ndarray | None = None  # (n, words) uint64 packed plane
+    z_words: np.ndarray | None = None
 
     def flip_of(self, shot: int, bit: str) -> int:
         values = self.flips.get(bit)
         return int(values[shot]) if values is not None else 0
+
+    def residual_weights(self, reducer, plane: str = "x") -> np.ndarray:
+        """Stabilizer-reduced residual weight per shot (vectorized).
+
+        ``reducer`` is a :class:`~repro.pauli.group.CosetReducer` (from
+        ``core.errors.error_reducer``); the batch reduction runs once per
+        *distinct* residual pattern, not per shot.
+        """
+        if plane == "x":
+            data = self.data_x
+        elif plane == "z":
+            data = self.data_z
+        else:
+            raise ValueError(f"plane must be 'x' or 'z', got {plane!r}")
+        return reducer.coset_weights_dedup(np.asarray(data, dtype=np.uint8))
+
+    def heavy_mask(self, x_reducer, z_reducer, t: int) -> np.ndarray:
+        """Shots whose residual exceeds weight ``t`` in either plane."""
+        return (self.residual_weights(x_reducer, "x") > t) | (
+            self.residual_weights(z_reducer, "z") > t
+        )
 
     def result(self, shot: int) -> RunResult:
         """Per-shot view, shaped like ``ProtocolRunner.run`` output."""
@@ -286,10 +372,22 @@ class BatchedSampler:
         self.judge = judge if judge is not None else LogicalJudge(protocol.code)
         self.compiled = CompiledProtocol(protocol)
         self.n = protocol.code.n
-        self.locations = protocol_locations(protocol)
-        self._draw_tables = [
-            fault_draws(kind, wires) for _, kind, wires in self.locations
-        ]
+        self.locations = self.compiled.locations
+        self._draw_tables = self.compiled.draw_tables
+        self._max_draws = max(len(table) for table in self._draw_tables)
+        # protocol_locations lists each segment's locations contiguously;
+        # precompute the location -> segment map so indexed batches group
+        # by segment with one diff instead of per-location lookups.
+        self._segment_keys: list[tuple] = []
+        self._loc_segment = np.empty(len(self.locations), dtype=np.intp)
+        for loc, ((segment_key, _), _, _) in enumerate(self.locations):
+            if not self._segment_keys or self._segment_keys[-1] != segment_key:
+                self._segment_keys.append(segment_key)
+            self._loc_segment[loc] = len(self._segment_keys) - 1
+        self._loc_instruction = np.asarray(
+            [index for (_, index), _, _ in self.locations], dtype=np.intp
+        )
+        self._pair_columns: dict[int, np.ndarray] = {}
 
     # -- public API ----------------------------------------------------------
 
@@ -315,6 +413,8 @@ class BatchedSampler:
             terminated=_unpack_words(state.terminated, num_shots).astype(bool),
             flips=flips,
             branches_taken=branches,
+            x_words=state.x[: self.n].copy(),
+            z_words=state.z[: self.n].copy(),
         )
 
     def failures(self, injections_per_shot: Sequence[dict]) -> np.ndarray:
@@ -331,7 +431,9 @@ class BatchedSampler:
         """Verdicts for an indexed stratum batch, skipping dicts entirely.
 
         ``loc_idx`` / ``draw_idx`` are ``(shots, k)`` arrays from
-        :func:`repro.sim.noise.sample_injections_stratum`; the grouping into
+        :func:`repro.sim.noise.sample_injections_stratum` (or the masked
+        variable-weight arrays of ``sample_injections_model_batch``, where
+        ``loc_idx == -1`` slots carry no fault); the grouping into
         per-(location, draw) shot masks happens with one stable sort instead
         of ``shots`` dict traversals.
         """
@@ -344,56 +446,156 @@ class BatchedSampler:
         data_x = self._unpack_data(state.x, state.num_shots)
         return self.judge.failure_mask(data_x)
 
+    def residual_weights(
+        self, injections_per_shot: Sequence[dict], x_reducer, z_reducer
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-shot stabilizer-reduced residual weights (both planes).
+
+        The certificate fast path (Definition 1): execute the whole batch
+        packed, then reduce each *distinct* residual pattern once per plane.
+        Returns ``(x_weights, z_weights)``, both ``(shots,)`` int64.
+        """
+        state = self._execute(injections_per_shot)
+        return self._state_residual_weights(state, x_reducer, z_reducer)
+
+    def residual_weights_indexed(
+        self, loc_idx: np.ndarray, draw_idx: np.ndarray, x_reducer, z_reducer
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Indexed-batch variant of :meth:`residual_weights`."""
+        num_shots = loc_idx.shape[0]
+        if num_shots == 0:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty.copy()
+        grouped = self._group_indexed(loc_idx, draw_idx, _num_words(num_shots))
+        state = self._execute_grouped(grouped, num_shots)
+        return self._state_residual_weights(state, x_reducer, z_reducer)
+
     # -- execution -----------------------------------------------------------
+
+    def _state_residual_weights(
+        self, state: "_PackedState", x_reducer, z_reducer
+    ) -> tuple[np.ndarray, np.ndarray]:
+        if state.num_shots == 0:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty.copy()
+        data_x = self._unpack_data(state.x, state.num_shots)
+        data_z = self._unpack_data(state.z, state.num_shots)
+        return (
+            x_reducer.coset_weights_dedup(data_x),
+            z_reducer.coset_weights_dedup(data_z),
+        )
+
+    def _columns_of_pair(self, pair: int) -> np.ndarray:
+        """Signature component ids of one (location, draw) pair, cached."""
+        columns = self._pair_columns.get(pair)
+        if columns is None:
+            location = pair // self._max_draws
+            (segment_key, index), _, _ = self.locations[location]
+            injection = self._draw_tables[location][pair % self._max_draws]
+            segment = self.compiled.segments[segment_key]
+            columns = segment.signature_columns(index, injection)
+            self._pair_columns[pair] = columns
+        return columns
 
     def _group_indexed(
         self, loc_idx: np.ndarray, draw_idx: np.ndarray, words: int
-    ) -> dict[tuple, list[tuple[int, Injection, np.ndarray]]]:
-        """Indexed stratum batch -> per-segment packed fault masks."""
+    ) -> dict[tuple, _SegmentFaults]:
+        """Indexed stratum batch -> per-segment packed fault batches."""
         num_shots, k = loc_idx.shape
-        grouped: dict[tuple, list[tuple[int, Injection, np.ndarray]]] = {}
+        grouped: dict[tuple, _SegmentFaults] = {}
         if k == 0:
             return grouped
-        max_draws = max(len(table) for table in self._draw_tables)
-        pair_ids = (loc_idx * max_draws + draw_idx).ravel()
+        flat_loc = loc_idx.ravel()
+        flat_draw = draw_idx.ravel()
         shot_ids = np.repeat(np.arange(num_shots, dtype=np.intp), k)
+        valid = flat_loc >= 0  # masked slots from variable-weight batches
+        if not valid.all():
+            flat_loc = flat_loc[valid]
+            flat_draw = flat_draw[valid]
+            shot_ids = shot_ids[valid]
+        if flat_loc.size == 0:
+            return grouped
+        pair_ids = flat_loc * self._max_draws + flat_draw
         order = np.argsort(pair_ids, kind="stable")
         sorted_pairs = pair_ids[order]
         sorted_shots = shot_ids[order]
         boundaries = np.flatnonzero(np.diff(sorted_pairs)) + 1
         starts = np.concatenate([[0], boundaries])
-        ends = np.concatenate([boundaries, [sorted_pairs.size]])
-        for start, end in zip(starts, ends):
-            pair = int(sorted_pairs[start])
-            location = pair // max_draws
-            (segment_key, index), _, _ = self.locations[location]
-            injection = self._draw_tables[location][pair % max_draws]
-            grouped.setdefault(segment_key, []).append(
-                (index, injection, _pack_shot_indices(sorted_shots[start:end], words))
+        # All per-group shot masks in one scatter instead of a packing
+        # call per group (the certificate path has one group per shot).
+        num_groups = starts.size
+        group_of = np.zeros(sorted_pairs.size, dtype=np.intp)
+        group_of[boundaries] = 1
+        np.cumsum(group_of, out=group_of)
+        masks = np.zeros((num_groups, words), dtype=_WORD)
+        shot_words = (sorted_shots >> 6).astype(np.intp)
+        shot_bits = _ONE << (sorted_shots.astype(np.uint64) & np.uint64(63))
+        np.bitwise_or.at(masks, (group_of, shot_words), shot_bits)
+        # Locations (and hence sorted pair ids) are contiguous per segment,
+        # so the per-segment runs fall out of one more diff.
+        pairs_at = sorted_pairs[starts]
+        segment_of = self._loc_segment[pairs_at // self._max_draws]
+        seg_bounds = np.concatenate(
+            ([0], np.flatnonzero(np.diff(segment_of)) + 1, [num_groups])
+        )
+        for lo, hi in zip(seg_bounds[:-1], seg_bounds[1:]):
+            segment_key = self._segment_keys[int(segment_of[lo])]
+            column_arrays = [
+                self._columns_of_pair(int(pair)) for pair in pairs_at[lo:hi]
+            ]
+            grouped[segment_key] = _SegmentFaults(
+                masks=masks[lo:hi],
+                columns=np.concatenate(column_arrays)
+                if column_arrays
+                else np.zeros(0, dtype=np.intp),
+                counts=np.asarray(
+                    [columns.size for columns in column_arrays],
+                    dtype=np.intp,
+                ),
             )
         return grouped
 
     def _unpack_data(self, packed: np.ndarray, num_shots: int) -> np.ndarray:
-        return np.stack(
-            [_unpack_words(packed[w], num_shots) for w in range(self.n)], axis=1
+        bits = np.unpackbits(
+            np.ascontiguousarray(packed[: self.n]).view(np.uint8),
+            axis=1,
+            bitorder="little",
+            count=num_shots,
         )
+        return np.ascontiguousarray(bits.T)
 
     def _group_injections(
         self, injections_per_shot: Sequence[dict], words: int
-    ) -> dict[tuple, list[tuple[int, Injection, np.ndarray]]]:
-        """Bucket per-shot injections into per-segment packed masks."""
+    ) -> dict[tuple, _SegmentFaults]:
+        """Bucket per-shot injections into per-segment packed batches."""
         by_draw: dict[tuple, dict[tuple[int, Injection], list[int]]] = {}
         for shot, injections in enumerate(injections_per_shot):
             for (segment_key, index), injection in injections.items():
                 by_draw.setdefault(segment_key, {}).setdefault(
                     (index, injection), []
                 ).append(shot)
-        grouped: dict[tuple, list[tuple[int, Injection, np.ndarray]]] = {}
+        grouped: dict[tuple, _SegmentFaults] = {}
         for segment_key, draws in by_draw.items():
-            grouped[segment_key] = [
-                (index, injection, _pack_shot_indices(shots, words))
-                for (index, injection), shots in draws.items()
+            segment = self.compiled.segments[segment_key]
+            column_arrays = [
+                segment.signature_columns(index, injection)
+                for (index, injection) in draws
             ]
+            grouped[segment_key] = _SegmentFaults(
+                masks=np.stack(
+                    [
+                        _pack_shot_indices(shots, words)
+                        for shots in draws.values()
+                    ]
+                ),
+                columns=np.concatenate(column_arrays)
+                if column_arrays
+                else np.zeros(0, dtype=np.intp),
+                counts=np.asarray(
+                    [columns.size for columns in column_arrays],
+                    dtype=np.intp,
+                ),
+            )
         return grouped
 
     def _execute(self, injections_per_shot: Sequence[dict]) -> _PackedState:
@@ -472,20 +674,37 @@ class BatchedSampler:
                 new_bits[bit] = np.bitwise_xor.reduce(incoming[rows], axis=0)
             else:
                 new_bits[bit] = np.zeros(state.words, dtype=_WORD)
-        for index, injection, shot_mask in faults.get(segment_key, ()):
-            effective = shot_mask & mask
-            if not effective.any():
-                continue
-            signature = segment.fault_signature(index, injection)
-            for wire in signature.x_wires:
-                outgoing[wire] ^= effective
-            for wire in signature.z_wires:
-                outgoing[num_wires + wire] ^= effective
-            for bit in signature.flips:
-                # Signature flips only name bits measured later in this same
-                # segment, so they are always present in new_bits; a KeyError
-                # here would mean the compilation model was violated.
-                new_bits[bit] ^= effective
+        entry = faults.get(segment_key)
+        if entry is not None and entry.columns.size:
+            # Apply all fault signatures with one XOR reduction per touched
+            # component instead of a word-op per (fault, wire): sort the
+            # (fault row, component) incidence by component, then reduceat
+            # the masked shot rows at the component boundaries.
+            fault_masks = entry.masks & mask
+            rows = np.repeat(
+                np.arange(entry.counts.size, dtype=np.intp), entry.counts
+            )
+            order = np.argsort(entry.columns, kind="stable")
+            sorted_columns = entry.columns[order]
+            starts = np.concatenate(
+                ([0], np.flatnonzero(np.diff(sorted_columns)) + 1)
+            )
+            reduced = np.bitwise_xor.reduceat(
+                fault_masks[rows[order]], starts, axis=0
+            )
+            components = sorted_columns[starts]
+            wire_limit = 2 * num_wires
+            wire_sel = components < wire_limit
+            outgoing[components[wire_sel]] ^= reduced[wire_sel]
+            for component, flip_words in zip(
+                components[~wire_sel], reduced[~wire_sel]
+            ):
+                # Signature flips only name bits measured later in this
+                # same segment, so they are always present in new_bits;
+                # a KeyError here would mean the compilation model was
+                # violated.
+                bit = segment.bit_names[int(component) - wire_limit]
+                new_bits[bit] ^= flip_words
         keep = ~mask
         state.x = (outgoing[:num_wires] & mask) | (state.x & keep)
         state.z = (outgoing[num_wires:] & mask) | (state.z & keep)
@@ -556,6 +775,28 @@ class ReferenceSampler:
         """Same indexed-batch contract as the batched engine (for swapping)."""
         return self.failures(
             materialize_stratum(self.locations, loc_idx, draw_idx)
+        )
+
+    def residual_weights(
+        self, injections_per_shot: Sequence[dict], x_reducer, z_reducer
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-shot residual weights — the certificate oracle path."""
+        num_shots = len(injections_per_shot)
+        x_weights = np.zeros(num_shots, dtype=np.int64)
+        z_weights = np.zeros(num_shots, dtype=np.int64)
+        for shot, injections in enumerate(injections_per_shot):
+            result = self.runner.run(injections)
+            x_weights[shot] = x_reducer.coset_weight(result.data_x)
+            z_weights[shot] = z_reducer.coset_weight(result.data_z)
+        return x_weights, z_weights
+
+    def residual_weights_indexed(
+        self, loc_idx: np.ndarray, draw_idx: np.ndarray, x_reducer, z_reducer
+    ) -> tuple[np.ndarray, np.ndarray]:
+        return self.residual_weights(
+            materialize_stratum(self.locations, loc_idx, draw_idx),
+            x_reducer,
+            z_reducer,
         )
 
 

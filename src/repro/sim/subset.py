@@ -42,8 +42,9 @@ import numpy as np
 
 from .frame import Injection, protocol_locations
 from .noise import (
-    fault_draws,
+    draw_tables,
     sample_injections_fixed_k,
+    sample_injections_model_batch,
     sample_injections_stratum,
 )
 
@@ -51,6 +52,8 @@ __all__ = [
     "SubsetEstimate",
     "StratumStats",
     "SubsetSampler",
+    "DirectEstimate",
+    "direct_mc",
     "wilson_interval",
     "binomial_weight",
     "tail_weight",
@@ -135,6 +138,66 @@ class SubsetEstimate:
             f"p={self.p:.3g}: p_L={self.mean:.3g} "
             f"[{self.lower:.3g}, {self.upper:.3g}] (tail {self.tail:.2g})"
         )
+
+
+@dataclass
+class DirectEstimate:
+    """``p_L`` from direct (Bernoulli) Monte-Carlo at one fixed rate."""
+
+    p: float
+    trials: int
+    failures: int
+
+    @property
+    def rate(self) -> float:
+        return self.failures / self.trials if self.trials else 0.0
+
+    def interval(self, z: float = 1.96) -> tuple[float, float]:
+        return wilson_interval(self.failures, self.trials, z)
+
+    def __str__(self) -> str:
+        lo, hi = self.interval()
+        return (
+            f"p={self.p:.3g}: p_L={self.rate:.3g} "
+            f"[{lo:.3g}, {hi:.3g}] (direct, {self.trials} shots)"
+        )
+
+
+def direct_mc(
+    engine,
+    model,
+    shots: int,
+    *,
+    rng: np.random.Generator | None = None,
+    batch_size: int = 8192,
+) -> DirectEstimate:
+    """Direct Monte-Carlo at a fixed physical rate on a batch engine.
+
+    The classical estimator the subset decomposition replaces: every
+    location of every shot fails independently at its ``model`` rate
+    (``sample_injections_model_batch``), and the whole batch executes on
+    the engine's packed path. Useful as an end-to-end consistency check of
+    the subset estimator (the two must agree within statistics at the same
+    ``p``) and for noise models whose strata are not p-independent.
+    """
+    rng = rng if rng is not None else np.random.default_rng()
+    failures = 0
+    remaining = shots
+    while remaining > 0:
+        step = min(remaining, batch_size)
+        loc_idx, draw_idx = sample_injections_model_batch(
+            engine.locations, model, step, rng
+        )
+        verdicts = np.asarray(
+            engine.failures_indexed(loc_idx, draw_idx), dtype=bool
+        )
+        failures += int(verdicts.sum())
+        remaining -= step
+    return DirectEstimate(
+        p=float(getattr(model, "p", math.nan)),
+        trials=shots,
+        failures=failures,
+    )
 
 
 class SubsetSampler:
@@ -252,8 +315,8 @@ class SubsetSampler:
         """
         configurations: list[dict] = []
         weights: list[float] = []
-        for key, kind, wires in self.locations:
-            draws = fault_draws(kind, wires)
+        tables = draw_tables(self.locations)
+        for (key, _, _), draws in zip(self.locations, tables):
             weight = 1.0 / (len(self.locations) * len(draws))
             for injection in draws:
                 configurations.append({key: injection})
@@ -284,9 +347,7 @@ class SubsetSampler:
         """
         if self.k_max < 2:
             raise ValueError("k_max < 2: stratum 2 is not tracked")
-        draws = [
-            fault_draws(kind, wires) for _, kind, wires in self.locations
-        ]
+        draws = draw_tables(self.locations)
         total_runs = 0
         num = len(self.locations)
         for i in range(num):

@@ -64,6 +64,36 @@ class TestRunSeries:
         assert [e.p for e in series.estimates] == [1e-3, 1e-2]
 
 
+class TestDirectCheck:
+    def test_direct_mc_rides_along(self):
+        series = run_series(
+            "steane",
+            protocol=cached_protocol("steane"),
+            shots=200,
+            k_max=2,
+            sweep=[1e-2],
+            seed=5,
+            direct_check_at=0.05,
+            direct_shots=300,
+        )
+        assert series.direct is not None
+        assert series.direct.p == pytest.approx(0.05)
+        assert series.direct.trials == 300
+        assert 0.0 <= series.direct.rate <= 1.0
+        assert "direct-MC check" in render_figure4([series])
+
+    def test_direct_check_off_by_default(self):
+        series = run_series(
+            "steane",
+            protocol=cached_protocol("steane"),
+            shots=100,
+            k_max=2,
+            sweep=[1e-2],
+            seed=6,
+        )
+        assert series.direct is None
+
+
 class TestRender:
     def test_render_structure(self):
         series = run_series(

@@ -120,6 +120,106 @@ class TestRandomStrata:
         )
 
 
+class TestResidualWeights:
+    """The vectorized coset-weight (certificate) API of both engines."""
+
+    @pytest.mark.parametrize("key", ["steane", "shor", "surface_3"])
+    def test_engines_agree_on_residual_weights(self, key):
+        from repro.core.errors import error_reducer
+
+        protocol = cached_protocol(key)
+        x_reducer = error_reducer(protocol.code, "X")
+        z_reducer = error_reducer(protocol.code, "Z")
+        batched = BatchedSampler(protocol)
+        reference = ReferenceSampler(protocol)
+        rng = np.random.default_rng(31)
+        loc_idx, draw_idx = sample_injections_stratum(
+            batched.locations, 2, 250, rng
+        )
+        bx, bz = batched.residual_weights_indexed(
+            loc_idx, draw_idx, x_reducer, z_reducer
+        )
+        rx, rz = reference.residual_weights_indexed(
+            loc_idx, draw_idx, x_reducer, z_reducer
+        )
+        assert np.array_equal(bx, rx)
+        assert np.array_equal(bz, rz)
+
+    def test_matches_per_shot_coset_weight(self):
+        from repro.core.errors import error_reducer
+
+        protocol = cached_protocol("steane")
+        runner = ProtocolRunner(protocol)
+        x_reducer = error_reducer(protocol.code, "X")
+        z_reducer = error_reducer(protocol.code, "Z")
+        batched = BatchedSampler(protocol)
+        rng = np.random.default_rng(37)
+        loc_idx, draw_idx = sample_injections_stratum(
+            batched.locations, 2, 120, rng
+        )
+        dicts = materialize_stratum(batched.locations, loc_idx, draw_idx)
+        x_weights, z_weights = batched.residual_weights(
+            dicts, x_reducer, z_reducer
+        )
+        for shot, injections in enumerate(dicts):
+            result = runner.run(injections)
+            assert x_weights[shot] == x_reducer.coset_weight(result.data_x)
+            assert z_weights[shot] == z_reducer.coset_weight(result.data_z)
+
+    def test_batch_result_packed_planes(self):
+        protocol = cached_protocol("steane")
+        batched = BatchedSampler(protocol)
+        rng = np.random.default_rng(41)
+        loc_idx, draw_idx = sample_injections_stratum(
+            batched.locations, 1, 70, rng
+        )
+        dicts = materialize_stratum(batched.locations, loc_idx, draw_idx)
+        batch = batched.run(dicts)
+        assert batch.x_words is not None and batch.z_words is not None
+        assert batch.x_words.shape == (protocol.code.n, (70 + 63) // 64)
+        # Packed planes unpack back to the unpacked data arrays.
+        for wire in range(protocol.code.n):
+            bits = np.unpackbits(
+                batch.x_words[wire : wire + 1].view(np.uint8),
+                bitorder="little",
+                count=70,
+            )
+            assert np.array_equal(bits, batch.data_x[:, wire])
+
+    def test_batch_result_residual_api(self):
+        from repro.core.errors import error_reducer
+
+        protocol = cached_protocol("steane")
+        x_reducer = error_reducer(protocol.code, "X")
+        z_reducer = error_reducer(protocol.code, "Z")
+        batched = BatchedSampler(protocol)
+        rng = np.random.default_rng(43)
+        loc_idx, draw_idx = sample_injections_stratum(
+            batched.locations, 2, 150, rng
+        )
+        dicts = materialize_stratum(batched.locations, loc_idx, draw_idx)
+        batch = batched.run(dicts)
+        x_weights = batch.residual_weights(x_reducer, "x")
+        z_weights = batch.residual_weights(z_reducer, "z")
+        ex, ez = batched.residual_weights(dicts, x_reducer, z_reducer)
+        assert np.array_equal(x_weights, ex)
+        assert np.array_equal(z_weights, ez)
+        heavy = batch.heavy_mask(x_reducer, z_reducer, 1)
+        assert np.array_equal(heavy, (ex > 1) | (ez > 1))
+        with pytest.raises(ValueError):
+            batch.residual_weights(x_reducer, "y")
+
+    def test_empty_batch(self):
+        from repro.core.errors import error_reducer
+
+        protocol = cached_protocol("steane")
+        batched = BatchedSampler(protocol)
+        x_reducer = error_reducer(protocol.code, "X")
+        z_reducer = error_reducer(protocol.code, "Z")
+        xw, zw = batched.residual_weights([], x_reducer, z_reducer)
+        assert xw.size == 0 and zw.size == 0
+
+
 class TestVectorizedJudge:
     def test_failure_mask_matches_per_shot_judge(self):
         protocol = cached_protocol("steane")

@@ -102,9 +102,56 @@ class TestCommands:
         assert "c2 = 57.40" in out
         assert "%" in out
 
+    def test_budget_reference_engine_identical(self, capsys):
+        assert main(["budget", "steane"]) == 0
+        batched = capsys.readouterr().out
+        assert main(["budget", "steane", "--engine", "reference"]) == 0
+        assert capsys.readouterr().out == batched
+
     def test_budget_max_runs_guard(self, capsys):
         with pytest.raises(ValueError):
             main(["budget", "steane", "--max-runs", "10"])
+
+    def test_ftcheck(self, capsys):
+        assert main(["ftcheck", "steane"]) == 0
+        out = capsys.readouterr().out
+        assert "fault tolerant" in out
+        assert "batched engine" in out
+
+    def test_ftcheck_with_survey(self, capsys):
+        assert main(["ftcheck", "steane", "--survey", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "t=2 survey" in out
+        assert "sampled fault pairs" in out
+
+    def test_ftcheck_loaded_protocol(self, tmp_path, capsys):
+        path = tmp_path / "p.json"
+        main(["synthesize", "steane", "-o", str(path)])
+        capsys.readouterr()
+        assert main(["ftcheck", "--load", str(path)]) == 0
+        assert "fault tolerant" in capsys.readouterr().out
+
+    def test_ftcheck_without_target_errors(self, capsys):
+        assert main(["ftcheck"]) == 2
+
+    def test_simulate_direct(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "steane",
+                    "--shots",
+                    "200",
+                    "--k-max",
+                    "2",
+                    "--p",
+                    "0.01",
+                    "--direct",
+                ]
+            )
+            == 0
+        )
+        assert "direct, 200 shots" in capsys.readouterr().out
 
     def test_table1_single_fast_run(self, capsys, monkeypatch):
         # Restrict to the Steane rows to keep the test quick.
@@ -119,3 +166,14 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "steane" in out
         assert "ΣANC" in out
+
+    def test_table1_verify_ft_column(self, capsys, monkeypatch):
+        import repro.experiments.table1 as table1_module
+
+        monkeypatch.setattr(
+            table1_module,
+            "TABLE1_FAST_ROWS",
+            [("steane", "heuristic", "optimal")],
+        )
+        assert main(["table1", "--fast", "--verify-ft"]) == 0
+        assert " FT " in capsys.readouterr().out
