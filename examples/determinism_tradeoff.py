@@ -13,8 +13,10 @@ This example quantifies the trade on the Steane and Carbon codes:
   *conditional* correction (average cost from Table I),
 * both schemes' logical error rates (same O(p^2) order).
 
-Run:  python examples/determinism_tradeoff.py
+Run:  python examples/determinism_tradeoff.py   (REPRO_SMOKE=1 for a fast pass)
 """
+
+import os
 
 import numpy as np
 
@@ -22,32 +24,37 @@ from repro.codes.catalog import get_code
 from repro.core.metrics import protocol_metrics
 from repro.core.nondeterministic import NonDeterministicRunner
 from repro.core.protocol import synthesize_protocol
-from repro.sim.frame import ProtocolRunner, protocol_locations
-from repro.sim.logical import LogicalJudge
-from repro.sim.noise import sample_injections
+from repro.sim.noise import E1_1, materialize_stratum, sample_injections_model_batch
+from repro.sim.sampler import make_sampler
+
+SMOKE = os.environ.get("REPRO_SMOKE") == "1"
 
 
-def deterministic_stats(protocol, p, shots, rng):
-    runner = ProtocolRunner(protocol)
-    judge = LogicalJudge(protocol.code)
-    locations = protocol_locations(protocol)
-    failures = 0
-    corrections = 0
-    for _ in range(shots):
-        result = runner.run(sample_injections(locations, p, rng))
-        corrections += len(result.branches_taken)
-        if judge.is_logical_failure(result):
-            failures += 1
+def deterministic_stats(engine, p, shots, rng):
+    """Direct Bernoulli Monte-Carlo on the batch engine.
+
+    One vectorized draw, one packed execution; `branches_taken` counts the
+    triggered conditional corrections per shot.
+    """
+    loc_idx, draw_idx = sample_injections_model_batch(
+        engine.locations, E1_1(p=p), shots, rng
+    )
+    batch = engine.run(
+        materialize_stratum(engine.locations, loc_idx, draw_idx)
+    )
+    failures = int(engine.judge.failure_mask(batch.data_x).sum())
+    corrections = sum(len(taken) for taken in batch.branches_taken)
     return failures / shots, corrections / shots
 
 
 def main():
-    shots = 3000
+    shots = 500 if SMOKE else 3000
     for key in ("steane", "carbon"):
         code = get_code(key)
         protocol = synthesize_protocol(code)
         metrics = protocol_metrics(protocol)
         baseline = NonDeterministicRunner(protocol)
+        engine = make_sampler(protocol)
         print(f"\n=== {code.name} {code.parameters()} ===")
         print(
             f"deterministic overhead: verification "
@@ -62,7 +69,7 @@ def main():
             rng = np.random.default_rng(42)
             rus = baseline.simulate(p, shots, rng)
             det_pl, det_corrections = deterministic_stats(
-                protocol, p, shots, np.random.default_rng(43)
+                engine, p, shots, np.random.default_rng(43)
             )
             print(
                 f"{p:>8.3f} {rus.expected_attempts:>12.2f} "

@@ -12,8 +12,10 @@ two follow-up questions an experimentalist would ask:
    trapped-ion-flavoured budget) and compare against the uniform E1_1
    curve.
 
-Run:  python examples/error_budget.py
+Run:  python examples/error_budget.py   (REPRO_SMOKE=1 for a fast pass)
 """
+
+import os
 
 import numpy as np
 
@@ -24,6 +26,8 @@ from repro.sim.noise import ScaledNoiseModel
 from repro.sim.sampler import make_sampler
 from repro.sim.subset import direct_mc
 
+SMOKE = os.environ.get("REPRO_SMOKE") == "1"
+
 
 def scaled_logical_rate(engine, model, shots, rng):
     """Direct Bernoulli Monte-Carlo on the batched engine."""
@@ -31,15 +35,15 @@ def scaled_logical_rate(engine, model, shots, rng):
 
 
 def main():
-    for key in ("steane", "surface_3"):
+    for key in ("steane",) if SMOKE else ("steane", "surface_3"):
         protocol = synthesize_protocol(get_code(key))
         print(f"\n=== {protocol.code.name} ===")
 
         budget = two_fault_error_budget(protocol)
         print(budget.render())
 
-        print("\nuniform vs device-flavoured noise (p = 0.005, 6000 shots):")
-        shots = 6000
+        shots = 800 if SMOKE else 6000
+        print(f"\nuniform vs device-flavoured noise (p = 0.005, {shots} shots):")
         engine = make_sampler(protocol)
         uniform = ScaledNoiseModel(p=0.005)
         skewed = ScaledNoiseModel(p=0.005, two_qubit=5.0, measurement=10.0)

@@ -6,13 +6,16 @@ renders the p_L(p) curves as an ASCII chart, alongside a linear reference
 to make the quadratic separation visible — the text twin of the paper's
 Fig. 4.
 
-Run:  python examples/noise_sweep.py  [code ...]
+Run:  python examples/noise_sweep.py  [code ...]   (REPRO_SMOKE=1 = fast)
 """
 
 import math
+import os
 import sys
 
 from repro.experiments.figure4 import run_series
+
+SMOKE = os.environ.get("REPRO_SMOKE") == "1"
 
 
 def ascii_loglog(series_list, p_values, width=64, height=20):
@@ -51,12 +54,14 @@ def ascii_loglog(series_list, p_values, width=64, height=20):
 
 
 def main():
-    codes = sys.argv[1:] or ["steane", "surface_3", "carbon"]
+    codes = sys.argv[1:] or (
+        ["steane", "surface_3"] if SMOKE else ["steane", "surface_3", "carbon"]
+    )
     markers = "sxoc*+"
     series_list = []
     for marker, key in zip(markers, codes):
         print(f"simulating {key}...", flush=True)
-        series = run_series(key, shots=2500, k_max=3, seed=1)
+        series = run_series(key, shots=400 if SMOKE else 2500, k_max=3, seed=1)
         series_list.append((marker, series))
         print(
             f"  slope={series.slope:.2f}  f1={series.f1_exact}  "

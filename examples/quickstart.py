@@ -9,8 +9,10 @@ Reproduces the paper's running example (Fig. 2 / Examples 3-5) end to end:
 4. certify strict fault tolerance by exhaustive single-fault enumeration,
 5. estimate the logical error rate under circuit-level noise.
 
-Run:  python examples/quickstart.py
+Run:  python examples/quickstart.py          (REPRO_SMOKE=1 for a fast pass)
 """
+
+import os
 
 import numpy as np
 
@@ -19,9 +21,10 @@ from repro.codes.catalog import steane_code
 from repro.core.ftcheck import check_fault_tolerance
 from repro.core.metrics import protocol_metrics
 from repro.core.protocol import synthesize_protocol
-from repro.sim.frame import ProtocolRunner, protocol_locations
-from repro.sim.logical import LogicalJudge
 from repro.sim.subset import SubsetSampler
+
+#: CI smoke mode: same pipeline, fewer Monte-Carlo shots.
+SMOKE = os.environ.get("REPRO_SMOKE") == "1"
 
 
 def main():
@@ -55,16 +58,16 @@ def main():
     print("FT check: every single fault leaves wt_S <= 1  [PASS]")
 
     # -- circuit-level noise (paper Sec. V.B) ------------------------------
-    runner = ProtocolRunner(protocol)
-    judge = LogicalJudge(code)
-    sampler = SubsetSampler(
-        lambda injections: judge.is_logical_failure(runner.run(injections)),
-        protocol_locations(protocol),
+    # Every consumer runs on the bit-packed batch engine; `workers=N`
+    # would additionally shard the strata across processes (sim.shard).
+    sampler = SubsetSampler.for_protocol(
+        protocol,
+        engine="batched",
         k_max=3,
         rng=np.random.default_rng(7),
     )
     sampler.enumerate_k1_exact()
-    sampler.sample(4000, p_ref=0.1)
+    sampler.sample(500 if SMOKE else 4000, p_ref=0.1)
     print(f"\nSubset sampling: f_1 = {sampler.strata[1].rate} "
           "(exactly zero for an FT circuit)")
     print("Logical error rate (O(p^2) scaling, paper Fig. 4):")

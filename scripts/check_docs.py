@@ -1,0 +1,107 @@
+"""Check intra-repo markdown links and anchors so docs can't rot silently.
+
+Scans every tracked ``*.md`` file for inline links/images
+(``[text](target)``) and verifies that each *relative* target exists on
+disk, resolving from the linking file's directory. Fragment-only links
+(``#section``) are checked against the file's own headings;
+``path#fragment`` links are checked against the target file's headings.
+External (``http://``, ``https://``, ``mailto:``) targets are skipped —
+CI must not depend on the network.
+
+Usage::
+
+    python scripts/check_docs.py [--root .]
+
+Exits non-zero listing every broken link. Run by the CI docs job next to
+the examples smoke pass.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+#: Inline markdown links/images: [text](target) — no reference-style.
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+_EXTERNAL = ("http://", "https://", "mailto:")
+#: Directories never scanned (generated or vendored content).
+_SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "node_modules"}
+
+
+def _anchor_of(heading: str) -> str:
+    """GitHub-style anchor: lowercase, spaces to dashes, punctuation out."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _anchors(path: Path) -> set[str]:
+    return {
+        _anchor_of(match.group(1))
+        for match in _HEADING.finditer(path.read_text())
+    }
+
+
+def _markdown_files(root: Path) -> list[Path]:
+    return sorted(
+        path
+        for path in root.rglob("*.md")
+        if not any(part in _SKIP_DIRS for part in path.parts)
+    )
+
+
+def check_docs(root: Path) -> list[str]:
+    """All broken links under ``root``, as human-readable strings."""
+    problems: list[str] = []
+    for source in _markdown_files(root):
+        text = source.read_text()
+        for match in _LINK.finditer(text):
+            target = match.group(1)
+            if target.startswith(_EXTERNAL):
+                continue
+            path_part, _, fragment = target.partition("#")
+            if not path_part:
+                if fragment and _anchor_of(fragment) not in _anchors(source):
+                    problems.append(
+                        f"{source.relative_to(root)}: broken anchor "
+                        f"#{fragment}"
+                    )
+                continue
+            resolved = (source.parent / path_part).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{source.relative_to(root)}: missing target "
+                    f"{target}"
+                )
+                continue
+            if fragment and resolved.suffix == ".md":
+                if _anchor_of(fragment) not in _anchors(resolved):
+                    problems.append(
+                        f"{source.relative_to(root)}: broken anchor "
+                        f"{target}"
+                    )
+    return problems
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root", type=Path, default=Path(__file__).resolve().parents[1]
+    )
+    args = parser.parse_args()
+    files = _markdown_files(args.root)
+    problems = check_docs(args.root)
+    for problem in problems:
+        print(f"BROKEN: {problem}", file=sys.stderr)
+    print(
+        f"checked {len(files)} markdown files: "
+        f"{'all links OK' if not problems else f'{len(problems)} broken'}"
+    )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,6 +17,10 @@ Usage (after ``pip install -e .``)::
 The certificate (``check`` / ``ftcheck``), budget, and simulation commands
 all evaluate on the batched bit-packed engine by default; ``--engine
 reference`` swaps in the per-shot oracle (identical output, slower).
+Every engine-backed subcommand takes ``--workers N`` (shard the workload
+within the code across N processes — results identical for any worker
+count) and ``--max-slab M`` (bound the configurations materialized per
+chunk, i.e. peak slab memory); see ``docs/cli.md`` for the full tour.
 Every command prints human-readable output; machine-readable artifacts go
 through ``--output`` (protocol JSON) and ``--qasm`` (OpenQASM export).
 """
@@ -30,6 +34,31 @@ from pathlib import Path
 import numpy as np
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_shard_flags(parser: argparse.ArgumentParser) -> None:
+    """The intra-code sharding knobs shared by engine-backed subcommands."""
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "process-pool shards for the engine workload (1 = inline; "
+            "results are identical for any worker count)"
+        ),
+    )
+    parser.add_argument(
+        "--max-slab",
+        type=int,
+        default=None,
+        metavar="SHOTS",
+        help=(
+            "largest number of configurations materialized per chunk "
+            "(bounds peak slab memory; default 8192; pair enumerations "
+            "never split one location pair, so their bound is "
+            "max(M, draws_i * draws_j))"
+        ),
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -70,6 +99,7 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument(
         "--load", type=Path, help="check a protocol JSON instead"
     )
+    _add_shard_flags(check)
 
     ftcheck = sub.add_parser(
         "ftcheck",
@@ -104,6 +134,7 @@ def build_parser() -> argparse.ArgumentParser:
     ftcheck.add_argument(
         "--seed", type=int, default=2025, help="survey sampling seed"
     )
+    _add_shard_flags(ftcheck)
 
     simulate = sub.add_parser(
         "simulate", help="circuit-level noise simulation (Fig. 4 pipeline)"
@@ -136,6 +167,7 @@ def build_parser() -> argparse.ArgumentParser:
             "batched engine (consistency check of the subset estimator)"
         ),
     )
+    _add_shard_flags(simulate)
 
     table1 = sub.add_parser("table1", help="regenerate the paper's Table I")
     table1.add_argument(
@@ -154,6 +186,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run the batched FT certificate per row (adds an FT column)",
     )
+    _add_shard_flags(table1)
 
     figure4 = sub.add_parser("figure4", help="regenerate the paper's Fig. 4")
     figure4.add_argument("--codes", nargs="+", default=None)
@@ -166,11 +199,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="execution engine for the subset sampling",
     )
     figure4.add_argument(
-        "--workers",
-        type=int,
-        default=1,
-        help="process-pool shards for the multi-code sweep (1 = sequential)",
+        "--shard",
+        choices=["auto", "codes", "intra"],
+        default="auto",
+        help=(
+            "parallelism axis for --workers: whole codes per process "
+            "('codes', legacy streams), strata within each code ('intra', "
+            "sharded streams, worker-count invariant), or 'auto' "
+            "(default): intra only for a single code with workers > 1, "
+            "so plain workers=1 runs keep the legacy numbers"
+        ),
     )
+    _add_shard_flags(figure4)
 
     budget = sub.add_parser(
         "budget",
@@ -189,6 +229,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="batched",
         help="evaluation engine (bit-identical budgets; batched is faster)",
     )
+    _add_shard_flags(budget)
 
     return parser
 
@@ -271,7 +312,9 @@ def _cmd_check(args) -> int:
     if protocol is None:
         print("error: give a code key or --load", file=sys.stderr)
         return 2
-    violations = check_fault_tolerance(protocol)
+    violations = check_fault_tolerance(
+        protocol, workers=args.workers, max_slab=args.max_slab
+    )
     if violations:
         print(f"NOT fault tolerant — {len(violations)} violations:")
         for violation in violations:
@@ -298,6 +341,8 @@ def _cmd_ftcheck(args) -> int:
         protocol,
         engine=args.engine,
         max_violations=args.max_violations,
+        workers=args.workers,
+        max_slab=args.max_slab,
     )
     seconds = time.perf_counter() - start
     if violations:
@@ -319,6 +364,8 @@ def _cmd_ftcheck(args) -> int:
             samples=args.survey,
             rng=np.random.default_rng(args.seed),
             engine=args.engine,
+            workers=args.workers,
+            max_slab=args.max_slab,
         )
         print(
             f"  t=2 survey: {survey['violations']}/"
@@ -334,27 +381,39 @@ def _cmd_simulate(args) -> int:
     from .sim.subset import SubsetSampler
 
     protocol = synthesize_protocol(get_code(args.code))
-    sampler = SubsetSampler.for_protocol(
+    # The CLI always uses the sharded draw scheme (workers=1 runs the
+    # identical chunk plan inline), so --workers never changes results.
+    with SubsetSampler.for_protocol(
         protocol,
         engine=args.engine,
         k_max=args.k_max,
         rng=np.random.default_rng(args.seed),
-    )
-    sampler.enumerate_k1_exact()
-    sampler.sample(args.shots)
-    print(
-        f"{protocol.code.name}: f_1 = {sampler.strata[1].rate} (exact, "
-        f"{args.engine} engine)"
-    )
-    for estimate in sampler.curve(sorted(args.p)):
-        print(f"  {estimate}")
-    if args.direct:
-        from .sim.noise import E1_1
-        from .sim.subset import direct_mc
+        workers=args.workers,
+        max_slab=args.max_slab,
+    ) as sampler:
+        sampler.enumerate_k1_exact()
+        sampler.sample(args.shots)
+        print(
+            f"{protocol.code.name}: f_1 = {sampler.strata[1].rate} (exact, "
+            f"{args.engine} engine)"
+        )
+        for estimate in sampler.curve(sorted(args.p)):
+            print(f"  {estimate}")
+        if args.direct:
+            from .sim.noise import E1_1
+            from .sim.subset import direct_mc
 
-        rng = np.random.default_rng(args.seed + 1)
-        for p in sorted(args.p):
-            print(f"  {direct_mc(sampler.engine, E1_1(p=p), args.shots, rng=rng)}")
+            rng = np.random.default_rng(args.seed + 1)
+            for p in sorted(args.p):
+                estimate = direct_mc(
+                    sampler.engine,
+                    E1_1(p=p),
+                    args.shots,
+                    rng=rng,
+                    workers=args.workers,
+                    max_slab=args.max_slab,
+                )
+                print(f"  {estimate}")
     return 0
 
 
@@ -371,6 +430,8 @@ def _cmd_table1(args) -> int:
         rows,
         global_time_budget=args.global_budget,
         verify_ft=args.verify_ft,
+        workers=args.workers,
+        max_slab=args.max_slab,
     )
     print(render_table1(results))
     return 0
@@ -385,6 +446,8 @@ def _cmd_figure4(args) -> int:
         seed=args.seed,
         engine=args.engine,
         workers=args.workers,
+        shard=args.shard,
+        max_slab=args.max_slab,
     )
     print(render_figure4(series))
     return 0
@@ -397,7 +460,11 @@ def _cmd_budget(args) -> int:
 
     protocol = synthesize_protocol(get_code(args.code))
     budget = two_fault_error_budget(
-        protocol, max_runs=args.max_runs, engine=args.engine
+        protocol,
+        max_runs=args.max_runs,
+        engine=args.engine,
+        workers=args.workers,
+        max_slab=args.max_slab,
     )
     print(budget.render())
     return 0

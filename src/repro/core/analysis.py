@@ -13,7 +13,10 @@ The enumeration is evaluated through the batch engine
 index strata executed in packed slabs, and the per-pair failing counts are
 aggregated with one scatter-add — identical verdicts and bit-identical
 masses to the per-shot walk (``engine="reference"``), minus the
-O(locations^2 * draws^2) Python loop.
+O(locations^2 * draws^2) Python loop. The pair enumeration is planned by
+:class:`repro.sim.shard.StratumPlanner` into bounded ``max_slab`` chunks,
+so ``workers > 1`` fans the slabs across a process pool (one compiled
+protocol per worker) with bit-identical budgets for any worker count.
 """
 
 from __future__ import annotations
@@ -74,77 +77,45 @@ def two_fault_error_budget(
     max_runs: int | None = 2_000_000,
     engine: str = "batched",
     batch_size: int = 8192,
+    workers: int = 1,
+    max_slab: int | None = None,
 ) -> ErrorBudget:
     """Exact two-fault enumeration with per-pair attribution.
 
     Runs the same enumeration as
     :meth:`repro.sim.subset.SubsetSampler.enumerate_k2_exact` but keeps
     the failing mass split by (segment, segment) and (kind, kind) pairs.
-    The draw x draw cross products are evaluated as k = 2 index strata on
-    the selected engine in ``batch_size`` slabs; the mass aggregation
-    order matches the per-shot loop, so the result is bit-identical across
-    engines.
+    The draw x draw cross products are planned into bounded pair chunks
+    (at most ``max_slab`` runs each, defaulting to ``batch_size``) and
+    evaluated as k = 2 index strata on the selected engine — across
+    ``workers`` processes when asked. Per-pair failing counts are exact
+    integers and the mass aggregation order matches the per-shot loop, so
+    the result is bit-identical across engines, worker counts, and slab
+    sizes.
     """
     from ..sim.sampler import make_sampler
+    from ..sim.shard import ShardedEvaluator
 
     sampler = make_sampler(protocol, engine=engine)
     locations = sampler.locations
     tables = draw_tables(locations)
 
     num = len(locations)
-    total_runs = sum(
-        len(tables[i]) * len(tables[j])
-        for i in range(num)
-        for j in range(i + 1, num)
-    )
-    if max_runs is not None and total_runs > max_runs:
-        raise ValueError(
-            f"two-fault budget needs {total_runs} runs (> {max_runs})"
-        )
-
     pair_count = math.comb(num, 2)
     failing = np.zeros(pair_count, dtype=np.int64)
-    loc_chunks: list[np.ndarray] = []
-    draw_chunks: list[np.ndarray] = []
-    pair_chunks: list[np.ndarray] = []
-    buffered = 0
-
-    def flush() -> None:
-        nonlocal buffered
-        if not buffered:
-            return
-        loc_idx = np.concatenate(loc_chunks)
-        draw_idx = np.concatenate(draw_chunks)
-        pair_ids = np.concatenate(pair_chunks)
-        verdicts = np.asarray(
-            sampler.failures_indexed(loc_idx, draw_idx), dtype=bool
-        )
-        np.add.at(failing, pair_ids[verdicts], 1)
-        loc_chunks.clear()
-        draw_chunks.clear()
-        pair_chunks.clear()
-        buffered = 0
-
-    pair_id = 0
-    for i in range(num):
-        num_i = len(tables[i])
-        for j in range(i + 1, num):
-            num_j = len(tables[j])
-            runs = num_i * num_j
-            loc_idx = np.empty((runs, 2), dtype=np.intp)
-            loc_idx[:, 0] = i
-            loc_idx[:, 1] = j
-            draw_idx = np.empty((runs, 2), dtype=np.intp)
-            draw_idx[:, 0] = np.repeat(np.arange(num_i, dtype=np.intp), num_j)
-            draw_idx[:, 1] = np.tile(np.arange(num_j, dtype=np.intp), num_i)
-            loc_chunks.append(loc_idx)
-            draw_chunks.append(draw_idx)
-            pair_chunks.append(np.full(runs, pair_id, dtype=np.intp))
-            buffered += runs
-            pair_id += 1
-            if buffered >= batch_size:
-                flush()
-    flush()
+    with ShardedEvaluator(
+        sampler,
+        workers=max(1, workers),
+        max_slab=max_slab if max_slab is not None else batch_size,
+    ) as evaluator:
+        total_runs = evaluator.planner.total_pair_runs()
+        if max_runs is not None and total_runs > max_runs:
+            raise ValueError(
+                f"two-fault budget needs {total_runs} runs (> {max_runs})"
+            )
+        merged = evaluator.reduce(evaluator.planner.plan_pairs())
+    if merged.pair_ids is not None and merged.pair_ids.size:
+        failing[merged.pair_ids] = merged.pair_counts
 
     # Mass aggregation in the same (i, j) order (and with the same float
     # operations) as the historical per-shot loop — bit-identical output.

@@ -16,6 +16,12 @@ executed in a handful of packed calls with a vectorized residual-weight
 reduction, instead of one per-shot ``ProtocolRunner`` walk per fault.
 ``engine="reference"`` keeps the per-shot oracle path (identical verdicts,
 cross-validated in ``tests/integration/test_certificates.py``).
+
+Both certificate entry points accept ``workers`` / ``max_slab``: the
+enumeration is planned into bounded row chunks by
+:class:`repro.sim.shard.StratumPlanner` and fanned across a process pool
+(compiled protocol inherited per worker, never re-pickled per task), with
+violations reported in enumeration order regardless of the worker count.
 """
 
 from __future__ import annotations
@@ -24,9 +30,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..sim.frame import Injection, ProtocolRunner, protocol_locations
+from ..sim.frame import (
+    Injection,
+    ProtocolRunner,
+    always_executed,
+    protocol_locations,
+)
 from ..sim.noise import draw_tables
-from .errors import error_reducer
 from .protocol import DeterministicProtocol
 
 __all__ = [
@@ -58,11 +68,13 @@ class FTViolation:
 def _checkable_strata(locations):
     """Always-executed fault set as one k = 1 index stratum.
 
-    The single source of the certificate enumeration order (also consumed
-    by :func:`enumerate_checkable_injections`): every non-branch location,
-    every equally-likely conditional draw, in the shared ``fault_draws``
-    table order. Returns ``(pool, loc_idx, draw_idx)`` where ``pool[r]``
-    is the (location key, Injection) pair evaluated by row ``r`` of the
+    Every always-executed location (:func:`repro.sim.frame.always_executed`
+    — the same predicate behind the sharding planner's
+    ``checkable_only`` row universe, so the survey pool and the sharded
+    certificate enumerate in the same order by construction), every
+    equally-likely conditional draw, in the shared ``fault_draws`` table
+    order. Returns ``(pool, loc_idx, draw_idx)`` where ``pool[r]`` is
+    the (location key, Injection) pair evaluated by row ``r`` of the
     ``(rows, 1)`` index arrays.
     """
     tables = draw_tables(locations)
@@ -70,7 +82,7 @@ def _checkable_strata(locations):
     loc_rows: list[int] = []
     draw_rows: list[int] = []
     for index, (key, _, _) in enumerate(locations):
-        if key[0][0] == "branch":
+        if not always_executed(key):
             continue
         for draw_index, injection in enumerate(tables[index]):
             pool.append((key, injection))
@@ -100,6 +112,8 @@ def second_order_survey(
     rng=None,
     engine: str = "batched",
     batch_size: int = 8192,
+    workers: int = 1,
+    max_slab: int | None = None,
 ) -> dict:
     """Survey Definition 1 at t = 2: fraction of fault *pairs* leaving
     ``wt_S > 2`` residuals.
@@ -112,15 +126,16 @@ def second_order_survey(
     protocol is *allowed* to violate t = 2 (⌊d/2⌋ = 1); the number is a
     design-space observable, not a pass/fail certificate.
 
-    The pair draw stream is engine-independent (identical to the historical
-    per-shot loop for a given ``rng``); only the evaluation is batched.
+    The pair draw stream is engine- and worker-count-independent
+    (identical to the historical per-shot loop for a given ``rng``); only
+    the evaluation is batched — and, with ``workers > 1``, sharded into
+    ``max_slab`` dict chunks across a process pool.
     """
     from ..sim.sampler import make_sampler
+    from ..sim.shard import ShardedEvaluator
 
     rng = rng if rng is not None else np.random.default_rng()
     sampler = make_sampler(protocol, engine=engine)
-    x_reducer = error_reducer(protocol.code, "X")
-    z_reducer = error_reducer(protocol.code, "Z")
     pool = list(enumerate_checkable_injections(protocol))
     pairs: list[dict] = []
     for _ in range(samples):
@@ -129,13 +144,15 @@ def second_order_survey(
         if loc_i == loc_j:
             continue
         pairs.append({loc_i: inj_i, loc_j: inj_j})
-    violations = 0
-    for start in range(0, len(pairs), batch_size):
-        chunk = pairs[start : start + batch_size]
-        x_weights, z_weights = sampler.residual_weights(
-            chunk, x_reducer, z_reducer
+    with ShardedEvaluator(
+        sampler,
+        workers=max(1, workers),
+        max_slab=max_slab if max_slab is not None else batch_size,
+    ) as evaluator:
+        merged = evaluator.reduce(
+            evaluator.planner.plan_dicts(pairs, threshold=2)
         )
-        violations += int(((x_weights > 2) | (z_weights > 2)).sum())
+    violations = merged.heavy
     checked = len(pairs)
     return {
         "pairs_checked": checked,
@@ -150,19 +167,22 @@ def check_fault_tolerance(
     max_violations: int = 10,
     engine: str = "batched",
     batch_size: int = 8192,
+    workers: int = 1,
+    max_slab: int | None = None,
 ) -> list[FTViolation]:
     """Run every single-fault scenario; return violations (empty = FT).
 
     Also asserts the fault-free run is completely silent. The enumeration
-    is evaluated as index strata on the selected engine (batched by
-    default); violations come back in enumeration order, capped at
-    ``max_violations``, exactly as the per-shot walk reported them.
+    is planned into bounded row chunks (``repro.sim.shard``) and evaluated
+    on the selected engine — inline by default, across ``workers``
+    processes when asked; violations come back in enumeration order,
+    capped at ``max_violations``, exactly as the per-shot walk reported
+    them, for every engine and worker count.
     """
     from ..sim.sampler import make_sampler
+    from ..sim.shard import ShardedEvaluator
 
     sampler = make_sampler(protocol, engine=engine)
-    x_reducer = error_reducer(protocol.code, "X")
-    z_reducer = error_reducer(protocol.code, "Z")
 
     clean = sampler.run([{}])
     if (
@@ -174,30 +194,41 @@ def check_fault_tolerance(
             f"{protocol.code.name}: fault-free run is not silent"
         )
 
-    pool, loc_idx, draw_idx = _checkable_strata(sampler.locations)
     violations: list[FTViolation] = []
     evidence_runner: ProtocolRunner | None = None
-    for start in range(0, len(pool), batch_size):
-        stop = start + batch_size
-        x_weights, z_weights = sampler.residual_weights_indexed(
-            loc_idx[start:stop], draw_idx[start:stop], x_reducer, z_reducer
-        )
-        for offset in np.nonzero((x_weights > 1) | (z_weights > 1))[0]:
-            location, injection = pool[start + int(offset)]
-            # Violations are rare (zero for a correct protocol), so the
-            # flip evidence is gathered with one per-shot replay each.
-            if evidence_runner is None:
-                evidence_runner = ProtocolRunner(protocol)
-            flips = evidence_runner.run({location: injection}).flips
-            violations.append(
-                FTViolation(
-                    location,
-                    injection,
-                    int(x_weights[offset]),
-                    int(z_weights[offset]),
-                    flips,
+    with ShardedEvaluator(
+        sampler,
+        workers=max(1, workers),
+        max_slab=max_slab if max_slab is not None else batch_size,
+    ) as evaluator:
+        planner = evaluator.planner
+        for partial in evaluator.map(
+            planner.plan_rows(checkable_only=True, threshold=1)
+        ):
+            if partial.rows is None:
+                continue
+            for row, x_weight, z_weight in zip(
+                partial.rows.tolist(),
+                partial.row_x.tolist(),
+                partial.row_z.tolist(),
+            ):
+                location, injection = planner.row_info(
+                    int(row), checkable_only=True
                 )
-            )
-            if len(violations) >= max_violations:
-                return violations
+                # Violations are rare (zero for a correct protocol), so
+                # the flip evidence is gathered with one per-shot replay.
+                if evidence_runner is None:
+                    evidence_runner = ProtocolRunner(protocol)
+                flips = evidence_runner.run({location: injection}).flips
+                violations.append(
+                    FTViolation(
+                        location,
+                        injection,
+                        int(x_weight),
+                        int(z_weight),
+                        flips,
+                    )
+                )
+                if len(violations) >= max_violations:
+                    return violations
     return violations

@@ -106,6 +106,8 @@ def run_series(
     engine: str = "batched",
     direct_check_at: float | None = None,
     direct_shots: int = 4000,
+    workers: int | None = None,
+    max_slab: int | None = None,
 ) -> Figure4Series:
     """Simulate one code's curve (paper defaults: 8000 shots, k_max keeps
     the truncation tail well under the statistical error at p <= 0.1).
@@ -114,6 +116,13 @@ def run_series(
     the bit-packed ``"batched"`` engine by default, or the per-shot
     ``"reference"`` oracle. Both produce identical series for the same
     seed — the engines differ only in wall-clock.
+
+    ``workers`` shards the strata of *this one code* across a process
+    pool (``repro.sim.shard``): sampled strata and the exact k = 1
+    enumeration split into ``max_slab``-bounded chunks with
+    deterministic seeds, so the series is identical for any worker
+    count (but uses the sharded draw scheme — pass ``workers=1`` to get
+    the same numbers as ``workers=N`` serially).
 
     ``direct_check_at`` additionally runs ``direct_shots`` of plain
     Bernoulli Monte-Carlo at that physical rate on the same engine (the
@@ -128,24 +137,28 @@ def run_series(
             verification_method="optimal",
         )
     start = time.monotonic()
-    sampler = SubsetSampler.for_protocol(
+    with SubsetSampler.for_protocol(
         protocol,
         engine=engine,
         k_max=k_max,
         rng=np.random.default_rng(seed),
-    )
-    if exact_k1:
-        sampler.enumerate_k1_exact()
-    sampler.sample(shots, p_ref=0.1)
-    estimates = sampler.curve(sweep)
-    direct = None
-    if direct_check_at is not None:
-        direct = direct_mc(
-            sampler.engine,
-            E1_1(p=direct_check_at),
-            direct_shots,
-            rng=np.random.default_rng(seed + 1),
-        )
+        workers=workers,
+        max_slab=max_slab,
+    ) as sampler:
+        if exact_k1:
+            sampler.enumerate_k1_exact()
+        sampler.sample(shots, p_ref=0.1)
+        estimates = sampler.curve(sweep)
+        direct = None
+        if direct_check_at is not None:
+            direct = direct_mc(
+                sampler.engine,
+                E1_1(p=direct_check_at),
+                direct_shots,
+                rng=np.random.default_rng(seed + 1),
+                workers=workers,
+                max_slab=max_slab,
+            )
     return Figure4Series(
         code=code_key,
         estimates=estimates,
@@ -160,7 +173,7 @@ def run_series(
 
 def _series_task(args: tuple) -> Figure4Series:
     """Module-level worker body so multiprocessing can pickle it."""
-    code, shots, sweep, seed, engine, direct_check_at = args
+    code, shots, sweep, seed, engine, direct_check_at, workers, max_slab = args
     return run_series(
         code,
         shots=shots,
@@ -168,6 +181,8 @@ def _series_task(args: tuple) -> Figure4Series:
         seed=seed,
         engine=engine,
         direct_check_at=direct_check_at,
+        workers=workers,
+        max_slab=max_slab,
     )
 
 
@@ -180,20 +195,56 @@ def run_figure4(
     engine: str = "batched",
     workers: int = 1,
     direct_check_at: float | None = None,
+    shard: str = "auto",
+    max_slab: int | None = None,
 ) -> list[Figure4Series]:
     """Regenerate all Fig. 4 series.
 
-    ``workers > 1`` shards the nine-code sweep across a process pool (one
-    code per task — synthesis and sampling are both embarrassingly
-    parallel at that granularity). Results come back in input order and
-    are identical to the sequential run: each series is seeded
-    independently.
+    ``workers > 1`` parallelizes the sweep; ``shard`` picks the axis:
+
+    * ``"codes"`` — one code per pool task (the PR-1 behaviour; good
+      when many codes are requested and each is cheap),
+    * ``"intra"`` — codes run sequentially but every code's strata shard
+      across the pool (``repro.sim.shard``; good when one large code
+      dominates the wall-clock — it saturates all cores instead of one),
+    * ``"auto"`` (default) — ``"intra"`` when parallelism is requested
+      for a single code (``workers > 1``), else ``"codes"``.
+
+    Results come back in input order. Per-code series are seeded
+    independently, so ``"codes"`` sharding is identical to the
+    sequential run (and to previous releases); explicit ``"intra"``
+    always uses the sharded draw scheme — ``workers=1`` runs the same
+    chunk plan inline — so its results are identical for any worker
+    count, but differ from the ``"codes"`` stream. ``"auto"`` never
+    changes a ``workers=1`` run's numbers. ``max_slab`` bounds the
+    configurations materialized per chunk on the intra path.
     """
     codes = FIGURE4_CODES if codes is None else codes
+    if shard not in ("auto", "codes", "intra"):
+        raise ValueError(f"unknown shard axis {shard!r}")
+    if shard == "auto":
+        # Only opt into the sharded draw scheme when intra-code
+        # parallelism is actually requested; a plain workers=1 run keeps
+        # the legacy stream whatever the code count.
+        shard = "intra" if len(codes) == 1 and workers > 1 else "codes"
+    # Explicit "intra" uses the sharded scheme at every worker count
+    # (workers=1 runs the same chunk plan inline), so the pool size never
+    # changes the series; "codes" keeps the legacy per-series streams.
+    intra_workers = workers if shard == "intra" else None
     tasks = [
-        (code, shots, sweep, seed, engine, direct_check_at) for code in codes
+        (
+            code,
+            shots,
+            sweep,
+            seed,
+            engine,
+            direct_check_at,
+            intra_workers,
+            max_slab,
+        )
+        for code in codes
     ]
-    if workers > 1 and len(codes) > 1:
+    if shard == "codes" and workers > 1 and len(codes) > 1:
         with multiprocessing.get_context("spawn").Pool(
             min(workers, len(codes))
         ) as pool:

@@ -99,13 +99,16 @@ def run_row(
     *,
     global_time_budget: float | None = 600.0,
     verify_ft: bool = False,
+    workers: int = 1,
+    max_slab: int | None = None,
 ) -> Table1Row:
     """Synthesize one Table-I row and extract its metrics.
 
     ``verify_ft`` additionally runs the exhaustive single-fault
     certificate on the synthesized protocol — cheap now that it executes
     on the batched engine, so the regenerated table can carry a proof
-    column next to the metrics.
+    column next to the metrics. ``workers`` / ``max_slab`` shard that
+    certificate's enumeration (``repro.sim.shard``) for the big codes.
     """
     code = get_code(code_key)
     start = time.monotonic()
@@ -128,7 +131,9 @@ def run_row(
     if verify_ft:
         from ..core.ftcheck import check_fault_tolerance
 
-        ft_certified = not check_fault_tolerance(protocol, max_violations=1)
+        ft_certified = not check_fault_tolerance(
+            protocol, max_violations=1, workers=workers, max_slab=max_slab
+        )
     return Table1Row(
         code=code_key,
         prep_method=prep_method,
@@ -145,6 +150,8 @@ def run_table1(
     *,
     global_time_budget: float | None = 600.0,
     verify_ft: bool = False,
+    workers: int = 1,
+    max_slab: int | None = None,
 ) -> list[Table1Row]:
     """Regenerate Table I (all rows by default)."""
     rows = TABLE1_ROWS if rows is None else rows
@@ -155,6 +162,8 @@ def run_table1(
             verif,
             global_time_budget=global_time_budget,
             verify_ft=verify_ft,
+            workers=workers,
+            max_slab=max_slab,
         )
         for code, prep, verif in rows
     ]

@@ -37,6 +37,12 @@ from .sampler import (
     ReferenceSampler,
     make_sampler,
 )
+from .shard import (
+    ShardedEvaluator,
+    ShardPartial,
+    StratumPlanner,
+    merge_partials,
+)
 from .subset import (
     DirectEstimate,
     StratumStats,
@@ -63,6 +69,9 @@ __all__ = [
     "ReferenceSampler",
     "RunResult",
     "ScaledNoiseModel",
+    "ShardPartial",
+    "ShardedEvaluator",
+    "StratumPlanner",
     "StratumStats",
     "SubsetEstimate",
     "SubsetSampler",
@@ -77,6 +86,7 @@ __all__ = [
     "is_matchable",
     "make_sampler",
     "materialize_stratum",
+    "merge_partials",
     "protocol_locations",
     "run_circuit",
     "sample_injections",

@@ -27,7 +27,13 @@ from ..circuits.gates import CX, H, MeasureX, MeasureZ, ResetX, ResetZ
 from ..core.faults import PauliFrame, apply_instruction
 from ..core.protocol import DeterministicProtocol
 
-__all__ = ["Injection", "RunResult", "ProtocolRunner", "protocol_locations"]
+__all__ = [
+    "Injection",
+    "RunResult",
+    "ProtocolRunner",
+    "protocol_locations",
+    "always_executed",
+]
 
 
 @dataclass(frozen=True)
@@ -57,6 +63,18 @@ class RunResult:
 
 
 LocationKey = tuple  # (segment key, instruction index)
+
+
+def always_executed(key: LocationKey) -> bool:
+    """True iff the location runs on every shot (prep / verification).
+
+    Branch segments only execute after a verification trigger, so a lone
+    branch fault cannot occur — the FT certificate's "checkable" fault
+    set is exactly the always-executed locations. This predicate is the
+    single definition shared by ``core.ftcheck`` and the sharding
+    planner's row universes (``sim.shard``).
+    """
+    return key[0][0] != "branch"
 
 
 def _segment_locations(key, circuit: Circuit) -> list[tuple[LocationKey, str, tuple[int, ...]]]:

@@ -1,0 +1,789 @@
+"""Streamed intra-code sharding of batch-engine workloads.
+
+PR 1–2 made every fault-set consumer evaluate on the bit-packed batch
+engine, but parallelism stopped at the *code* boundary
+(``run_figure4(workers=N)`` ships whole codes to worker processes) and
+exact enumerations / deep strata had to fit in memory as one slab. This
+module adds the missing level:
+
+* :class:`StratumPlanner` splits any index-stratum workload — sampled
+  strata of fixed weight ``k``, Bernoulli (direct-MC) batches, the exact
+  k = 1 (location, draw) enumeration, the exact k = 2 pair enumeration,
+  and explicit injection-dict batches — into **bounded-memory chunks**.
+  Chunk *specs* are a few integers (a shot count plus a deterministic
+  seed, or an index range that the executing side re-materializes), so a
+  stratum of a billion shots plans in O(1) memory: nothing is
+  materialized until a worker executes its chunk, and no chunk
+  materializes more than ``max_slab`` configurations — except that a
+  pair chunk never splits a single location pair, so its true bound is
+  ``max(max_slab, largest single pair)`` (at most 15 × 15 = 225 runs
+  under the E1_1 draw tables).
+
+* :class:`ShardedEvaluator` fans chunks across a process pool. The
+  compiled engine (:class:`~repro.sim.sampler.CompiledProtocol` and all
+  its signature caches) is built **once** and inherited by forked
+  workers — it is never re-pickled per task; only the tiny chunk specs
+  travel. On platforms without ``fork`` the evaluator falls back to
+  ``spawn`` with a one-time per-worker ``(protocol, engine)`` payload.
+  ``workers=1`` runs the identical chunk plan inline, which is what
+  makes the parallel path *bit-identical* to the single-process path:
+  results depend only on the plan, never on the worker count.
+
+* :class:`ShardPartial` is the accumulator protocol: each chunk returns
+  a small partial (failure counts, residual-weight histograms, heavy
+  masks, violating rows, sparse per-pair tallies, probability-weighted
+  masses) and :func:`merge_partials` folds them **exactly** — integer
+  tallies are order-free, float masses merge in chunk order so the same
+  plan always reproduces the same bits.
+
+Determinism contract: sampled chunks are seeded
+``SeedSequence((base_entropy, chunk_index))``, so the draw of chunk
+``i`` depends only on the base entropy and ``i`` — not on which worker
+executes it, how many workers exist, or when it runs. Enumerated chunks
+carry no randomness at all. Note that ``max_slab`` is part of the plan:
+changing it re-chunks (and therefore re-seeds) sampled strata — a
+different, equally valid draw stream — while enumerated workloads are
+slab-independent. The cross-worker-count identity is pinned in
+``tests/sim/test_shard.py`` and exercised per catalog code in the
+integration suite.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from .frame import always_executed
+from .noise import (
+    draw_counts,
+    draw_tables,
+    sample_injections_model_batch,
+    sample_injections_stratum,
+)
+
+__all__ = [
+    "StratumChunk",
+    "BernoulliChunk",
+    "RowChunk",
+    "PairChunk",
+    "DictChunk",
+    "ShardPartial",
+    "merge_partials",
+    "StratumPlanner",
+    "ShardedEvaluator",
+    "default_start_method",
+]
+
+_DEFAULT_SLAB = 8192
+
+
+# -- chunk specs ---------------------------------------------------------------
+#
+# Every spec is tiny and picklable: it describes how to *re-create* one
+# bounded batch, not the batch itself. ``index`` orders the exact merge.
+
+
+@dataclass(frozen=True)
+class StratumChunk:
+    """``shots`` fixed-weight-``k`` configurations with a deterministic seed."""
+
+    index: int
+    k: int
+    shots: int
+    entropy: tuple[int, int]  # SeedSequence entropy: (base, chunk index)
+
+
+@dataclass(frozen=True)
+class BernoulliChunk:
+    """``shots`` direct-MC configurations under ``model`` (variable weight)."""
+
+    index: int
+    shots: int
+    entropy: tuple[int, int]
+    model: object  # frozen noise-model dataclass (tiny, picklable)
+
+
+@dataclass(frozen=True)
+class RowChunk:
+    """Rows ``[lo, hi)`` of the exact k = 1 (location, draw) enumeration.
+
+    ``checkable_only`` restricts the row universe to always-executed
+    locations (the FT-certificate fault set); ``threshold`` is the
+    residual-weight bound tested by residual tasks (``wt_S > threshold``).
+    """
+
+    index: int
+    lo: int
+    hi: int
+    checkable_only: bool = False
+    threshold: int = 1
+
+
+@dataclass(frozen=True)
+class PairChunk:
+    """Location pairs ``[lo, hi)`` of the exact k = 2 enumeration.
+
+    The executing side expands every (draw × draw) combination of each
+    pair in the range; the planner bounds the total expansion by
+    ``max_slab`` runs per chunk.
+    """
+
+    index: int
+    lo: int
+    hi: int
+
+
+@dataclass(frozen=True)
+class DictChunk:
+    """An explicit slice of injection dicts (e.g. sampled fault pairs)."""
+
+    index: int
+    dicts: tuple
+    threshold: int = 2
+
+
+# -- the accumulator protocol --------------------------------------------------
+
+
+@dataclass
+class ShardPartial:
+    """One chunk's contribution to a sharded workload, mergeable exactly.
+
+    Integer tallies (``trials`` / ``failures`` / ``heavy`` and the
+    histograms) merge order-free; ``weighted_mass`` merges in chunk order
+    (left-to-right float adds), and the row/pair evidence arrays
+    concatenate in chunk order so enumeration order survives sharding.
+    """
+
+    index: int
+    trials: int = 0
+    failures: int = 0
+    #: Shots whose residual exceeded the chunk's threshold in either plane.
+    heavy: int = 0
+    #: Probability-weighted failing mass (exact-enumeration strata).
+    weighted_mass: float = 0.0
+    #: Residual-weight histograms (``x_hist[w]`` = shots with wt_S(x) = w).
+    x_hist: np.ndarray | None = None
+    z_hist: np.ndarray | None = None
+    #: Violating rows (global enumeration ids) and their residual weights.
+    rows: np.ndarray | None = None
+    row_x: np.ndarray | None = None
+    row_z: np.ndarray | None = None
+    #: Sparse per-pair failing counts (exact k = 2 enumeration).
+    pair_ids: np.ndarray | None = None
+    pair_counts: np.ndarray | None = None
+
+
+def _merge_hist(a: np.ndarray | None, b: np.ndarray | None) -> np.ndarray | None:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    size = max(a.size, b.size)
+    out = np.zeros(size, dtype=np.int64)
+    out[: a.size] += a
+    out[: b.size] += b
+    return out
+
+
+def _concat(a: np.ndarray | None, b: np.ndarray | None) -> np.ndarray | None:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return np.concatenate([a, b])
+
+
+def merge_partials(partials: Iterable[ShardPartial]) -> ShardPartial:
+    """Fold chunk partials into one, exactly.
+
+    Chunks are merged in ``index`` order regardless of arrival order, so
+    a plan evaluated with any worker count (including inline) produces
+    bit-identical merged results. Sparse pair tallies are re-aggregated
+    with an exact integer scatter-add.
+    """
+    merged = ShardPartial(index=0)
+    for partial in sorted(partials, key=lambda p: p.index):
+        merged.trials += partial.trials
+        merged.failures += partial.failures
+        merged.heavy += partial.heavy
+        merged.weighted_mass += partial.weighted_mass
+        merged.x_hist = _merge_hist(merged.x_hist, partial.x_hist)
+        merged.z_hist = _merge_hist(merged.z_hist, partial.z_hist)
+        merged.rows = _concat(merged.rows, partial.rows)
+        merged.row_x = _concat(merged.row_x, partial.row_x)
+        merged.row_z = _concat(merged.row_z, partial.row_z)
+        merged.pair_ids = _concat(merged.pair_ids, partial.pair_ids)
+        merged.pair_counts = _concat(merged.pair_counts, partial.pair_counts)
+    if merged.pair_ids is not None and merged.pair_ids.size:
+        unique, inverse = np.unique(merged.pair_ids, return_inverse=True)
+        counts = np.zeros(unique.size, dtype=np.int64)
+        np.add.at(counts, inverse, merged.pair_counts)
+        merged.pair_ids = unique
+        merged.pair_counts = counts
+    return merged
+
+
+# -- planning ------------------------------------------------------------------
+
+
+class _RowUniverse:
+    """Flat row ids over the (location, draw) enumeration of a universe."""
+
+    def __init__(self, locations, checkable_only: bool):
+        counts = draw_counts(locations)
+        if checkable_only:
+            included = [
+                i
+                for i, (key, _, _) in enumerate(locations)
+                if always_executed(key)
+            ]
+        else:
+            included = list(range(len(locations)))
+        self.included = np.asarray(included, dtype=np.intp)
+        included_counts = counts[self.included]
+        self.offsets = np.concatenate(
+            ([0], np.cumsum(included_counts))
+        ).astype(np.int64)
+        self.num_rows = int(self.offsets[-1])
+
+    def materialize(self, lo: int, hi: int) -> tuple[np.ndarray, np.ndarray]:
+        """Rows ``[lo, hi)`` as ``(rows, 1)`` index arrays."""
+        row_ids = np.arange(lo, hi, dtype=np.int64)
+        slot = np.searchsorted(self.offsets, row_ids, side="right") - 1
+        loc_idx = self.included[slot][:, None]
+        draw_idx = (row_ids - self.offsets[slot]).astype(np.intp)[:, None]
+        return loc_idx, draw_idx
+
+
+class StratumPlanner:
+    """Splits index-stratum workloads into bounded, deterministic chunks.
+
+    Parameters
+    ----------
+    locations:
+        Static location universe (``repro.sim.frame.protocol_locations``).
+    max_slab:
+        Upper bound on the configurations any single chunk materializes —
+        the peak-memory knob (``--max-slab`` on the CLI). Sampled chunks
+        hold at most ``max_slab`` shots; pair chunks expand to at most
+        ``max_slab`` runs (or one location pair, whichever is larger).
+
+    All ``plan_*`` methods return lazy iterators of specs: planning a
+    billion-shot stratum allocates nothing beyond the next spec.
+    """
+
+    def __init__(self, locations, *, max_slab: int = _DEFAULT_SLAB):
+        if max_slab < 1:
+            raise ValueError("max_slab must be positive")
+        self.locations = list(locations)
+        self.max_slab = int(max_slab)
+        self._counts = draw_counts(self.locations)
+        self._universes: dict[bool, _RowUniverse] = {}
+
+    # -- sampled strata -------------------------------------------------------
+
+    def num_chunks(self, shots: int) -> int:
+        """Chunk count of a ``shots``-sized sampled workload."""
+        return max(0, -(-shots // self.max_slab))
+
+    def plan_stratum(
+        self, k: int, shots: int, entropy: int
+    ) -> Iterator[StratumChunk]:
+        """Chunk a fixed-``k`` sampled stratum with per-chunk seeds."""
+        if k > len(self.locations):
+            raise ValueError("more faults than locations")
+        index = 0
+        remaining = shots
+        while remaining > 0:
+            step = min(remaining, self.max_slab)
+            yield StratumChunk(
+                index=index, k=k, shots=step, entropy=(int(entropy), index)
+            )
+            remaining -= step
+            index += 1
+
+    def plan_bernoulli(
+        self, model, shots: int, entropy: int
+    ) -> Iterator[BernoulliChunk]:
+        """Chunk a direct-MC (Bernoulli) workload with per-chunk seeds."""
+        index = 0
+        remaining = shots
+        while remaining > 0:
+            step = min(remaining, self.max_slab)
+            yield BernoulliChunk(
+                index=index,
+                shots=step,
+                entropy=(int(entropy), index),
+                model=model,
+            )
+            remaining -= step
+            index += 1
+
+    # -- exact k = 1 rows -----------------------------------------------------
+
+    def row_universe(self, checkable_only: bool = False) -> _RowUniverse:
+        universe = self._universes.get(checkable_only)
+        if universe is None:
+            universe = _RowUniverse(self.locations, checkable_only)
+            self._universes[checkable_only] = universe
+        return universe
+
+    def num_rows(self, checkable_only: bool = False) -> int:
+        return self.row_universe(checkable_only).num_rows
+
+    def plan_rows(
+        self, *, checkable_only: bool = False, threshold: int = 1
+    ) -> Iterator[RowChunk]:
+        """Chunk the exact (location, draw) enumeration into row ranges."""
+        total = self.num_rows(checkable_only)
+        for index, lo in enumerate(range(0, total, self.max_slab)):
+            yield RowChunk(
+                index=index,
+                lo=lo,
+                hi=min(lo + self.max_slab, total),
+                checkable_only=checkable_only,
+                threshold=threshold,
+            )
+
+    def materialize_rows(
+        self, chunk: RowChunk
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Re-create one row chunk's ``(rows, 1)`` index arrays."""
+        return self.row_universe(chunk.checkable_only).materialize(
+            chunk.lo, chunk.hi
+        )
+
+    def row_weights(
+        self, chunk: RowChunk, loc_idx: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Conditional probability of each row given exactly one fault.
+
+        The location is uniform over the *full* universe and the draw
+        uniform within the location, matching
+        :meth:`SubsetSampler.enumerate_k1_exact`'s weighting. Pass the
+        chunk's already-materialized ``loc_idx`` to skip re-expansion.
+        """
+        if loc_idx is None:
+            loc_idx, _ = self.materialize_rows(chunk)
+        return 1.0 / (len(self.locations) * self._counts[loc_idx[:, 0]])
+
+    def row_info(self, row: int, *, checkable_only: bool = False):
+        """(location key, Injection) of one global row id."""
+        universe = self.row_universe(checkable_only)
+        slot = int(np.searchsorted(universe.offsets, row, side="right") - 1)
+        location = int(universe.included[slot])
+        draw = row - int(universe.offsets[slot])
+        key = self.locations[location][0]
+        return key, draw_tables(self.locations)[location][draw]
+
+    # -- exact k = 2 pairs ----------------------------------------------------
+
+    def num_pairs(self) -> int:
+        num = len(self.locations)
+        return num * (num - 1) // 2
+
+    def total_pair_runs(self) -> int:
+        """Total (draw × draw) runs of the full pair enumeration."""
+        counts = self._counts.astype(np.int64)
+        total = int(counts.sum())
+        return int((total * total - int((counts * counts).sum())) // 2)
+
+    def pair_of(self, pair_id: int) -> tuple[int, int]:
+        """Inverse of the lexicographic (i < j) pair enumeration."""
+        num = len(self.locations)
+        i = 0
+        remaining = pair_id
+        while remaining >= num - i - 1:
+            remaining -= num - i - 1
+            i += 1
+        return i, i + 1 + remaining
+
+    def plan_pairs(self) -> Iterator[PairChunk]:
+        """Chunk the pair enumeration, bounding expanded runs per chunk."""
+        num = len(self.locations)
+        counts = self._counts
+        index = 0
+        lo = 0
+        budget = 0
+        pair_id = 0
+        for i in range(num):
+            for j in range(i + 1, num):
+                runs = int(counts[i]) * int(counts[j])
+                if budget and budget + runs > self.max_slab:
+                    yield PairChunk(index=index, lo=lo, hi=pair_id)
+                    index += 1
+                    lo = pair_id
+                    budget = 0
+                budget += runs
+                pair_id += 1
+        if budget:
+            yield PairChunk(index=index, lo=lo, hi=pair_id)
+
+    def materialize_pairs(
+        self, chunk: PairChunk
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Expand one pair chunk into ``(runs, 2)`` index arrays + pair ids."""
+        counts = self._counts
+        i, j = self.pair_of(chunk.lo)
+        loc_blocks: list[np.ndarray] = []
+        draw_blocks: list[np.ndarray] = []
+        pair_blocks: list[np.ndarray] = []
+        for pair_id in range(chunk.lo, chunk.hi):
+            num_i, num_j = int(counts[i]), int(counts[j])
+            runs = num_i * num_j
+            loc = np.empty((runs, 2), dtype=np.intp)
+            loc[:, 0] = i
+            loc[:, 1] = j
+            draw = np.empty((runs, 2), dtype=np.intp)
+            draw[:, 0] = np.repeat(np.arange(num_i, dtype=np.intp), num_j)
+            draw[:, 1] = np.tile(np.arange(num_j, dtype=np.intp), num_i)
+            loc_blocks.append(loc)
+            draw_blocks.append(draw)
+            pair_blocks.append(np.full(runs, pair_id, dtype=np.intp))
+            j += 1
+            if j == len(self.locations):
+                i += 1
+                j = i + 1
+        return (
+            np.concatenate(loc_blocks),
+            np.concatenate(draw_blocks),
+            np.concatenate(pair_blocks),
+        )
+
+    def pair_weight(self, pair_id: int) -> float:
+        """Conditional probability of one (pair, draw, draw) run."""
+        i, j = self.pair_of(pair_id)
+        return 1.0 / (
+            self.num_pairs() * int(self._counts[i]) * int(self._counts[j])
+        )
+
+    def pair_weights(self, chunk: PairChunk) -> np.ndarray:
+        """Per-run weights of each pair in ``[chunk.lo, chunk.hi)``.
+
+        One incremental (i, j) walk over the range — no per-pair
+        triangular inversion — for the chunk-local mass accumulation.
+        """
+        counts = self._counts
+        pairs = self.num_pairs()
+        i, j = self.pair_of(chunk.lo)
+        weights = np.empty(chunk.hi - chunk.lo, dtype=np.float64)
+        for offset in range(chunk.hi - chunk.lo):
+            weights[offset] = 1.0 / (
+                pairs * int(counts[i]) * int(counts[j])
+            )
+            j += 1
+            if j == len(self.locations):
+                i += 1
+                j = i + 1
+        return weights
+
+    # -- explicit dict batches ------------------------------------------------
+
+    def plan_dicts(
+        self, dicts: Sequence[dict], *, threshold: int = 2
+    ) -> Iterator[DictChunk]:
+        """Chunk a list of explicit injection dicts (e.g. sampled pairs)."""
+        for index, lo in enumerate(range(0, len(dicts), self.max_slab)):
+            yield DictChunk(
+                index=index,
+                dicts=tuple(dicts[lo : lo + self.max_slab]),
+                threshold=threshold,
+            )
+
+
+# -- worker-side execution -----------------------------------------------------
+
+
+class _EngineContext:
+    """Per-process execution state: the engine, its planner, lazy reducers."""
+
+    def __init__(self, engine, max_slab: int, planner: StratumPlanner | None = None):
+        self.engine = engine
+        # Pool workers build their own planner; the inline context shares
+        # the evaluator's so row-universe caches exist once per process.
+        self.planner = (
+            planner
+            if planner is not None
+            else StratumPlanner(engine.locations, max_slab=max_slab)
+        )
+        self._reducers = None
+
+    @property
+    def reducers(self):
+        if self._reducers is None:
+            from ..core.errors import error_reducer
+
+            code = self.engine.protocol.code
+            self._reducers = (
+                error_reducer(code, "X"),
+                error_reducer(code, "Z"),
+            )
+        return self._reducers
+
+
+def _run_chunk(ctx: _EngineContext, chunk) -> ShardPartial:
+    """Execute one chunk spec against the process-local engine."""
+    engine = ctx.engine
+    planner = ctx.planner
+    if isinstance(chunk, StratumChunk):
+        rng = np.random.default_rng(np.random.SeedSequence(chunk.entropy))
+        loc_idx, draw_idx = sample_injections_stratum(
+            engine.locations, chunk.k, chunk.shots, rng
+        )
+        verdicts = np.asarray(
+            engine.failures_indexed(loc_idx, draw_idx), dtype=bool
+        )
+        return ShardPartial(
+            index=chunk.index,
+            trials=chunk.shots,
+            failures=int(verdicts.sum()),
+        )
+    if isinstance(chunk, BernoulliChunk):
+        rng = np.random.default_rng(np.random.SeedSequence(chunk.entropy))
+        loc_idx, draw_idx = sample_injections_model_batch(
+            engine.locations, chunk.model, chunk.shots, rng
+        )
+        verdicts = np.asarray(
+            engine.failures_indexed(loc_idx, draw_idx), dtype=bool
+        )
+        return ShardPartial(
+            index=chunk.index,
+            trials=chunk.shots,
+            failures=int(verdicts.sum()),
+        )
+    if isinstance(chunk, RowChunk):
+        loc_idx, draw_idx = planner.materialize_rows(chunk)
+        if chunk.checkable_only:
+            # Certificate mode: residual weights + violation evidence.
+            x_reducer, z_reducer = ctx.reducers
+            x_weights, z_weights = engine.residual_weights_indexed(
+                loc_idx, draw_idx, x_reducer, z_reducer
+            )
+            bad = (x_weights > chunk.threshold) | (
+                z_weights > chunk.threshold
+            )
+            return ShardPartial(
+                index=chunk.index,
+                trials=int(loc_idx.shape[0]),
+                heavy=int(bad.sum()),
+                x_hist=np.bincount(x_weights),
+                z_hist=np.bincount(z_weights),
+                rows=chunk.lo + np.nonzero(bad)[0],
+                row_x=x_weights[bad],
+                row_z=z_weights[bad],
+            )
+        # Exact k = 1 stratum mode: probability-weighted failing mass.
+        verdicts = np.asarray(
+            engine.failures_indexed(loc_idx, draw_idx), dtype=bool
+        )
+        weights = planner.row_weights(chunk, loc_idx)
+        return ShardPartial(
+            index=chunk.index,
+            trials=int(loc_idx.shape[0]),
+            failures=int(verdicts.sum()),
+            weighted_mass=float(weights[verdicts].sum()),
+        )
+    if isinstance(chunk, PairChunk):
+        loc_idx, draw_idx, pair_ids = planner.materialize_pairs(chunk)
+        verdicts = np.asarray(
+            engine.failures_indexed(loc_idx, draw_idx), dtype=bool
+        )
+        failing = pair_ids[verdicts]
+        unique, counts = np.unique(failing, return_counts=True)
+        # Same accumulation order as before (ascending pair id), with the
+        # weights resolved by one chunk-local walk instead of a
+        # triangular inversion per failing pair.
+        weights = planner.pair_weights(chunk)
+        mass = 0.0
+        for pair_id, count in zip(unique.tolist(), counts.tolist()):
+            mass += count * float(weights[pair_id - chunk.lo])
+        return ShardPartial(
+            index=chunk.index,
+            trials=int(loc_idx.shape[0]),
+            failures=int(verdicts.sum()),
+            weighted_mass=mass,
+            pair_ids=unique.astype(np.int64),
+            pair_counts=counts.astype(np.int64),
+        )
+    if isinstance(chunk, DictChunk):
+        x_reducer, z_reducer = ctx.reducers
+        x_weights, z_weights = engine.residual_weights(
+            list(chunk.dicts), x_reducer, z_reducer
+        )
+        bad = (x_weights > chunk.threshold) | (z_weights > chunk.threshold)
+        # Only the heavy count crosses the pool: the survey (the one
+        # DictChunk consumer) reads nothing else from these partials.
+        return ShardPartial(
+            index=chunk.index,
+            trials=len(chunk.dicts),
+            heavy=int(bad.sum()),
+        )
+    raise TypeError(f"unknown chunk spec {chunk!r}")
+
+
+# Module globals for pool workers. ``_FORK_PAYLOAD`` is set in the parent
+# immediately before forking so children inherit the *built* engine (the
+# whole point: CompiledProtocol compiles once and is never re-pickled);
+# ``_WORKER_CONTEXT`` is each worker's process-local handle.
+_FORK_PAYLOAD: tuple | None = None
+_WORKER_CONTEXT: _EngineContext | None = None
+
+
+def _init_fork_worker() -> None:
+    global _WORKER_CONTEXT
+    engine, max_slab = _FORK_PAYLOAD
+    _WORKER_CONTEXT = _EngineContext(engine, max_slab)
+
+
+def _init_spawn_worker(protocol, engine_name: str, judge, max_slab: int) -> None:
+    global _WORKER_CONTEXT
+    from .sampler import make_sampler
+
+    _WORKER_CONTEXT = _EngineContext(
+        make_sampler(protocol, engine=engine_name, judge=judge), max_slab
+    )
+
+
+def _pool_task(chunk) -> ShardPartial:
+    return _run_chunk(_WORKER_CONTEXT, chunk)
+
+
+def default_start_method() -> str:
+    """``fork`` where available (engine inherited for free), else ``spawn``."""
+    return "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+
+
+class ShardedEvaluator:
+    """Executes planner chunks on an engine, inline or across a pool.
+
+    Parameters
+    ----------
+    engine:
+        A built execution engine (:func:`repro.sim.sampler.make_sampler`).
+        With the default ``fork`` start method, worker processes inherit
+        this exact object — compiled segment maps, signature caches,
+        judge memos and all — so per-task cost is one tiny chunk spec.
+    workers:
+        Process count. ``1`` (default) executes inline on the calling
+        process with the *same* chunk plan, so any-worker-count runs are
+        bit-identical.
+    max_slab:
+        Peak configurations per chunk (see :class:`StratumPlanner`).
+    start_method:
+        ``"fork"`` | ``"spawn"`` | ``None`` (auto). The spawn fallback
+        re-builds the engine once per worker from ``(protocol, engine
+        name, judge)`` — the judge is pickled with the payload, so an
+        unpicklable custom judge fails pool creation instead of being
+        silently replaced by the default.
+
+    Use as a context manager (or call :meth:`close`) so pool processes
+    are reaped deterministically::
+
+        with ShardedEvaluator(engine, workers=4, max_slab=4096) as ev:
+            merged = merge_partials(ev.map(ev.planner.plan_stratum(3, 10**6, 7)))
+    """
+
+    def __init__(
+        self,
+        engine,
+        *,
+        workers: int = 1,
+        max_slab: int = _DEFAULT_SLAB,
+        start_method: str | None = None,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be positive")
+        self.engine = engine
+        self.workers = int(workers)
+        self.max_slab = int(max_slab)
+        self.start_method = start_method or default_start_method()
+        self.planner = StratumPlanner(engine.locations, max_slab=max_slab)
+        self._context = _EngineContext(engine, self.max_slab, planner=self.planner)
+        self._pool = None
+
+    # -- pool lifecycle -------------------------------------------------------
+
+    def _ensure_pool(self):
+        if self._pool is None and self.workers > 1:
+            ctx = multiprocessing.get_context(self.start_method)
+            if self.start_method == "fork":
+                global _FORK_PAYLOAD
+                _FORK_PAYLOAD = (self.engine, self.max_slab)
+                try:
+                    self._pool = ctx.Pool(
+                        self.workers, initializer=_init_fork_worker
+                    )
+                finally:
+                    _FORK_PAYLOAD = None
+            else:
+                # Spawn workers rebuild the engine from its registry name,
+                # so only the built-in engines can cross a spawn boundary
+                # — a custom engine object must refuse, not be silently
+                # replaced. The judge travels in the payload (an
+                # unpicklable custom judge fails pool creation loudly).
+                from .sampler import _ENGINES
+
+                name = getattr(self.engine, "name", None)
+                if _ENGINES.get(name) is not type(self.engine):
+                    raise ValueError(
+                        f"cannot shard a {type(self.engine).__name__} "
+                        "across spawn workers: only the registered "
+                        f"engines {sorted(_ENGINES)} can be rebuilt in a "
+                        "spawned process (use the fork start method or "
+                        "workers=1)"
+                    )
+                self._pool = ctx.Pool(
+                    self.workers,
+                    initializer=_init_spawn_worker,
+                    initargs=(
+                        self.engine.protocol,
+                        name,
+                        getattr(self.engine, "judge", None),
+                        self.max_slab,
+                    ),
+                )
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "ShardedEvaluator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # best-effort; prefer close()/context manager
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- execution ------------------------------------------------------------
+
+    def map(self, chunks: Iterable) -> Iterator[ShardPartial]:
+        """Execute chunk specs, yielding partials in chunk order.
+
+        Streams: chunks are materialized worker-side one slab at a time,
+        and consumers may stop iterating early (e.g. a violation cap) —
+        remaining chunks are never executed inline, and pool work is
+        abandoned on :meth:`close`.
+        """
+        pool = self._ensure_pool()
+        if pool is None:
+            for chunk in chunks:
+                yield _run_chunk(self._context, chunk)
+            return
+        yield from pool.imap(_pool_task, chunks)
+
+    def reduce(self, chunks: Iterable) -> ShardPartial:
+        """:meth:`map` + :func:`merge_partials` in one call."""
+        return merge_partials(self.map(chunks))

@@ -30,7 +30,11 @@ Execution is pluggable: :meth:`SubsetSampler.for_protocol` wires the
 sampler to a batch engine (``repro.sim.sampler``, default the bit-packed
 ``"batched"`` one) that evaluates whole strata per call; the legacy
 per-shot ``failure_fn`` constructor path remains for custom judges and
-keeps its historical draw stream. See ``docs/sampler.md``.
+keeps its historical draw stream. With ``workers=N`` the engine-backed
+strata additionally shard *within* the code: chunk plans come from
+:class:`repro.sim.shard.StratumPlanner` (bounded ``max_slab`` memory,
+deterministic per-chunk seeds) and execute across a process pool with
+results identical for every worker count. See ``docs/sampler.md``.
 """
 
 from __future__ import annotations
@@ -170,6 +174,8 @@ def direct_mc(
     *,
     rng: np.random.Generator | None = None,
     batch_size: int = 8192,
+    workers: int | None = None,
+    max_slab: int | None = None,
 ) -> DirectEstimate:
     """Direct Monte-Carlo at a fixed physical rate on a batch engine.
 
@@ -179,8 +185,34 @@ def direct_mc(
     the engine's packed path. Useful as an end-to-end consistency check of
     the subset estimator (the two must agree within statistics at the same
     ``p``) and for noise models whose strata are not p-independent.
+
+    ``workers`` switches to the sharded path (``repro.sim.shard``): the
+    workload is chunked into at most ``max_slab``-shot slabs with
+    deterministic per-chunk seeds and fanned across a process pool —
+    identical tallies for any worker count (the draw stream then differs
+    from the serial ``workers=None`` stream, which is kept for backward
+    reproducibility).
     """
     rng = rng if rng is not None else np.random.default_rng()
+    if workers is not None:
+        from .shard import ShardedEvaluator, merge_partials
+
+        entropy = int(rng.integers(0, 2**63))
+        with ShardedEvaluator(
+            engine,
+            workers=max(1, workers),
+            max_slab=max_slab if max_slab is not None else batch_size,
+        ) as evaluator:
+            merged = merge_partials(
+                evaluator.map(
+                    evaluator.planner.plan_bernoulli(model, shots, entropy)
+                )
+            )
+        return DirectEstimate(
+            p=float(getattr(model, "p", math.nan)),
+            trials=shots,
+            failures=merged.failures,
+        )
     failures = 0
     remaining = shots
     while remaining > 0:
@@ -227,6 +259,15 @@ class SubsetSampler:
     batch_size:
         Largest number of configurations evaluated per engine call (bounds
         peak memory of exact k=2 enumeration).
+    workers:
+        ``None`` (default) keeps the historical serial draw streams.
+        An integer switches the engine-backed strata to the sharded path
+        (``repro.sim.shard``): deterministic per-chunk seeds, results
+        identical for every worker count (including ``workers=1``), with
+        chunks fanned across a process pool when ``workers > 1``.
+    max_slab:
+        Peak configurations materialized per chunk on the sharded path;
+        defaults to ``batch_size``.
     """
 
     def __init__(
@@ -238,6 +279,8 @@ class SubsetSampler:
         rng: np.random.Generator | None = None,
         engine=None,
         batch_size: int = 8192,
+        workers: int | None = None,
+        max_slab: int | None = None,
     ):
         if k_max < 1:
             raise ValueError("k_max must be at least 1")
@@ -247,12 +290,17 @@ class SubsetSampler:
             raise ValueError("need a failure_fn or an engine")
         if batch_size < 1:
             raise ValueError("batch_size must be positive")
+        if workers is not None and engine is None:
+            raise ValueError("workers requires an engine")
         self.failure_fn = failure_fn
         self.locations = list(locations)
         self.k_max = k_max
         self.rng = rng if rng is not None else np.random.default_rng()
         self.engine = engine
         self.batch_size = batch_size
+        self.workers = workers
+        self.max_slab = max_slab if max_slab is not None else batch_size
+        self._evaluator = None
         self.strata: dict[int, StratumStats] = {
             k: StratumStats(k) for k in range(k_max + 1)
         }
@@ -268,12 +316,15 @@ class SubsetSampler:
         k_max: int = 3,
         rng: np.random.Generator | None = None,
         batch_size: int = 8192,
+        workers: int | None = None,
+        max_slab: int | None = None,
     ) -> "SubsetSampler":
         """Build a sampler over a protocol's full location universe.
 
         ``engine="batched"`` runs strata through the bit-packed engine
         (:class:`repro.sim.sampler.BatchedSampler`); ``"reference"`` keeps
-        the per-shot oracle behind the identical interface.
+        the per-shot oracle behind the identical interface. ``workers`` /
+        ``max_slab`` enable intra-code sharding (see class docs).
         """
         from .sampler import make_sampler  # deferred: sampler imports noise
 
@@ -285,7 +336,41 @@ class SubsetSampler:
             rng=rng,
             engine=sampler_engine,
             batch_size=batch_size,
+            workers=workers,
+            max_slab=max_slab,
         )
+
+    # -- sharded execution -----------------------------------------------------
+
+    @property
+    def evaluator(self):
+        """Lazy :class:`repro.sim.shard.ShardedEvaluator` over the engine.
+
+        Created on first sharded call and kept alive (one pool per
+        sampler, not per stratum batch); release with :meth:`close` or by
+        using the sampler as a context manager.
+        """
+        if self._evaluator is None:
+            from .shard import ShardedEvaluator
+
+            self._evaluator = ShardedEvaluator(
+                self.engine,
+                workers=max(1, self.workers or 1),
+                max_slab=self.max_slab,
+            )
+        return self._evaluator
+
+    def close(self) -> None:
+        """Reap any sharding worker pool (idempotent)."""
+        if self._evaluator is not None:
+            self._evaluator.close()
+            self._evaluator = None
+
+    def __enter__(self) -> "SubsetSampler":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # -- sampling ------------------------------------------------------------
 
@@ -312,21 +397,33 @@ class SubsetSampler:
         Conditioned on exactly one failing location, the location is
         uniform over the universe and the fault draw is uniform within the
         location's kind, so ``f_1`` is a finite probability-weighted sum.
+
+        With an engine the enumeration routes through the stratum planner
+        (``repro.sim.shard``) in ``max_slab`` row chunks — streamed, and
+        fanned across the worker pool when ``workers > 1``, with the same
+        mass for any worker count. The ``failure_fn`` path keeps the
+        historical dict-at-a-time loop.
         """
-        configurations: list[dict] = []
-        weights: list[float] = []
-        tables = draw_tables(self.locations)
-        for (key, _, _), draws in zip(self.locations, tables):
-            weight = 1.0 / (len(self.locations) * len(draws))
-            for injection in draws:
-                configurations.append({key: injection})
-                weights.append(weight)
-        total = 0.0
-        for start in range(0, len(configurations), self.batch_size):
-            chunk = configurations[start : start + self.batch_size]
-            verdicts = self._eval_batch(chunk)
-            for offset in np.nonzero(verdicts)[0]:
-                total += weights[start + int(offset)]
+        if self.engine is not None:
+            merged = self.evaluator.reduce(
+                self.evaluator.planner.plan_rows(checkable_only=False)
+            )
+            total = merged.weighted_mass
+        else:
+            configurations: list[dict] = []
+            weights: list[float] = []
+            tables = draw_tables(self.locations)
+            for (key, _, _), draws in zip(self.locations, tables):
+                weight = 1.0 / (len(self.locations) * len(draws))
+                for injection in draws:
+                    configurations.append({key: injection})
+                    weights.append(weight)
+            total = 0.0
+            for start in range(0, len(configurations), self.batch_size):
+                chunk = configurations[start : start + self.batch_size]
+                verdicts = self._eval_batch(chunk)
+                for offset in np.nonzero(verdicts)[0]:
+                    total += weights[start + int(offset)]
         stats = self.strata[1]
         stats.exact = True
         # Store as a high-resolution fraction for reporting.
@@ -344,9 +441,29 @@ class SubsetSampler:
         Cost is ``sum over pairs of d_i * d_j`` protocol runs (~85k for
         the Steane protocol, minutes for the largest codes); ``max_runs``
         guards against accidental huge enumerations.
+
+        With an engine the pair enumeration routes through the stratum
+        planner in ``max_slab``-run chunks (streamed, pool-fanned when
+        ``workers > 1``, worker-count independent); the ``failure_fn``
+        path keeps the historical dict-at-a-time loop.
         """
         if self.k_max < 2:
             raise ValueError("k_max < 2: stratum 2 is not tracked")
+        if self.engine is not None:
+            planner = self.evaluator.planner
+            total_runs = planner.total_pair_runs()
+            if max_runs is not None and total_runs > max_runs:
+                raise ValueError(
+                    f"exact k=2 enumeration needs {total_runs} runs "
+                    f"(> max_runs={max_runs})"
+                )
+            merged = self.evaluator.reduce(planner.plan_pairs())
+            total = merged.weighted_mass
+            stats = self.strata[2]
+            stats.exact = True
+            stats.trials = 10**9
+            stats.failures = round(total * stats.trials)
+            return
         draws = draw_tables(self.locations)
         total_runs = 0
         num = len(self.locations)
@@ -395,6 +512,9 @@ class SubsetSampler:
         With an engine, the whole request is drawn vectorized and evaluated
         in ``batch_size`` slabs; the legacy ``failure_fn`` path keeps the
         original shot-by-shot draw stream for backward reproducibility.
+        With ``workers`` set, the request is planned into ``max_slab``
+        chunks seeded from one draw of the sampler rng and executed on the
+        sharded path — tallies identical for any worker count.
         """
         stats = self.strata[k]
         if stats.exact:
@@ -407,6 +527,14 @@ class SubsetSampler:
                 stats.trials += 1
                 if self.failure_fn(injections):
                     stats.failures += 1
+            return stats
+        if self.workers is not None:
+            entropy = int(self.rng.integers(0, 2**63))
+            merged = self.evaluator.reduce(
+                self.evaluator.planner.plan_stratum(k, shots, entropy)
+            )
+            stats.trials += merged.trials
+            stats.failures += merged.failures
             return stats
         remaining = shots
         while remaining > 0:

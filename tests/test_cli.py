@@ -21,6 +21,30 @@ class TestParser:
         )
         assert args.p == [0.001, 0.01]
 
+    def test_shard_flags_on_every_engine_backed_subcommand(self):
+        for command in (
+            ["check", "steane"],
+            ["ftcheck", "steane"],
+            ["simulate", "steane"],
+            ["table1"],
+            ["figure4"],
+            ["budget", "steane"],
+        ):
+            args = build_parser().parse_args(command)
+            assert args.workers == 1, command
+            assert args.max_slab is None, command
+            args = build_parser().parse_args(
+                command + ["--workers", "4", "--max-slab", "2048"]
+            )
+            assert args.workers == 4
+            assert args.max_slab == 2048
+
+    def test_figure4_shard_axis(self):
+        args = build_parser().parse_args(["figure4"])
+        assert args.shard == "auto"
+        args = build_parser().parse_args(["figure4", "--shard", "intra"])
+        assert args.shard == "intra"
+
 
 class TestCommands:
     def test_codes(self, capsys):
@@ -107,6 +131,27 @@ class TestCommands:
         batched = capsys.readouterr().out
         assert main(["budget", "steane", "--engine", "reference"]) == 0
         assert capsys.readouterr().out == batched
+
+    def test_budget_sharded_identical(self, capsys):
+        assert main(["budget", "steane"]) == 0
+        serial = capsys.readouterr().out
+        assert (
+            main(
+                ["budget", "steane", "--workers", "2", "--max-slab", "999"]
+            )
+            == 0
+        )
+        assert capsys.readouterr().out == serial
+
+    def test_simulate_workers_identical(self, capsys):
+        command = [
+            "simulate", "steane", "--shots", "300", "--k-max", "2",
+            "--p", "0.01",
+        ]
+        assert main(command + ["--workers", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(command + ["--workers", "2"]) == 0
+        assert capsys.readouterr().out == serial
 
     def test_budget_max_runs_guard(self, capsys):
         with pytest.raises(ValueError):
