@@ -1,0 +1,290 @@
+"""Benchmark/smoke: multi-node cluster execution vs inline, bit-identical.
+
+The ISSUE-4 acceptance workload: the FT-certificate row enumeration, the
+exact two-fault budget, and a deep sampled stratum of one catalog code
+executed twice — ``workers=1`` inline (the bit-identity baseline) and on
+a localhost TCP cluster (``repro.sim.cluster``) — asserting every tally,
+histogram, and float mass is identical. A third pass repeats the stratum
+with a **fault-injection worker** (``--max-chunks``: dies mid-stream with
+its in-flight chunk unacknowledged) to prove the requeue path is also
+bit-identical, then everything lands in ``BENCH_cluster.json`` for the
+CI artifact/delta machinery.
+
+Workers are either external (``--cluster HOST:PORT,...`` — the CI smoke
+job spins up two ``repro cluster worker`` processes) or self-spawned
+subprocesses (default, ``--spawn 2``) so the benchmark runs anywhere::
+
+    PYTHONPATH=src python -m benchmarks.bench_cluster [--code steane]
+        [--shots 20000] [--cluster 127.0.0.1:7781,127.0.0.1:7782]
+        [--spawn 2] [--mem-budget 64M] [--out BENCH_cluster.json]
+
+Cluster speedup on a single-core container is physical nonsense (same
+box, extra sockets), so like ``bench_shard`` there is no hard speedup
+floor here — correctness (identity + disconnect recovery) is the gate,
+wall-clocks are the recorded trend datapoints.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import re
+import socket
+import subprocess
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+from repro.codes.catalog import get_code
+from repro.core.analysis import two_fault_error_budget
+from repro.core.ftcheck import check_fault_tolerance
+from repro.core.protocol import synthesize_protocol
+from repro.sim.cluster import ClusterEvaluator, parse_hostports
+from repro.sim.sampler import make_sampler
+from repro.sim.shard import ShardedEvaluator, parse_mem_budget
+
+
+def _wait_for_port(address: tuple[str, int], timeout: float = 30.0) -> None:
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            socket.create_connection(address, timeout=1.0).close()
+            return
+        except OSError:
+            if time.monotonic() > deadline:
+                raise TimeoutError(f"no cluster worker came up on {address}")
+            time.sleep(0.2)
+
+
+def _spawn_workers(count: int, max_chunks: int | None = None):
+    """Launch ``repro cluster worker`` subprocesses on ephemeral ports."""
+    processes = []
+    addresses = []
+    for _ in range(count):
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "cluster",
+                "worker",
+                "--listen",
+                "127.0.0.1:0",
+            ]
+            + (["--max-chunks", str(max_chunks)] if max_chunks else []),
+            stdout=subprocess.PIPE,
+            text=True,
+            env={
+                **os.environ,
+                "PYTHONPATH": os.pathsep.join(
+                    [str(Path(__file__).resolve().parents[1] / "src")]
+                    + os.environ.get("PYTHONPATH", "").split(os.pathsep)
+                ).strip(os.pathsep),
+            },
+        )
+        line = process.stdout.readline()
+        match = re.search(r"listening on (\S+):(\d+)", line)
+        if not match:
+            process.kill()
+            raise RuntimeError(f"worker failed to report its port: {line!r}")
+        processes.append(process)
+        addresses.append((match.group(1), int(match.group(2))))
+    return processes, addresses
+
+
+def _stratum(evaluator, k: int, shots: int, seed: int):
+    merged = evaluator.reduce(evaluator.planner.plan_stratum(k, shots, seed))
+    return (merged.trials, merged.failures)
+
+
+def run_recorder(
+    code_key: str,
+    shots: int,
+    k: int,
+    seed: int,
+    addresses,
+    max_slab: int,
+    mem_budget: int | None,
+    drill_addresses=None,
+) -> dict:
+    synth_start = time.perf_counter()
+    protocol = synthesize_protocol(get_code(code_key))
+    synth_seconds = time.perf_counter() - synth_start
+    engine = make_sampler(protocol)
+
+    slab_kwargs = (
+        {"mem_budget": mem_budget}
+        if mem_budget is not None
+        else {"max_slab": max_slab}
+    )
+
+    # Inline baseline: certificate rows, budget, deep stratum.
+    with ShardedEvaluator(engine, **slab_kwargs) as inline:
+        effective_slab = inline.max_slab
+        start = time.perf_counter()
+        rows_base = inline.reduce(
+            inline.planner.plan_rows(checkable_only=True, threshold=1)
+        )
+        stratum_base = _stratum(inline, k, shots, seed)
+        inline_seconds = time.perf_counter() - start
+    budget_base = two_fault_error_budget(protocol, **slab_kwargs)
+    ft_base = check_fault_tolerance(protocol, **slab_kwargs)
+
+    # The same plans on the cluster.
+    with ClusterEvaluator(engine, addresses, **slab_kwargs) as cluster:
+        start = time.perf_counter()
+        rows_cluster = cluster.reduce(
+            cluster.planner.plan_rows(checkable_only=True, threshold=1)
+        )
+        stratum_cluster = _stratum(cluster, k, shots, seed)
+        cluster_seconds = time.perf_counter() - start
+    from repro.sim.cluster import ClusterExecutorFactory
+
+    factory = ClusterExecutorFactory(tuple(parse_hostports(addresses)))
+    budget_cluster = two_fault_error_budget(
+        protocol, executor=factory, **slab_kwargs
+    )
+    ft_cluster = check_fault_tolerance(protocol, executor=factory, **slab_kwargs)
+
+    rows_identical = (
+        rows_base.trials == rows_cluster.trials
+        and rows_base.heavy == rows_cluster.heavy
+    )
+    identical = (
+        rows_identical
+        and stratum_base == stratum_cluster
+        and budget_base == budget_cluster
+        and ft_base == ft_cluster
+    )
+
+    # Forced-disconnect drill: one dying worker in the set, same answer.
+    drill_identical = None
+    if drill_addresses is not None:
+        with ClusterEvaluator(engine, drill_addresses, **slab_kwargs) as drill:
+            drill_identical = (
+                _stratum(drill, k, shots, seed) == stratum_base
+            )
+
+    return {
+        "benchmark": "cluster_smoke",
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "code": code_key,
+        "locations": len(engine.locations),
+        "shots": shots,
+        "stratum_k": k,
+        "seed": seed,
+        "cluster_workers": len(parse_hostports(addresses)),
+        "max_slab": effective_slab,
+        "mem_budget": mem_budget,
+        "synthesis_seconds": round(synth_seconds, 4),
+        "inline_seconds": round(inline_seconds, 4),
+        "cluster_seconds": round(cluster_seconds, 4),
+        "cluster_speedup": round(inline_seconds / cluster_seconds, 2),
+        "tallies_identical": identical,
+        "budget_identical": budget_base == budget_cluster,
+        "ftcheck_identical": ft_base == ft_cluster,
+        "disconnect_drill_identical": drill_identical,
+        "failure_rate": round(stratum_base[1] / shots, 6),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--code", default="steane")
+    parser.add_argument("--shots", type=int, default=20_000)
+    parser.add_argument("--k", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=2025)
+    parser.add_argument(
+        "--cluster",
+        default=None,
+        metavar="HOST:PORT[,HOST:PORT...]",
+        help="use these already-running workers instead of spawning",
+    )
+    parser.add_argument(
+        "--spawn",
+        type=int,
+        default=2,
+        help="self-spawn this many worker subprocesses (ignored with --cluster)",
+    )
+    parser.add_argument("--max-slab", type=int, default=2048)
+    parser.add_argument(
+        "--mem-budget",
+        type=parse_mem_budget,
+        default=None,
+        help="size slabs adaptively from a per-worker byte budget instead",
+    )
+    parser.add_argument(
+        "--skip-drill",
+        action="store_true",
+        help="skip the forced worker-disconnect drill",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parents[1] / "BENCH_cluster.json",
+    )
+    args = parser.parse_args()
+
+    processes = []
+    try:
+        if args.cluster:
+            addresses = list(parse_hostports(args.cluster))
+            for address in addresses:
+                _wait_for_port(address)
+        else:
+            processes, addresses = _spawn_workers(max(2, args.spawn))
+        drill_addresses = None
+        if not args.skip_drill:
+            drill_processes, dying = _spawn_workers(1, max_chunks=3)
+            processes += drill_processes
+            drill_addresses = dying + addresses
+        record = run_recorder(
+            args.code,
+            args.shots,
+            args.k,
+            args.seed,
+            addresses,
+            args.max_slab,
+            args.mem_budget,
+            drill_addresses=drill_addresses,
+        )
+    finally:
+        for process in processes:
+            process.terminate()
+        for process in processes:
+            try:
+                process.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                process.kill()
+
+    print(json.dumps(record, indent=2))
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    if not record["tallies_identical"]:
+        print("FAIL: cluster results differ from the workers=1 baseline")
+        return 1
+    if record["disconnect_drill_identical"] is False:
+        print("FAIL: results changed under a forced worker disconnect")
+        return 1
+    print(
+        f"OK: {record['cluster_workers']}-worker cluster bit-identical to "
+        f"inline ({record['cluster_speedup']}x wall-clock), disconnect "
+        "drill "
+        + (
+            "identical"
+            if record["disconnect_drill_identical"]
+            else "skipped"
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -5,10 +5,15 @@ append a markdown comparison table to the job summary::
 
     python scripts/bench_delta.py --old . --new bench-out >> "$GITHUB_STEP_SUMMARY"
 
-Numeric keys are compared with a percentage delta; missing counterparts
-(first run of a new benchmark) render as ``new``. The script never fails
-the build — regressions are surfaced for humans, the hard floors live in
-the benchmark scripts themselves.
+Numeric keys are compared with a percentage delta. Benchmarks present on
+only one side never error: a fresh ``BENCH_*.json`` with no committed
+counterpart renders its metrics as ``new`` (and is called out in a notes
+section), and a committed baseline that this run did not regenerate —
+a benchmark that moved to another job, was renamed, or whose step was
+skipped — is listed in the notes instead of being silently ignored or
+demanding a matched pair. The script never fails the build — regressions
+are surfaced for humans, the hard floors live in the benchmark scripts
+themselves.
 """
 
 from __future__ import annotations
@@ -36,17 +41,27 @@ def _load(path: Path) -> dict:
 
 def render_deltas(old_dir: Path, new_dir: Path) -> str:
     lines = ["## Benchmark deltas (committed vs this run)", ""]
-    fresh = sorted(new_dir.glob("BENCH_*.json"))
+    fresh = sorted(new_dir.glob("BENCH_*.json")) if new_dir.is_dir() else []
     if not fresh:
         return "\n".join(lines + ["_no fresh BENCH_*.json files found_"])
     lines += [
         "| benchmark | metric | committed | this run | delta |",
         "|---|---|---:|---:|---:|",
     ]
+    notes: list[str] = []
+    fresh_names = {path.name for path in fresh}
     for new_path in fresh:
         new_record = _load(new_path)
         old_record = _load(old_dir / new_path.name)
         name = new_record.get("benchmark", new_path.stem)
+        if not new_record:
+            notes.append(f"`{new_path.name}`: unreadable this run — skipped")
+            continue
+        if not old_record:
+            notes.append(
+                f"`{new_path.name}`: no committed baseline (new benchmark "
+                "or missing old artifact) — all metrics shown as `new`"
+            )
         for key, new_value in new_record.items():
             if not _is_metric(key, new_value):
                 continue
@@ -63,6 +78,18 @@ def render_deltas(old_dir: Path, new_dir: Path) -> str:
             lines.append(
                 f"| {name} | {key} | {old_text} | {new_value:g} | {delta} |"
             )
+    # Committed baselines this run did not regenerate deserve a note —
+    # a silently vanished benchmark looks exactly like a green build.
+    if old_dir.is_dir():
+        for old_path in sorted(old_dir.glob("BENCH_*.json")):
+            if old_path.name not in fresh_names:
+                notes.append(
+                    f"`{old_path.name}`: committed baseline not regenerated "
+                    "this run (runs in another job, or its step was skipped)"
+                )
+    if notes:
+        lines += ["", "**Notes**", ""]
+        lines += [f"- {note}" for note in notes]
     return "\n".join(lines)
 
 

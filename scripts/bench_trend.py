@@ -1,0 +1,299 @@
+"""Cross-run benchmark trend tracking for the CI job summary.
+
+``bench_delta.py`` compares this run against the *committed* BENCH
+baselines; this script tracks the trajectory *across CI runs*: it
+appends the fresh ``BENCH_*.json`` metrics to a ``BENCH_history.jsonl``
+ledger (one JSON record per run) and renders an
+old-vs-new-vs-trend markdown table into ``$GITHUB_STEP_SUMMARY``, so a
+speedup like the 42.7x in ``BENCH_sampler.json`` can't silently erode
+over a series of individually-small regressions.
+
+The previous ledger comes from the last run's artifact. With
+``--download-previous`` the script fetches it itself through ``gh api``
+(needs ``GH_TOKEN``; the workflow passes ``github.token``): it tries
+the ``bench-history`` artifact first (the full ledger) and falls back
+to the last ``bench-json`` artifact (seeding the ledger with one
+datapoint). Every failure mode — first run ever, expired artifacts, no
+token, no ``gh`` — degrades gracefully to "start a fresh ledger",
+never a red build::
+
+    python scripts/bench_trend.py --bench-dir bench-out \
+        --history bench-out/BENCH_history.jsonl --download-previous \
+        >> "$GITHUB_STEP_SUMMARY"
+
+The updated ledger is then uploaded as the ``bench-history`` artifact
+for the next run. Run IDs/SHAs come from the standard GitHub Actions
+environment when present.
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import json
+import os
+import subprocess
+import tempfile
+import time
+import zipfile
+from pathlib import Path
+
+#: Keys worth a trend line (same story-telling metrics as bench_delta).
+_METRIC_SUFFIXES = ("_seconds", "_speedup", "shots_per_second", "speedup")
+
+#: Eight-level sparkline glyphs for the trend column.
+_SPARKS = "▁▂▃▄▅▆▇█"
+
+
+def _is_metric(key: str, value) -> bool:
+    return (
+        isinstance(value, (int, float))
+        and not isinstance(value, bool)
+        and key.endswith(_METRIC_SUFFIXES)
+    )
+
+
+def collect_metrics(bench_dir: Path) -> dict[str, float]:
+    """``{"BENCH_x.json:metric": value}`` for every fresh datapoint."""
+    metrics: dict[str, float] = {}
+    for path in sorted(bench_dir.glob("BENCH_*.json")):
+        if path.name == "BENCH_history.jsonl":
+            continue
+        try:
+            record = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        for key, value in record.items():
+            if _is_metric(key, value):
+                metrics[f"{path.name}:{key}"] = float(value)
+    return metrics
+
+
+def load_history(path: Path) -> list[dict]:
+    """Ledger records, oldest first; unreadable lines are skipped."""
+    records: list[dict] = []
+    if not path.exists():
+        return records
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(record, dict) and "metrics" in record:
+            records.append(record)
+    return records
+
+
+def append_run(history: list[dict], metrics: dict[str, float]) -> dict:
+    record = {
+        "run": {
+            "sha": os.environ.get("GITHUB_SHA", "local")[:12],
+            "run_id": os.environ.get("GITHUB_RUN_ID", ""),
+            "timestamp": int(time.time()),
+        },
+        "metrics": metrics,
+    }
+    history.append(record)
+    return record
+
+
+def save_history(path: Path, history: list[dict], keep: int) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    lines = [json.dumps(record) for record in history[-keep:]]
+    path.write_text("\n".join(lines) + "\n" if lines else "")
+
+
+def _sparkline(values: list[float]) -> str:
+    finite = [v for v in values if v == v]  # drop NaN
+    if len(finite) < 2:
+        return "·"
+    low, high = min(finite), max(finite)
+    if high == low:
+        return _SPARKS[3] * len(finite)
+    return "".join(
+        _SPARKS[int((v - low) / (high - low) * (len(_SPARKS) - 1))]
+        for v in finite
+    )
+
+
+def render_trend(history: list[dict], max_points: int) -> str:
+    """Markdown: previous vs current vs the trajectory over past runs."""
+    lines = ["## Benchmark trend (across CI runs)", ""]
+    if not history:
+        return "\n".join(lines + ["_no benchmark history yet_"])
+    current = history[-1]
+    previous = history[-2] if len(history) > 1 else None
+    runs = history[-max_points:]
+    lines.append(
+        f"_{len(history)} tracked run(s); current "
+        f"`{current['run'].get('sha', '?')}`"
+        + (
+            f", previous `{previous['run'].get('sha', '?')}`_"
+            if previous
+            else " — first tracked run, no previous artifact_"
+        )
+    )
+    lines += [
+        "",
+        f"| metric | previous | current | delta | last {len(runs)} runs |",
+        "|---|---:|---:|---:|---|",
+    ]
+    for key in sorted(current["metrics"]):
+        value = current["metrics"][key]
+        old = previous["metrics"].get(key) if previous else None
+        if isinstance(old, (int, float)) and old:
+            delta = f"{(value - old) / old * 100.0:+.1f}%"
+            old_text = f"{old:g}"
+        else:
+            delta = "new"
+            old_text = "—"
+        series = [
+            run["metrics"][key]
+            for run in runs
+            if isinstance(run["metrics"].get(key), (int, float))
+        ]
+        lines.append(
+            f"| {key} | {old_text} | {value:g} | {delta} | "
+            f"{_sparkline(series)} |"
+        )
+    return "\n".join(lines)
+
+
+# -- previous-artifact download (graceful best-effort) -------------------------
+
+
+def _gh_api(endpoint: str, *extra: str) -> bytes:
+    return subprocess.run(
+        ["gh", "api", endpoint, *extra],
+        check=True,
+        capture_output=True,
+        timeout=120,
+    ).stdout
+
+
+def download_previous(history_path: Path) -> str:
+    """Fetch the previous ledger (or seed datapoints) into
+    ``history_path`` via ``gh api``; returns a short status string.
+
+    Never raises: any failure (first run, expired/absent artifacts,
+    missing token or ``gh``) leaves the path untouched and reports why.
+    """
+    repo = os.environ.get("GITHUB_REPOSITORY")
+    if not repo:
+        return "not on GitHub Actions; starting a fresh ledger"
+    try:
+        listing = json.loads(
+            _gh_api(f"repos/{repo}/actions/artifacts?per_page=100")
+        )
+    except (
+        subprocess.CalledProcessError,
+        subprocess.TimeoutExpired,
+        FileNotFoundError,
+        json.JSONDecodeError,
+    ) as exc:
+        return f"artifact listing unavailable ({type(exc).__name__}); fresh ledger"
+    current_run = os.environ.get("GITHUB_RUN_ID", "")
+    candidates = [
+        artifact
+        for artifact in listing.get("artifacts", [])
+        if artifact.get("name") in ("bench-history", "bench-json")
+        and not artifact.get("expired")
+        and str(
+            (artifact.get("workflow_run") or {}).get("id", "")
+        ) != current_run
+    ]
+    # Prefer the full ledger; within a name, newest first.
+    candidates.sort(
+        key=lambda a: (a.get("name") != "bench-history", -a.get("id", 0))
+    )
+    for artifact in candidates:
+        try:
+            payload = _gh_api(
+                f"repos/{repo}/actions/artifacts/{artifact['id']}/zip"
+            )
+            archive = zipfile.ZipFile(io.BytesIO(payload))
+        except (
+            subprocess.CalledProcessError,
+            subprocess.TimeoutExpired,
+            zipfile.BadZipFile,
+        ):
+            continue
+        if artifact["name"] == "bench-history":
+            for name in archive.namelist():
+                if name.endswith("BENCH_history.jsonl"):
+                    history_path.parent.mkdir(parents=True, exist_ok=True)
+                    history_path.write_bytes(archive.read(name))
+                    return f"ledger restored from artifact {artifact['id']}"
+        else:
+            # Seed a one-record ledger from the previous BENCH_*.json set.
+            with tempfile.TemporaryDirectory() as scratch:
+                archive.extractall(scratch)
+                metrics = collect_metrics(Path(scratch))
+            if metrics:
+                seed = {
+                    "run": {"sha": "previous-artifact", "run_id": "", "timestamp": 0},
+                    "metrics": metrics,
+                }
+                history_path.parent.mkdir(parents=True, exist_ok=True)
+                history_path.write_text(json.dumps(seed) + "\n")
+                return (
+                    f"ledger seeded from bench-json artifact {artifact['id']}"
+                )
+    return "no previous benchmark artifact found (first run?); fresh ledger"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--bench-dir",
+        type=Path,
+        required=True,
+        help="directory holding this run's fresh BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--history",
+        type=Path,
+        required=True,
+        help="BENCH_history.jsonl ledger to append to (created if absent)",
+    )
+    parser.add_argument(
+        "--download-previous",
+        action="store_true",
+        help="fetch the previous run's ledger via gh api first (best-effort)",
+    )
+    parser.add_argument(
+        "--keep",
+        type=int,
+        default=200,
+        help="most-recent runs retained in the ledger",
+    )
+    parser.add_argument(
+        "--max-points",
+        type=int,
+        default=30,
+        help="runs shown in the trend sparkline",
+    )
+    args = parser.parse_args()
+
+    status = None
+    if args.download_previous and not args.history.exists():
+        status = download_previous(args.history)
+    history = load_history(args.history)
+    metrics = collect_metrics(args.bench_dir)
+    if not metrics:
+        print("## Benchmark trend (across CI runs)\n")
+        print(f"_no fresh BENCH_*.json files in {args.bench_dir}_")
+        return 0
+    append_run(history, metrics)
+    save_history(args.history, history, args.keep)
+    print(render_trend(history, args.max_points))
+    if status:
+        print(f"\n_previous ledger: {status}_")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

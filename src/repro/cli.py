@@ -59,6 +59,31 @@ def _add_shard_flags(parser: argparse.ArgumentParser) -> None:
             "max(M, draws_i * draws_j))"
         ),
     )
+    parser.add_argument(
+        "--mem-budget",
+        type=str,
+        default=None,
+        metavar="BYTES",
+        help=(
+            "per-worker slab memory budget (accepts K/M/G suffixes, e.g. "
+            "64M); sizes the chunk bound adaptively from the engine's "
+            "packed-word footprint when --max-slab is not given"
+        ),
+    )
+    parser.add_argument(
+        "--cluster",
+        type=str,
+        default=None,
+        metavar="HOST:PORT[,HOST:PORT...]",
+        help=(
+            "execute chunks on remote cluster workers (start them with "
+            "'repro cluster worker --listen HOST:PORT') instead of local "
+            "processes; results are bit-identical to the same command "
+            "with --workers 1 for any worker set, including under "
+            "worker disconnects (figure4: --cluster implies the intra "
+            "shard axis, so compare against --shard intra --workers 1)"
+        ),
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -231,7 +256,61 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_shard_flags(budget)
 
+    cluster = sub.add_parser(
+        "cluster",
+        help="multi-node chunk execution utilities (repro.sim.cluster)",
+    )
+    cluster_sub = cluster.add_subparsers(dest="cluster_command", required=True)
+    worker = cluster_sub.add_parser(
+        "worker",
+        help=(
+            "serve chunk execution over TCP; point any engine-backed "
+            "subcommand at it with --cluster HOST:PORT[,...]"
+        ),
+    )
+    worker.add_argument(
+        "--listen",
+        required=True,
+        metavar="HOST:PORT",
+        help="listen address (PORT 0 binds an ephemeral port and prints it)",
+    )
+    worker.add_argument(
+        "--max-chunks",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "fault-injection drill: crash (drop the connection with the "
+            "in-flight chunk unacknowledged) after executing N chunks"
+        ),
+    )
+
     return parser
+
+
+def _shard_kwargs(args) -> dict:
+    """Resolve the sharding flags into consumer kwargs.
+
+    ``--cluster`` becomes an executor factory on the
+    ``repro.sim.shard.resolve_evaluator`` seam; ``--mem-budget`` is
+    parsed into bytes for adaptive slab sizing.
+    """
+    executor = None
+    if getattr(args, "cluster", None):
+        from .sim.cluster import ClusterExecutorFactory, parse_hostports
+
+        executor = ClusterExecutorFactory(parse_hostports(args.cluster))
+    mem_budget = None
+    if getattr(args, "mem_budget", None):
+        from .sim.shard import parse_mem_budget
+
+        mem_budget = parse_mem_budget(args.mem_budget)
+    return {
+        "workers": args.workers,
+        "max_slab": args.max_slab,
+        "executor": executor,
+        "mem_budget": mem_budget,
+    }
 
 
 def _cmd_codes(_args) -> int:
@@ -312,9 +391,7 @@ def _cmd_check(args) -> int:
     if protocol is None:
         print("error: give a code key or --load", file=sys.stderr)
         return 2
-    violations = check_fault_tolerance(
-        protocol, workers=args.workers, max_slab=args.max_slab
-    )
+    violations = check_fault_tolerance(protocol, **_shard_kwargs(args))
     if violations:
         print(f"NOT fault tolerant — {len(violations)} violations:")
         for violation in violations:
@@ -341,8 +418,7 @@ def _cmd_ftcheck(args) -> int:
         protocol,
         engine=args.engine,
         max_violations=args.max_violations,
-        workers=args.workers,
-        max_slab=args.max_slab,
+        **_shard_kwargs(args),
     )
     seconds = time.perf_counter() - start
     if violations:
@@ -364,8 +440,7 @@ def _cmd_ftcheck(args) -> int:
             samples=args.survey,
             rng=np.random.default_rng(args.seed),
             engine=args.engine,
-            workers=args.workers,
-            max_slab=args.max_slab,
+            **_shard_kwargs(args),
         )
         print(
             f"  t=2 survey: {survey['violations']}/"
@@ -388,8 +463,7 @@ def _cmd_simulate(args) -> int:
         engine=args.engine,
         k_max=args.k_max,
         rng=np.random.default_rng(args.seed),
-        workers=args.workers,
-        max_slab=args.max_slab,
+        **_shard_kwargs(args),
     ) as sampler:
         sampler.enumerate_k1_exact()
         sampler.sample(args.shots)
@@ -405,13 +479,16 @@ def _cmd_simulate(args) -> int:
 
             rng = np.random.default_rng(args.seed + 1)
             for p in sorted(args.p):
+                # One open executor session for the whole sweep: the
+                # sampler's (the CLI path is always sharded), so a
+                # cluster run pays one handshake/compile per worker,
+                # not one per sweep point.
                 estimate = direct_mc(
                     sampler.engine,
                     E1_1(p=p),
                     args.shots,
                     rng=rng,
-                    workers=args.workers,
-                    max_slab=args.max_slab,
+                    evaluator=sampler.evaluator,
                 )
                 print(f"  {estimate}")
     return 0
@@ -430,8 +507,7 @@ def _cmd_table1(args) -> int:
         rows,
         global_time_budget=args.global_budget,
         verify_ft=args.verify_ft,
-        workers=args.workers,
-        max_slab=args.max_slab,
+        **_shard_kwargs(args),
     )
     print(render_table1(results))
     return 0
@@ -445,9 +521,8 @@ def _cmd_figure4(args) -> int:
         shots=args.shots,
         seed=args.seed,
         engine=args.engine,
-        workers=args.workers,
         shard=args.shard,
-        max_slab=args.max_slab,
+        **_shard_kwargs(args),
     )
     print(render_figure4(series))
     return 0
@@ -463,10 +538,36 @@ def _cmd_budget(args) -> int:
         protocol,
         max_runs=args.max_runs,
         engine=args.engine,
-        workers=args.workers,
-        max_slab=args.max_slab,
+        **_shard_kwargs(args),
     )
     print(budget.render())
+    return 0
+
+
+def _cmd_cluster(args) -> int:
+    from .sim.cluster import ClusterWorker
+
+    # ":0" / ":7781" bind all interfaces, the conventional listen form.
+    host, _, port_text = args.listen.rpartition(":")
+    if not port_text.isdigit():
+        print(
+            f"error: --listen expects HOST:PORT, got {args.listen!r}",
+            file=sys.stderr,
+        )
+        return 2
+    worker = ClusterWorker(
+        host or "0.0.0.0", int(port_text), max_chunks=args.max_chunks
+    )
+    # The bound address is printed (and flushed) before serving so a
+    # launcher script can wait for readiness; PORT 0 reports the
+    # ephemeral port the OS picked.
+    print(f"cluster worker listening on {worker.host}:{worker.port}", flush=True)
+    try:
+        worker.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        worker.stop()
     return 0
 
 
@@ -479,6 +580,7 @@ _COMMANDS = {
     "table1": _cmd_table1,
     "figure4": _cmd_figure4,
     "budget": _cmd_budget,
+    "cluster": _cmd_cluster,
 }
 
 

@@ -79,6 +79,8 @@ def two_fault_error_budget(
     batch_size: int = 8192,
     workers: int = 1,
     max_slab: int | None = None,
+    executor=None,
+    mem_budget: int | None = None,
 ) -> ErrorBudget:
     """Exact two-fault enumeration with per-pair attribution.
 
@@ -88,13 +90,15 @@ def two_fault_error_budget(
     The draw x draw cross products are planned into bounded pair chunks
     (at most ``max_slab`` runs each, defaulting to ``batch_size``) and
     evaluated as k = 2 index strata on the selected engine — across
-    ``workers`` processes when asked. Per-pair failing counts are exact
-    integers and the mass aggregation order matches the per-shot loop, so
-    the result is bit-identical across engines, worker counts, and slab
-    sizes.
+    ``workers`` processes, or on the ``executor`` backend (e.g.
+    ``repro.sim.cluster`` TCP workers), when asked; ``mem_budget`` sizes
+    the chunks adaptively. Per-pair failing counts are exact integers
+    and the mass aggregation order matches the per-shot loop, so the
+    result is bit-identical across engines, worker counts, backends,
+    and slab sizes.
     """
     from ..sim.sampler import make_sampler
-    from ..sim.shard import ShardedEvaluator
+    from ..sim.shard import resolve_evaluator
 
     sampler = make_sampler(protocol, engine=engine)
     locations = sampler.locations
@@ -103,10 +107,13 @@ def two_fault_error_budget(
     num = len(locations)
     pair_count = math.comb(num, 2)
     failing = np.zeros(pair_count, dtype=np.int64)
-    with ShardedEvaluator(
+    with resolve_evaluator(
         sampler,
-        workers=max(1, workers),
-        max_slab=max_slab if max_slab is not None else batch_size,
+        workers=workers,
+        max_slab=max_slab,
+        executor=executor,
+        mem_budget=mem_budget,
+        default_slab=batch_size,
     ) as evaluator:
         total_runs = evaluator.planner.total_pair_runs()
         if max_runs is not None and total_runs > max_runs:

@@ -114,6 +114,8 @@ def second_order_survey(
     batch_size: int = 8192,
     workers: int = 1,
     max_slab: int | None = None,
+    executor=None,
+    mem_budget: int | None = None,
 ) -> dict:
     """Survey Definition 1 at t = 2: fraction of fault *pairs* leaving
     ``wt_S > 2`` residuals.
@@ -129,10 +131,14 @@ def second_order_survey(
     The pair draw stream is engine- and worker-count-independent
     (identical to the historical per-shot loop for a given ``rng``); only
     the evaluation is batched — and, with ``workers > 1``, sharded into
-    ``max_slab`` dict chunks across a process pool.
+    ``max_slab`` dict chunks across a process pool. ``executor`` /
+    ``mem_budget`` select the execution backend (e.g. cluster workers)
+    and adaptive slab sizing through the
+    :func:`repro.sim.shard.resolve_evaluator` seam; the survey numbers
+    are identical for every backend.
     """
     from ..sim.sampler import make_sampler
-    from ..sim.shard import ShardedEvaluator
+    from ..sim.shard import resolve_evaluator
 
     rng = rng if rng is not None else np.random.default_rng()
     sampler = make_sampler(protocol, engine=engine)
@@ -144,10 +150,13 @@ def second_order_survey(
         if loc_i == loc_j:
             continue
         pairs.append({loc_i: inj_i, loc_j: inj_j})
-    with ShardedEvaluator(
+    with resolve_evaluator(
         sampler,
-        workers=max(1, workers),
-        max_slab=max_slab if max_slab is not None else batch_size,
+        workers=workers,
+        max_slab=max_slab,
+        executor=executor,
+        mem_budget=mem_budget,
+        default_slab=batch_size,
     ) as evaluator:
         merged = evaluator.reduce(
             evaluator.planner.plan_dicts(pairs, threshold=2)
@@ -169,18 +178,22 @@ def check_fault_tolerance(
     batch_size: int = 8192,
     workers: int = 1,
     max_slab: int | None = None,
+    executor=None,
+    mem_budget: int | None = None,
 ) -> list[FTViolation]:
     """Run every single-fault scenario; return violations (empty = FT).
 
     Also asserts the fault-free run is completely silent. The enumeration
     is planned into bounded row chunks (``repro.sim.shard``) and evaluated
     on the selected engine — inline by default, across ``workers``
-    processes when asked; violations come back in enumeration order,
+    processes (or the ``executor`` backend, e.g. ``repro.sim.cluster``
+    TCP workers) when asked; violations come back in enumeration order,
     capped at ``max_violations``, exactly as the per-shot walk reported
-    them, for every engine and worker count.
+    them, for every engine, worker count, and backend. ``mem_budget``
+    sizes the row chunks adaptively instead of ``max_slab``.
     """
     from ..sim.sampler import make_sampler
-    from ..sim.shard import ShardedEvaluator
+    from ..sim.shard import resolve_evaluator
 
     sampler = make_sampler(protocol, engine=engine)
 
@@ -196,10 +209,13 @@ def check_fault_tolerance(
 
     violations: list[FTViolation] = []
     evidence_runner: ProtocolRunner | None = None
-    with ShardedEvaluator(
+    with resolve_evaluator(
         sampler,
-        workers=max(1, workers),
-        max_slab=max_slab if max_slab is not None else batch_size,
+        workers=workers,
+        max_slab=max_slab,
+        executor=executor,
+        mem_budget=mem_budget,
+        default_slab=batch_size,
     ) as evaluator:
         planner = evaluator.planner
         for partial in evaluator.map(

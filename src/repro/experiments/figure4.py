@@ -108,6 +108,8 @@ def run_series(
     direct_shots: int = 4000,
     workers: int | None = None,
     max_slab: int | None = None,
+    executor=None,
+    mem_budget: int | None = None,
 ) -> Figure4Series:
     """Simulate one code's curve (paper defaults: 8000 shots, k_max keeps
     the truncation tail well under the statistical error at p <= 0.1).
@@ -122,7 +124,10 @@ def run_series(
     enumeration split into ``max_slab``-bounded chunks with
     deterministic seeds, so the series is identical for any worker
     count (but uses the sharded draw scheme — pass ``workers=1`` to get
-    the same numbers as ``workers=N`` serially).
+    the same numbers as ``workers=N`` serially). ``executor`` runs the
+    same chunks on a different backend (``repro.sim.cluster`` TCP
+    workers) with bit-identical series, and ``mem_budget`` sizes the
+    chunks adaptively; either opts into the sharded scheme too.
 
     ``direct_check_at`` additionally runs ``direct_shots`` of plain
     Bernoulli Monte-Carlo at that physical rate on the same engine (the
@@ -144,6 +149,8 @@ def run_series(
         rng=np.random.default_rng(seed),
         workers=workers,
         max_slab=max_slab,
+        executor=executor,
+        mem_budget=mem_budget,
     ) as sampler:
         if exact_k1:
             sampler.enumerate_k1_exact()
@@ -151,6 +158,10 @@ def run_series(
         estimates = sampler.curve(sweep)
         direct = None
         if direct_check_at is not None:
+            # Reuse the sampler's open chunk executor on the sharded
+            # path (one handshake/compile per worker for the whole
+            # series); the plan — and therefore the tallies — is the
+            # same one a fresh session would run.
             direct = direct_mc(
                 sampler.engine,
                 E1_1(p=direct_check_at),
@@ -158,6 +169,9 @@ def run_series(
                 rng=np.random.default_rng(seed + 1),
                 workers=workers,
                 max_slab=max_slab,
+                executor=executor,
+                mem_budget=mem_budget,
+                evaluator=sampler.evaluator if sampler._sharded else None,
             )
     return Figure4Series(
         code=code_key,
@@ -173,7 +187,18 @@ def run_series(
 
 def _series_task(args: tuple) -> Figure4Series:
     """Module-level worker body so multiprocessing can pickle it."""
-    code, shots, sweep, seed, engine, direct_check_at, workers, max_slab = args
+    (
+        code,
+        shots,
+        sweep,
+        seed,
+        engine,
+        direct_check_at,
+        workers,
+        max_slab,
+        executor,
+        mem_budget,
+    ) = args
     return run_series(
         code,
         shots=shots,
@@ -183,6 +208,8 @@ def _series_task(args: tuple) -> Figure4Series:
         direct_check_at=direct_check_at,
         workers=workers,
         max_slab=max_slab,
+        executor=executor,
+        mem_budget=mem_budget,
     )
 
 
@@ -197,6 +224,8 @@ def run_figure4(
     direct_check_at: float | None = None,
     shard: str = "auto",
     max_slab: int | None = None,
+    executor=None,
+    mem_budget: int | None = None,
 ) -> list[Figure4Series]:
     """Regenerate all Fig. 4 series.
 
@@ -216,8 +245,12 @@ def run_figure4(
     always uses the sharded draw scheme — ``workers=1`` runs the same
     chunk plan inline — so its results are identical for any worker
     count, but differ from the ``"codes"`` stream. ``"auto"`` never
-    changes a ``workers=1`` run's numbers. ``max_slab`` bounds the
-    configurations materialized per chunk on the intra path.
+    changes a plain ``workers=1`` run's numbers — except that a cluster
+    ``executor`` (or ``mem_budget``) opts into the sharded scheme like
+    explicit ``"intra"`` does, so compare a ``--cluster`` run against
+    ``shard="intra", workers=1``, not against the legacy stream.
+    ``max_slab`` bounds the configurations materialized per chunk on
+    the intra path.
     """
     codes = FIGURE4_CODES if codes is None else codes
     if shard not in ("auto", "codes", "intra"):
@@ -225,8 +258,15 @@ def run_figure4(
     if shard == "auto":
         # Only opt into the sharded draw scheme when intra-code
         # parallelism is actually requested; a plain workers=1 run keeps
-        # the legacy stream whatever the code count.
-        shard = "intra" if len(codes) == 1 and workers > 1 else "codes"
+        # the legacy stream whatever the code count. A cluster executor
+        # *is* intra-code parallelism — the remote workers shard each
+        # code's strata — so it selects "intra" regardless of the local
+        # worker count.
+        shard = (
+            "intra"
+            if (len(codes) == 1 and workers > 1) or executor is not None
+            else "codes"
+        )
     # Explicit "intra" uses the sharded scheme at every worker count
     # (workers=1 runs the same chunk plan inline), so the pool size never
     # changes the series; "codes" keeps the legacy per-series streams.
@@ -241,6 +281,8 @@ def run_figure4(
             direct_check_at,
             intra_workers,
             max_slab,
+            executor,
+            mem_budget,
         )
         for code in codes
     ]

@@ -101,6 +101,8 @@ def run_row(
     verify_ft: bool = False,
     workers: int = 1,
     max_slab: int | None = None,
+    executor=None,
+    mem_budget: int | None = None,
 ) -> Table1Row:
     """Synthesize one Table-I row and extract its metrics.
 
@@ -108,7 +110,9 @@ def run_row(
     certificate on the synthesized protocol — cheap now that it executes
     on the batched engine, so the regenerated table can carry a proof
     column next to the metrics. ``workers`` / ``max_slab`` shard that
-    certificate's enumeration (``repro.sim.shard``) for the big codes.
+    certificate's enumeration (``repro.sim.shard``) for the big codes;
+    ``executor`` / ``mem_budget`` select the execution backend (e.g.
+    ``repro.sim.cluster`` TCP workers) and adaptive slab sizing.
     """
     code = get_code(code_key)
     start = time.monotonic()
@@ -132,7 +136,12 @@ def run_row(
         from ..core.ftcheck import check_fault_tolerance
 
         ft_certified = not check_fault_tolerance(
-            protocol, max_violations=1, workers=workers, max_slab=max_slab
+            protocol,
+            max_violations=1,
+            workers=workers,
+            max_slab=max_slab,
+            executor=executor,
+            mem_budget=mem_budget,
         )
     return Table1Row(
         code=code_key,
@@ -152,6 +161,8 @@ def run_table1(
     verify_ft: bool = False,
     workers: int = 1,
     max_slab: int | None = None,
+    executor=None,
+    mem_budget: int | None = None,
 ) -> list[Table1Row]:
     """Regenerate Table I (all rows by default)."""
     rows = TABLE1_ROWS if rows is None else rows
@@ -164,6 +175,8 @@ def run_table1(
             verify_ft=verify_ft,
             workers=workers,
             max_slab=max_slab,
+            executor=executor,
+            mem_budget=mem_budget,
         )
         for code, prep, verif in rows
     ]

@@ -12,6 +12,12 @@ An explicit ``__init__`` (rather than an implicit namespace package) keeps
 ``repro.sim`` out of installs and wheels.
 """
 
+from .cluster import (
+    ClusterEvaluator,
+    ClusterExecutorFactory,
+    ClusterWorker,
+    parse_hostports,
+)
 from .decoder import LookupDecoder
 from .frame import Injection, ProtocolRunner, RunResult, protocol_locations
 from .logical import LogicalJudge
@@ -38,10 +44,13 @@ from .sampler import (
     make_sampler,
 )
 from .shard import (
+    AdaptiveSlabPolicy,
     ShardedEvaluator,
     ShardPartial,
     StratumPlanner,
     merge_partials,
+    parse_mem_budget,
+    resolve_evaluator,
 )
 from .subset import (
     DirectEstimate,
@@ -56,8 +65,12 @@ from .subset import (
 from .tableau import Tableau, run_circuit
 
 __all__ = [
+    "AdaptiveSlabPolicy",
     "BatchResult",
     "BatchedSampler",
+    "ClusterEvaluator",
+    "ClusterExecutorFactory",
+    "ClusterWorker",
     "CompiledProtocol",
     "DirectEstimate",
     "E1_1",
@@ -87,7 +100,10 @@ __all__ = [
     "make_sampler",
     "materialize_stratum",
     "merge_partials",
+    "parse_hostports",
+    "parse_mem_budget",
     "protocol_locations",
+    "resolve_evaluator",
     "run_circuit",
     "sample_injections",
     "sample_injections_fixed_k",

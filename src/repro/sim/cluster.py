@@ -1,0 +1,671 @@
+"""Multi-node chunk execution: stream shard plans to TCP workers.
+
+``repro.sim.shard`` stopped parallelism at the process-pool boundary;
+this module takes the same tiny, picklable, deterministically-seeded
+chunk specs (:class:`~repro.sim.shard.StratumChunk` & friends) across
+machines:
+
+* **Wire format** — length-prefixed pickle frames (8-byte big-endian
+  length + pickle payload) over a plain TCP socket. A versioned
+  handshake opens every connection: the coordinator sends the magic,
+  the protocol version, and the compiled-engine payload
+  ``(protocol, engine_name, judge, max_slab)`` **once per worker** —
+  the exact payload the spawn-pool fallback in ``shard.py`` already
+  ships (:func:`repro.sim.shard.engine_payload`), so only registered
+  engines and picklable judges cross the wire, loudly.
+
+* :class:`ClusterWorker` — the server side (``repro cluster worker
+  --listen HOST:PORT``). It accepts one coordinator at a time, rebuilds
+  the engine from the handshake payload, then answers each ``chunk``
+  frame with a ``partial`` frame carrying the executed
+  :class:`~repro.sim.shard.ShardPartial`.
+
+* :class:`ClusterEvaluator` — the coordinator. It mirrors
+  :class:`~repro.sim.shard.ShardedEvaluator`'s ``map``/``reduce``/
+  ``close`` interface, so every routed consumer works on a cluster
+  unchanged through the :func:`repro.sim.shard.resolve_evaluator` seam.
+  Scheduling is a **work-stealing shared queue**: one thread per worker
+  connection pulls the next chunk spec the moment its previous chunk is
+  acknowledged, so fast workers naturally take more chunks. Every chunk
+  is acknowledged individually; when a worker disconnects mid-chunk, its
+  unacknowledged chunk is **requeued** to the surviving workers, and a
+  ``done``-index guard ensures a chunk's partial is merged exactly once
+  no matter how many times delivery was attempted — partials are never
+  double-counted before :func:`~repro.sim.shard.merge_partials`.
+
+**Bit-identity.** Results depend only on the chunk plan, never on which
+worker executed a chunk, in what order, or how many disconnect/retry
+cycles happened: sampled chunks carry their own ``SeedSequence``
+entropy, enumerated chunks carry index ranges, and ``merge_partials``
+folds in chunk-index order. A two-worker localhost run, a ten-node run,
+and ``workers=1`` inline therefore produce bit-identical tallies,
+histograms, evidence rows, and float masses — pinned in
+``tests/sim/test_cluster.py`` including under forced worker kills.
+
+**Security note.** Frames are pickles: a cluster worker will execute
+whatever a coordinator sends it (and vice versa). Run workers only on
+trusted networks — localhost, a private cluster fabric, an SSH tunnel —
+exactly like ``multiprocessing``'s own socket listeners.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import socket
+import struct
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from .shard import (
+    AdaptiveSlabPolicy,
+    ShardPartial,
+    StratumPlanner,
+    _DEFAULT_SLAB,
+    _EngineContext,
+    _run_chunk,
+    engine_payload,
+    merge_partials,
+)
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ClusterProtocolError",
+    "ClusterError",
+    "parse_hostports",
+    "send_frame",
+    "recv_frame",
+    "ClusterWorker",
+    "ClusterEvaluator",
+    "ClusterExecutorFactory",
+]
+
+#: Bumped whenever the frame vocabulary or handshake payload changes;
+#: mismatched peers refuse each other instead of desyncing.
+PROTOCOL_VERSION = 1
+
+_MAGIC = b"RPRO-CLUSTER"
+_LENGTH = struct.Struct(">Q")
+
+
+class ClusterProtocolError(RuntimeError):
+    """A peer spoke the wrong magic, version, or frame vocabulary."""
+
+
+class ClusterError(RuntimeError):
+    """The cluster cannot finish the workload (e.g. every worker died)."""
+
+
+def parse_hostports(spec) -> tuple[tuple[str, int], ...]:
+    """``"h1:p1,h2:p2"`` (or an iterable of same / (host, port) pairs)
+    into a tuple of ``(host, port)`` addresses."""
+    if isinstance(spec, str):
+        parts: Sequence = [s for s in spec.split(",") if s.strip()]
+    else:
+        parts = list(spec)
+    addresses = []
+    for part in parts:
+        if isinstance(part, str):
+            host, _, port = part.strip().rpartition(":")
+            if not host:
+                raise ValueError(f"expected HOST:PORT, got {part!r}")
+            addresses.append((host, int(port)))
+        else:
+            host, port = part
+            addresses.append((str(host), int(port)))
+    if not addresses:
+        raise ValueError(f"no worker addresses in {spec!r}")
+    return tuple(addresses)
+
+
+# -- framing -------------------------------------------------------------------
+
+
+def send_frame(sock: socket.socket, obj) -> None:
+    """Pickle ``obj`` and send it as one length-prefixed frame."""
+    payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    sock.sendall(_LENGTH.pack(len(payload)) + payload)
+
+
+def _recv_exact(sock: socket.socket, size: int) -> bytes | None:
+    """``size`` bytes, ``None`` on clean EOF at a frame boundary."""
+    chunks = []
+    remaining = size
+    while remaining:
+        data = sock.recv(min(remaining, 1 << 20))
+        if not data:
+            if remaining == size:
+                return None
+            raise ConnectionError("peer closed mid-frame")
+        chunks.append(data)
+        remaining -= len(data)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket):
+    """One frame back as the unpickled object; ``None`` on clean EOF."""
+    header = _recv_exact(sock, _LENGTH.size)
+    if header is None:
+        return None
+    (length,) = _LENGTH.unpack(header)
+    payload = _recv_exact(sock, length)
+    if payload is None:
+        raise ConnectionError("peer closed between header and payload")
+    return pickle.loads(payload)
+
+
+# -- the worker (server) side --------------------------------------------------
+
+
+class ClusterWorker:
+    """Serves chunk execution over TCP (``repro cluster worker``).
+
+    Parameters
+    ----------
+    host, port:
+        Listen address; ``port=0`` binds an ephemeral port (read it back
+        from :attr:`port` — the in-process tests do).
+    max_chunks:
+        Fault-injection drill: after executing this many chunks the
+        worker *crashes* — it drops the connection without acknowledging
+        the in-flight chunk and stops serving, exactly like a killed
+        process. The coordinator must requeue that chunk elsewhere and
+        still merge bit-identical totals; the CI cluster smoke job and
+        ``tests/sim/test_cluster.py`` drive this path on purpose.
+
+    Coordinator connections are served **concurrently** (one thread per
+    connection): a consumer that holds one evaluator session open while
+    opening another — ``simulate --direct --cluster`` does, and so do
+    the ``figure4`` code-pool tasks — must not deadlock behind its own
+    first session. The engine is rebuilt per connection from the
+    handshake payload — the compiled protocol and every signature cache
+    then serve all of that session's chunks.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_chunks: int | None = None,
+        backlog: int = 8,
+    ):
+        self.max_chunks = max_chunks
+        self._served = 0
+        self._served_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._server.bind((host, port))
+        self._server.listen(backlog)
+        self.host, self.port = self._server.getsockname()[:2]
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.host, self.port)
+
+    def stop(self) -> None:
+        """Stop serving (unblocks ``accept``); idempotent."""
+        self._stop.set()
+        try:
+            self._server.close()
+        except OSError:
+            pass
+
+    def serve_forever(self) -> None:
+        """Accept coordinators until :meth:`stop` (or a drill crash)."""
+        try:
+            while not self._stop.is_set():
+                try:
+                    conn, _ = self._server.accept()
+                except OSError:
+                    break
+                threading.Thread(
+                    target=self._serve_and_close,
+                    args=(conn,),
+                    daemon=True,
+                    name=f"cluster-session-{self.port}",
+                ).start()
+        finally:
+            self.stop()
+
+    def _serve_and_close(self, conn: socket.socket) -> None:
+        try:
+            self._serve_connection(conn)
+        except (OSError, ConnectionError, EOFError, pickle.PickleError):
+            pass  # coordinator vanished mid-session; others continue
+        finally:
+            conn.close()
+
+    # -- one coordinator session ----------------------------------------------
+
+    def _handshake(self, conn: socket.socket):
+        hello = recv_frame(conn)
+        if hello is None:
+            return None
+        if (
+            not isinstance(hello, tuple)
+            or len(hello) != 4
+            or hello[0] != "hello"
+            or hello[1] != _MAGIC
+        ):
+            send_frame(conn, ("reject", "bad magic: not a repro cluster peer"))
+            return None
+        if hello[2] != PROTOCOL_VERSION:
+            send_frame(
+                conn,
+                (
+                    "reject",
+                    f"protocol version mismatch: coordinator speaks "
+                    f"{hello[2]}, worker speaks {PROTOCOL_VERSION}",
+                ),
+            )
+            return None
+        return hello[3]  # (protocol, engine_name, judge, max_slab)
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        from .sampler import make_sampler
+
+        payload = self._handshake(conn)
+        if payload is None:
+            return
+        protocol, engine_name, judge, max_slab = payload
+        engine = make_sampler(protocol, engine=engine_name, judge=judge)
+        context = _EngineContext(engine, max_slab)
+        send_frame(
+            conn,
+            (
+                "welcome",
+                PROTOCOL_VERSION,
+                {"pid": os.getpid(), "locations": len(engine.locations)},
+            ),
+        )
+        while True:
+            message = recv_frame(conn)
+            if message is None or message[0] == "bye":
+                return
+            if message[0] != "chunk":
+                send_frame(
+                    conn, ("reject", f"unexpected frame {message[0]!r}")
+                )
+                return
+            if self.max_chunks is not None:
+                with self._served_lock:
+                    if self._served >= self.max_chunks:
+                        # Drill: die mid-stream, this chunk unacknowledged.
+                        self.stop()
+                        return
+            spec = message[1]
+            try:
+                partial = _run_chunk(context, spec)
+            except Exception as exc:  # deterministic failure: report, don't retry
+                send_frame(conn, ("error", spec.index, repr(exc)))
+                return
+            with self._served_lock:
+                self._served += 1
+            send_frame(conn, ("partial", partial.index, partial))
+
+
+# -- the coordinator (client) side ---------------------------------------------
+
+
+class _MapState:
+    """Shared scheduling state of one :meth:`ClusterEvaluator.map` run."""
+
+    def __init__(self, source: Iterator):
+        self.source = source
+        self.exhausted = False
+        self.requeue: deque = deque()  # chunks orphaned by dead workers
+        self.in_flight: dict[int, object] = {}  # link id -> chunk spec
+        self.completed: dict[int, ShardPartial] = {}  # chunk index -> partial
+        self.done: set[int] = set()  # acknowledged chunk indices (dedupe)
+        self.live = 0
+        self.failure: Exception | None = None
+        self.stop = False
+
+    def next_chunk(self):
+        """Requeued work first (it blocks completion), else the source."""
+        if self.requeue:
+            return self.requeue.popleft()
+        if not self.exhausted:
+            try:
+                return next(self.source)
+            except StopIteration:
+                self.exhausted = True
+        return None
+
+    def finished(self) -> bool:
+        """No result will ever arrive that has not already been recorded."""
+        return self.exhausted and not self.requeue and not self.in_flight
+
+
+class _WorkerLink:
+    """One handshaken TCP connection to a cluster worker."""
+
+    def __init__(self, address: tuple[str, int], payload, timeout: float):
+        self.address = address
+        # Timeout applies to connect only: handshake replies can wait on
+        # a loaded worker compiling the engine payload.
+        self.sock = socket.create_connection(address, timeout=timeout)
+        self.sock.settimeout(None)
+        try:
+            send_frame(
+                self.sock, ("hello", _MAGIC, PROTOCOL_VERSION, payload)
+            )
+            reply = recv_frame(self.sock)
+        except (OSError, ConnectionError):
+            self.close()
+            raise
+        if not (isinstance(reply, tuple) and reply and reply[0] == "welcome"):
+            reason = (
+                reply[1]
+                if isinstance(reply, tuple) and len(reply) > 1
+                else "connection closed during handshake"
+            )
+            self.close()
+            raise ClusterProtocolError(f"worker {address}: {reason}")
+        self.info = reply[2]
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class ClusterEvaluator:
+    """Executes planner chunks across remote TCP workers.
+
+    Drop-in for :class:`~repro.sim.shard.ShardedEvaluator` (``planner`` /
+    ``map`` / ``reduce`` / ``close`` / context manager), so every routed
+    consumer runs on a cluster through the ``executor=`` seam unchanged.
+
+    Parameters
+    ----------
+    engine:
+        A built execution engine. Only its
+        :func:`~repro.sim.shard.engine_payload` crosses the wire; each
+        worker compiles its own copy once per session.
+    addresses:
+        Worker addresses — ``"host:port,host:port"`` or an iterable of
+        ``(host, port)`` pairs (:func:`parse_hostports`). Connections are
+        opened lazily on the first ``map`` and reused across calls.
+    max_slab / mem_budget:
+        Chunk memory bound, forwarded to the planner *and* to every
+        worker in the handshake payload. ``mem_budget`` sizes the slab
+        adaptively (:class:`~repro.sim.shard.AdaptiveSlabPolicy`).
+    connect_timeout:
+        Per-worker TCP connect/handshake timeout in seconds.
+
+    A worker that cannot be reached at startup is skipped (recorded in
+    :attr:`failed_addresses`) as long as at least one link comes up; a
+    worker that dies mid-run has its unacknowledged chunk requeued to the
+    survivors. Only when *every* worker is gone with work remaining does
+    the evaluator raise :class:`ClusterError`.
+    """
+
+    def __init__(
+        self,
+        engine,
+        addresses,
+        *,
+        max_slab: int = _DEFAULT_SLAB,
+        mem_budget: int | None = None,
+        connect_timeout: float = 10.0,
+    ):
+        if mem_budget is not None:
+            max_slab = AdaptiveSlabPolicy(mem_budget).slab_for(engine)
+        self.engine = engine
+        self.addresses = parse_hostports(addresses)
+        self.max_slab = int(max_slab)
+        self.connect_timeout = connect_timeout
+        self.planner = StratumPlanner(engine.locations, max_slab=self.max_slab)
+        protocol, name, judge = engine_payload(engine)
+        self._payload = (protocol, name, judge, self.max_slab)
+        self._links: list[_WorkerLink] | None = None
+        #: True while a map() generator is live; close() must then drop
+        #: connections instead of sending "bye" frames that would race
+        #: the worker threads' own sends on the same sockets.
+        self._active = False
+        self.failed_addresses: list[tuple[tuple[str, int], str]] = []
+
+    # -- connection lifecycle --------------------------------------------------
+
+    def _ensure_links(self) -> list[_WorkerLink]:
+        if self._links is None:
+            links: list[_WorkerLink] = []
+            failed: list[tuple[tuple[str, int], str]] = []
+            for address in self.addresses:
+                try:
+                    links.append(
+                        _WorkerLink(address, self._payload, self.connect_timeout)
+                    )
+                except ClusterProtocolError:
+                    for link in links:
+                        link.close()
+                    raise
+                except (OSError, ConnectionError) as exc:
+                    failed.append((address, repr(exc)))
+            if not links:
+                raise ClusterError(
+                    f"no cluster worker reachable among {self.addresses}: "
+                    f"{failed}"
+                )
+            self._links = links
+            self.failed_addresses = failed
+        return self._links
+
+    def close(self) -> None:
+        if self._active:
+            # A map() generator was abandoned without being finalized;
+            # its worker threads may still use the sockets — drop the
+            # connections rather than racing them with "bye" frames.
+            self._teardown()
+            return
+        if self._links is not None:
+            for link in self._links:
+                try:
+                    send_frame(link.sock, ("bye",))
+                except (OSError, ConnectionError):
+                    pass
+                link.close()
+            self._links = None
+
+    def _teardown(self) -> None:
+        """Abandon the session: connections may hold in-flight frames."""
+        if self._links is not None:
+            for link in self._links:
+                link.close()
+            self._links = None
+
+    def __enter__(self) -> "ClusterEvaluator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # best-effort; prefer close()/context manager
+        try:
+            self._teardown()
+        except Exception:
+            pass
+
+    # -- execution -------------------------------------------------------------
+
+    def _worker_loop(
+        self,
+        link_id: int,
+        link: _WorkerLink,
+        state: _MapState,
+        cond: threading.Condition,
+    ) -> None:
+        while True:
+            with cond:
+                chunk = None
+                while True:
+                    if state.stop or state.failure is not None:
+                        state.live -= 1
+                        cond.notify_all()
+                        return
+                    chunk = state.next_chunk()
+                    if chunk is not None:
+                        break
+                    if state.finished():
+                        state.live -= 1
+                        cond.notify_all()
+                        return
+                    # Another link's in-flight chunk may yet be requeued.
+                    cond.wait()
+                state.in_flight[link_id] = chunk
+            try:
+                send_frame(link.sock, ("chunk", chunk))
+                reply = recv_frame(link.sock)
+                if reply is None:
+                    raise ConnectionError("worker closed the connection")
+            except (OSError, ConnectionError) as exc:
+                link.close()
+                with cond:
+                    state.in_flight.pop(link_id, None)
+                    state.live -= 1
+                    if not state.stop:
+                        # Requeue the unacknowledged chunk — exactly-once
+                        # merging is preserved because only unacked work
+                        # is ever retried (and `done` guards the merge).
+                        state.requeue.append(chunk)
+                        if state.live == 0 and not state.finished():
+                            state.failure = ClusterError(
+                                "all cluster workers disconnected with "
+                                f"work remaining (last: {link.address}: "
+                                f"{exc!r})"
+                            )
+                    cond.notify_all()
+                return
+            except Exception as exc:
+                # Anything else (e.g. unpickling a partial from a worker
+                # with mismatched package versions) is not a transport
+                # fault: retrying elsewhere would fail the same way, and
+                # dying silently would hang map() forever. Fail the run.
+                link.close()
+                with cond:
+                    state.in_flight.pop(link_id, None)
+                    state.live -= 1
+                    if state.failure is None and not state.stop:
+                        state.failure = ClusterError(
+                            f"worker {link.address}: reply for chunk "
+                            f"{chunk.index} could not be read: {exc!r}"
+                        )
+                    cond.notify_all()
+                return
+            with cond:
+                state.in_flight.pop(link_id, None)
+                try:
+                    if reply[0] == "partial":
+                        index, partial = reply[1], reply[2]
+                        if index not in state.done:
+                            state.done.add(index)
+                            state.completed[index] = partial
+                    elif reply[0] == "error":
+                        state.failure = ClusterError(
+                            f"worker {link.address} failed chunk "
+                            f"{reply[1]}: {reply[2]}"
+                        )
+                    else:
+                        state.failure = ClusterProtocolError(
+                            f"worker {link.address} sent unexpected frame "
+                            f"{reply[0]!r}"
+                        )
+                except Exception as exc:  # malformed reply shape
+                    state.failure = ClusterProtocolError(
+                        f"worker {link.address} sent a malformed reply "
+                        f"for chunk {chunk.index}: {exc!r}"
+                    )
+                cond.notify_all()
+                if state.failure is not None:
+                    state.live -= 1
+                    return
+
+    def map(self, chunks: Iterable) -> Iterator[ShardPartial]:
+        """Execute chunk specs on the cluster, yielding partials in
+        chunk order.
+
+        Chunks stream lazily from the plan as workers free up (shared
+        work-stealing queue); out-of-order completions are buffered so
+        the yield order matches :meth:`ShardedEvaluator.map`. Consumers
+        may stop early — the remaining plan is never materialized and
+        the session's connections are torn down (and re-opened on the
+        next call).
+        """
+        links = self._ensure_links()
+        self._active = True
+        state = _MapState(iter(chunks))
+        cond = threading.Condition()
+        state.live = len(links)
+        threads = [
+            threading.Thread(
+                target=self._worker_loop,
+                args=(link_id, link, state, cond),
+                daemon=True,
+                name=f"cluster-link-{link.address[0]}:{link.address[1]}",
+            )
+            for link_id, link in enumerate(links)
+        ]
+        for thread in threads:
+            thread.start()
+        next_index = 0
+        clean = False
+        try:
+            while True:
+                with cond:
+                    while (
+                        state.failure is None
+                        and next_index not in state.completed
+                        and not (state.finished() and state.live == 0)
+                    ):
+                        cond.wait()
+                    if state.failure is not None:
+                        raise state.failure
+                    if next_index in state.completed:
+                        partial = state.completed.pop(next_index)
+                        next_index += 1
+                    else:
+                        clean = not state.completed
+                        return
+                yield partial
+        finally:
+            with cond:
+                state.stop = True
+                cond.notify_all()
+            if not clean:
+                # Early abort or failure: links may carry unconsumed
+                # frames — drop them and reconnect next session.
+                self._teardown()
+            for thread in threads:
+                thread.join(timeout=10.0)
+            self._active = False
+
+    def reduce(self, chunks: Iterable) -> ShardPartial:
+        """:meth:`map` + :func:`merge_partials` in one call."""
+        return merge_partials(self.map(chunks))
+
+
+@dataclass(frozen=True)
+class ClusterExecutorFactory:
+    """Picklable ``executor=`` seam adapter for the cluster backend.
+
+    ``resolve_evaluator(engine, executor=ClusterExecutorFactory(addrs))``
+    hands every routed consumer a :class:`ClusterEvaluator`; being a
+    frozen dataclass it survives the ``figure4`` code-level spawn pool.
+    """
+
+    addresses: tuple[tuple[str, int], ...]
+    connect_timeout: float = 10.0
+
+    def __call__(self, engine, max_slab: int) -> ClusterEvaluator:
+        return ClusterEvaluator(
+            engine,
+            self.addresses,
+            max_slab=max_slab,
+            connect_timeout=self.connect_timeout,
+        )

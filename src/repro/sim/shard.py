@@ -75,10 +75,88 @@ __all__ = [
     "merge_partials",
     "StratumPlanner",
     "ShardedEvaluator",
+    "AdaptiveSlabPolicy",
+    "parse_mem_budget",
+    "engine_payload",
+    "resolve_evaluator",
     "default_start_method",
 ]
 
 _DEFAULT_SLAB = 8192
+
+_MEM_SUFFIXES = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30}
+
+
+def parse_mem_budget(text: str | int) -> int:
+    """Parse a byte count with optional binary ``K``/``M``/``G`` suffix.
+
+    ``"64M"`` -> 67108864; a bare integer (or int) passes through. The
+    CLI's ``--mem-budget`` flag and the benchmark scripts both use this.
+    """
+    if isinstance(text, int):
+        budget = text
+    else:
+        cleaned = text.strip().lower().removesuffix("ib").removesuffix("b")
+        factor = 1
+        if cleaned and cleaned[-1] in _MEM_SUFFIXES:
+            factor = _MEM_SUFFIXES[cleaned[-1]]
+            cleaned = cleaned[:-1]
+        try:
+            budget = int(cleaned) * factor
+        except ValueError:
+            raise ValueError(f"unparseable memory budget {text!r}") from None
+    if budget < 1:
+        raise ValueError(f"memory budget must be positive, got {text!r}")
+    return budget
+
+
+@dataclass(frozen=True)
+class AdaptiveSlabPolicy:
+    """Sizes ``max_slab`` from a per-worker memory budget in bytes.
+
+    Instead of hard-coding a shot count, the slab bound is derived from
+    what one configuration actually costs the engine to materialize:
+
+    * the packed X/Z frame planes — one bit per wire per plane per shot,
+      in ``uint64`` words (``2 * num_wires / 8`` bytes per shot);
+    * the per-location fault masks — bounded by one bit per location per
+      shot across a slab's segment batches (``locations / 8`` bytes);
+    * the unpacked residual data planes handed to the judge
+      (``2 * n`` bytes per shot);
+    * a fixed allowance for index arrays, verdict masks, and scratch.
+
+    This is a deliberate *upper-bound* heuristic: ``slab_for`` never
+    returns a slab whose estimated footprint exceeds the budget (while a
+    single configuration always fits — the slab floor is 1), so both the
+    in-process :class:`ShardedEvaluator` and the cluster backend can run
+    deep strata inside a known per-worker memory envelope.
+    """
+
+    #: Bytes one worker may commit to a single materialized slab.
+    mem_budget: int
+    #: Hard upper bound on the slab regardless of budget (keeps a huge
+    #: budget from producing pathological single-chunk plans).
+    ceiling: int = 1 << 22
+    #: Fixed per-configuration allowance for indices/verdicts/scratch.
+    overhead_bytes: int = 64
+
+    def __post_init__(self):
+        if self.mem_budget < 1:
+            raise ValueError("mem_budget must be positive")
+
+    def bytes_per_config(self, engine) -> int:
+        """Estimated peak bytes one configuration adds to a slab."""
+        protocol = engine.protocol
+        num_wires = int(protocol.num_wires)
+        num_locations = len(engine.locations)
+        n = int(protocol.code.n)
+        packed_bits = 2 * num_wires + num_locations
+        return -(-packed_bits // 8) + 2 * n + self.overhead_bytes
+
+    def slab_for(self, engine) -> int:
+        """Largest slab whose estimated footprint fits ``mem_budget``."""
+        per_config = self.bytes_per_config(engine)
+        return max(1, min(self.ceiling, self.mem_budget // per_config))
 
 
 # -- chunk specs ---------------------------------------------------------------
@@ -658,6 +736,29 @@ def default_start_method() -> str:
     return "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
 
 
+def engine_payload(engine) -> tuple:
+    """``(protocol, engine_name, judge)`` to rebuild ``engine`` elsewhere.
+
+    The one payload that crosses a process or machine boundary: spawn pool
+    workers and cluster workers both reconstruct their engine with
+    ``make_sampler(protocol, engine=name, judge=judge)``. Only the
+    registered engines qualify — a custom engine object must refuse
+    loudly, not be silently replaced by a default — and an unpicklable
+    custom judge fails at send time instead of being dropped.
+    """
+    from .sampler import _ENGINES
+
+    name = getattr(engine, "name", None)
+    if _ENGINES.get(name) is not type(engine):
+        raise ValueError(
+            f"cannot ship a {type(engine).__name__} to another process: "
+            f"only the registered engines {sorted(_ENGINES)} can be "
+            "rebuilt from a payload (use the fork start method or "
+            "workers=1)"
+        )
+    return engine.protocol, name, getattr(engine, "judge", None)
+
+
 class ShardedEvaluator:
     """Executes planner chunks on an engine, inline or across a pool.
 
@@ -695,9 +796,12 @@ class ShardedEvaluator:
         workers: int = 1,
         max_slab: int = _DEFAULT_SLAB,
         start_method: str | None = None,
+        mem_budget: int | None = None,
     ):
         if workers < 1:
             raise ValueError("workers must be positive")
+        if mem_budget is not None:
+            max_slab = AdaptiveSlabPolicy(mem_budget).slab_for(engine)
         self.engine = engine
         self.workers = int(workers)
         self.max_slab = int(max_slab)
@@ -726,26 +830,11 @@ class ShardedEvaluator:
                 # — a custom engine object must refuse, not be silently
                 # replaced. The judge travels in the payload (an
                 # unpicklable custom judge fails pool creation loudly).
-                from .sampler import _ENGINES
-
-                name = getattr(self.engine, "name", None)
-                if _ENGINES.get(name) is not type(self.engine):
-                    raise ValueError(
-                        f"cannot shard a {type(self.engine).__name__} "
-                        "across spawn workers: only the registered "
-                        f"engines {sorted(_ENGINES)} can be rebuilt in a "
-                        "spawned process (use the fork start method or "
-                        "workers=1)"
-                    )
+                protocol, name, judge = engine_payload(self.engine)
                 self._pool = ctx.Pool(
                     self.workers,
                     initializer=_init_spawn_worker,
-                    initargs=(
-                        self.engine.protocol,
-                        name,
-                        getattr(self.engine, "judge", None),
-                        self.max_slab,
-                    ),
+                    initargs=(protocol, name, judge, self.max_slab),
                 )
         return self._pool
 
@@ -787,3 +876,48 @@ class ShardedEvaluator:
     def reduce(self, chunks: Iterable) -> ShardPartial:
         """:meth:`map` + :func:`merge_partials` in one call."""
         return merge_partials(self.map(chunks))
+
+
+# -- the executor seam ---------------------------------------------------------
+
+
+def resolve_evaluator(
+    engine,
+    *,
+    workers: int | None = 1,
+    max_slab: int | None = None,
+    executor=None,
+    mem_budget: int | None = None,
+    default_slab: int | None = None,
+):
+    """Build the chunk executor every routed consumer evaluates through.
+
+    The single seam behind ``SubsetSampler``, ``direct_mc``,
+    ``check_fault_tolerance``, ``second_order_survey``,
+    ``two_fault_error_budget``, ``figure4``, and ``table1 --verify-ft``:
+
+    * ``executor`` — a callable ``(engine, max_slab) -> evaluator`` (e.g.
+      :class:`repro.sim.cluster.ClusterExecutorFactory` behind the CLI's
+      ``--cluster`` flag). When given, it supplies the backend and
+      ``workers`` is ignored.
+    * otherwise an in-process :class:`ShardedEvaluator` with ``workers``
+      pool processes (``1`` = inline).
+
+    The slab bound resolves in priority order: an explicit ``max_slab``
+    wins; else ``mem_budget`` sizes it adaptively
+    (:class:`AdaptiveSlabPolicy`); else ``default_slab`` (the consumer's
+    historical ``batch_size``) or the module default. Every evaluator
+    returned here supports ``map``/``reduce``/``close`` and the context
+    manager protocol, and executes the *same* chunk plans — results are
+    bit-identical across backends, worker counts, and worker sets.
+    """
+    if max_slab is None:
+        if mem_budget is not None:
+            max_slab = AdaptiveSlabPolicy(mem_budget).slab_for(engine)
+        else:
+            max_slab = default_slab if default_slab is not None else _DEFAULT_SLAB
+    if executor is not None:
+        return executor(engine, int(max_slab))
+    return ShardedEvaluator(
+        engine, workers=max(1, workers or 1), max_slab=int(max_slab)
+    )

@@ -176,6 +176,9 @@ def direct_mc(
     batch_size: int = 8192,
     workers: int | None = None,
     max_slab: int | None = None,
+    executor=None,
+    mem_budget: int | None = None,
+    evaluator=None,
 ) -> DirectEstimate:
     """Direct Monte-Carlo at a fixed physical rate on a batch engine.
 
@@ -191,23 +194,45 @@ def direct_mc(
     deterministic per-chunk seeds and fanned across a process pool —
     identical tallies for any worker count (the draw stream then differs
     from the serial ``workers=None`` stream, which is kept for backward
-    reproducibility).
+    reproducibility). ``executor`` swaps the backend behind the same
+    chunk plan (e.g. ``repro.sim.cluster`` TCP workers — bit-identical
+    tallies again), and ``mem_budget`` sizes the slab adaptively; either
+    also opts into the sharded scheme. ``evaluator`` reuses an
+    already-open chunk executor (e.g. a sampler's live cluster session —
+    one handshake/compile per worker instead of one per call) without
+    closing it; the caller keeps ownership. The plan depends only on the
+    evaluator's ``max_slab`` and the rng draw, so a reused session
+    returns the same tallies a fresh one would.
     """
     rng = rng if rng is not None else np.random.default_rng()
-    if workers is not None:
-        from .shard import ShardedEvaluator, merge_partials
+    if (
+        workers is not None
+        or executor is not None
+        or mem_budget is not None
+        or evaluator is not None
+    ):
+        from .shard import merge_partials, resolve_evaluator
 
         entropy = int(rng.integers(0, 2**63))
-        with ShardedEvaluator(
-            engine,
-            workers=max(1, workers),
-            max_slab=max_slab if max_slab is not None else batch_size,
-        ) as evaluator:
+        owned = evaluator is None
+        if owned:
+            evaluator = resolve_evaluator(
+                engine,
+                workers=max(1, workers or 1),
+                max_slab=max_slab,
+                executor=executor,
+                mem_budget=mem_budget,
+                default_slab=batch_size,
+            )
+        try:
             merged = merge_partials(
                 evaluator.map(
                     evaluator.planner.plan_bernoulli(model, shots, entropy)
                 )
             )
+        finally:
+            if owned:
+                evaluator.close()
         return DirectEstimate(
             p=float(getattr(model, "p", math.nan)),
             trials=shots,
@@ -268,6 +293,17 @@ class SubsetSampler:
     max_slab:
         Peak configurations materialized per chunk on the sharded path;
         defaults to ``batch_size``.
+    executor:
+        Execution backend factory ``(engine, max_slab) -> evaluator``
+        for the sharded path (the ``repro.sim.shard.resolve_evaluator``
+        seam) — e.g. :class:`repro.sim.cluster.ClusterExecutorFactory`
+        to evaluate chunks on remote TCP workers. Setting it opts into
+        the sharded draw scheme; results stay bit-identical to
+        ``workers=1`` inline for any worker set.
+    mem_budget:
+        Per-worker slab memory budget in bytes; sizes ``max_slab``
+        adaptively (:class:`repro.sim.shard.AdaptiveSlabPolicy`) when
+        ``max_slab`` is not given. Also opts into the sharded scheme.
     """
 
     def __init__(
@@ -281,6 +317,8 @@ class SubsetSampler:
         batch_size: int = 8192,
         workers: int | None = None,
         max_slab: int | None = None,
+        executor=None,
+        mem_budget: int | None = None,
     ):
         if k_max < 1:
             raise ValueError("k_max must be at least 1")
@@ -290,8 +328,10 @@ class SubsetSampler:
             raise ValueError("need a failure_fn or an engine")
         if batch_size < 1:
             raise ValueError("batch_size must be positive")
-        if workers is not None and engine is None:
-            raise ValueError("workers requires an engine")
+        if engine is None and (
+            workers is not None or executor is not None or mem_budget is not None
+        ):
+            raise ValueError("workers/executor/mem_budget require an engine")
         self.failure_fn = failure_fn
         self.locations = list(locations)
         self.k_max = k_max
@@ -299,7 +339,9 @@ class SubsetSampler:
         self.engine = engine
         self.batch_size = batch_size
         self.workers = workers
-        self.max_slab = max_slab if max_slab is not None else batch_size
+        self.executor = executor
+        self.mem_budget = mem_budget
+        self.max_slab = max_slab
         self._evaluator = None
         self.strata: dict[int, StratumStats] = {
             k: StratumStats(k) for k in range(k_max + 1)
@@ -318,13 +360,17 @@ class SubsetSampler:
         batch_size: int = 8192,
         workers: int | None = None,
         max_slab: int | None = None,
+        executor=None,
+        mem_budget: int | None = None,
     ) -> "SubsetSampler":
         """Build a sampler over a protocol's full location universe.
 
         ``engine="batched"`` runs strata through the bit-packed engine
         (:class:`repro.sim.sampler.BatchedSampler`); ``"reference"`` keeps
         the per-shot oracle behind the identical interface. ``workers`` /
-        ``max_slab`` enable intra-code sharding (see class docs).
+        ``max_slab`` enable intra-code sharding; ``executor`` /
+        ``mem_budget`` select the execution backend and adaptive slab
+        sizing (see class docs).
         """
         from .sampler import make_sampler  # deferred: sampler imports noise
 
@@ -338,25 +384,42 @@ class SubsetSampler:
             batch_size=batch_size,
             workers=workers,
             max_slab=max_slab,
+            executor=executor,
+            mem_budget=mem_budget,
         )
 
     # -- sharded execution -----------------------------------------------------
 
     @property
-    def evaluator(self):
-        """Lazy :class:`repro.sim.shard.ShardedEvaluator` over the engine.
+    def _sharded(self) -> bool:
+        """Whether engine-backed strata use the sharded chunk scheme."""
+        return (
+            self.workers is not None
+            or self.executor is not None
+            or self.mem_budget is not None
+        )
 
-        Created on first sharded call and kept alive (one pool per
-        sampler, not per stratum batch); release with :meth:`close` or by
-        using the sampler as a context manager.
+    @property
+    def evaluator(self):
+        """Lazy chunk executor over the engine (the ``executor=`` seam).
+
+        A :class:`repro.sim.shard.ShardedEvaluator` by default, or
+        whatever backend the ``executor`` factory builds (e.g. a
+        :class:`repro.sim.cluster.ClusterEvaluator`). Created on first
+        sharded call and kept alive (one pool / one set of worker
+        connections per sampler, not per stratum batch); release with
+        :meth:`close` or by using the sampler as a context manager.
         """
         if self._evaluator is None:
-            from .shard import ShardedEvaluator
+            from .shard import resolve_evaluator
 
-            self._evaluator = ShardedEvaluator(
+            self._evaluator = resolve_evaluator(
                 self.engine,
                 workers=max(1, self.workers or 1),
                 max_slab=self.max_slab,
+                executor=self.executor,
+                mem_budget=self.mem_budget,
+                default_slab=self.batch_size,
             )
         return self._evaluator
 
@@ -528,7 +591,7 @@ class SubsetSampler:
                 if self.failure_fn(injections):
                     stats.failures += 1
             return stats
-        if self.workers is not None:
+        if self._sharded:
             entropy = int(self.rng.integers(0, 2**63))
             merged = self.evaluator.reduce(
                 self.evaluator.planner.plan_stratum(k, shots, entropy)

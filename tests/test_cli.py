@@ -33,17 +33,43 @@ class TestParser:
             args = build_parser().parse_args(command)
             assert args.workers == 1, command
             assert args.max_slab is None, command
+            assert args.cluster is None, command
+            assert args.mem_budget is None, command
             args = build_parser().parse_args(
-                command + ["--workers", "4", "--max-slab", "2048"]
+                command
+                + [
+                    "--workers", "4", "--max-slab", "2048",
+                    "--cluster", "127.0.0.1:7781,127.0.0.1:7782",
+                    "--mem-budget", "64M",
+                ]
             )
             assert args.workers == 4
             assert args.max_slab == 2048
+            assert args.cluster == "127.0.0.1:7781,127.0.0.1:7782"
+            assert args.mem_budget == "64M"
 
     def test_figure4_shard_axis(self):
         args = build_parser().parse_args(["figure4"])
         assert args.shard == "auto"
         args = build_parser().parse_args(["figure4", "--shard", "intra"])
         assert args.shard == "intra"
+
+    def test_cluster_worker_subcommand(self):
+        args = build_parser().parse_args(
+            ["cluster", "worker", "--listen", "127.0.0.1:7781"]
+        )
+        assert args.command == "cluster"
+        assert args.cluster_command == "worker"
+        assert args.listen == "127.0.0.1:7781"
+        assert args.max_chunks is None
+        args = build_parser().parse_args(
+            ["cluster", "worker", "--listen", ":0", "--max-chunks", "3"]
+        )
+        assert args.max_chunks == 3
+
+    def test_cluster_worker_requires_listen(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cluster", "worker"])
 
 
 class TestCommands:
@@ -156,6 +182,33 @@ class TestCommands:
     def test_budget_max_runs_guard(self, capsys):
         with pytest.raises(ValueError):
             main(["budget", "steane", "--max-runs", "10"])
+
+    def test_budget_cluster_identical(self, capsys):
+        """--cluster against two real localhost TCP workers reproduces
+        the serial output byte-for-byte."""
+        import threading
+
+        from repro.sim.cluster import ClusterWorker
+
+        assert main(["budget", "steane"]) == 0
+        serial = capsys.readouterr().out
+        workers = [ClusterWorker("127.0.0.1", 0) for _ in range(2)]
+        for worker in workers:
+            threading.Thread(target=worker.serve_forever, daemon=True).start()
+        spec = ",".join(f"{w.host}:{w.port}" for w in workers)
+        try:
+            assert main(["budget", "steane", "--cluster", spec]) == 0
+            assert capsys.readouterr().out == serial
+        finally:
+            for worker in workers:
+                worker.stop()
+
+    def test_budget_mem_budget_identical(self, capsys):
+        """Adaptive slab sizing never changes exact enumerations."""
+        assert main(["budget", "steane"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["budget", "steane", "--mem-budget", "1M"]) == 0
+        assert capsys.readouterr().out == serial
 
     def test_ftcheck(self, capsys):
         assert main(["ftcheck", "steane"]) == 0
