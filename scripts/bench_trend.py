@@ -174,7 +174,9 @@ def _gh_api(endpoint: str, *extra: str) -> bytes:
     ).stdout
 
 
-def download_previous(history_path: Path) -> str:
+def download_previous(
+    history_path: Path, artifact_name: str = "bench-history"
+) -> str:
     """Fetch the previous ledger (or seed datapoints) into
     ``history_path`` via ``gh api``; returns a short status string.
 
@@ -196,10 +198,19 @@ def download_previous(history_path: Path) -> str:
     ) as exc:
         return f"artifact listing unavailable ({type(exc).__name__}); fresh ledger"
     current_run = os.environ.get("GITHUB_RUN_ID", "")
+    # The bench-json seed fallback only applies to the default smoke
+    # ledger: a custom ledger (e.g. bench-history-nightly) must never be
+    # seeded from smoke-profile datapoints — that cross-profile diff is
+    # exactly what separate ledgers exist to prevent.
+    accepted = (
+        (artifact_name, "bench-json")
+        if artifact_name == "bench-history"
+        else (artifact_name,)
+    )
     candidates = [
         artifact
         for artifact in listing.get("artifacts", [])
-        if artifact.get("name") in ("bench-history", "bench-json")
+        if artifact.get("name") in accepted
         and not artifact.get("expired")
         and str(
             (artifact.get("workflow_run") or {}).get("id", "")
@@ -207,7 +218,7 @@ def download_previous(history_path: Path) -> str:
     ]
     # Prefer the full ledger; within a name, newest first.
     candidates.sort(
-        key=lambda a: (a.get("name") != "bench-history", -a.get("id", 0))
+        key=lambda a: (a.get("name") != artifact_name, -a.get("id", 0))
     )
     for artifact in candidates:
         try:
@@ -221,7 +232,7 @@ def download_previous(history_path: Path) -> str:
             zipfile.BadZipFile,
         ):
             continue
-        if artifact["name"] == "bench-history":
+        if artifact["name"] == artifact_name:
             for name in archive.namelist():
                 if name.endswith("BENCH_history.jsonl"):
                     history_path.parent.mkdir(parents=True, exist_ok=True)
@@ -265,6 +276,15 @@ def main() -> int:
         help="fetch the previous run's ledger via gh api first (best-effort)",
     )
     parser.add_argument(
+        "--artifact-name",
+        default="bench-history",
+        help=(
+            "artifact holding the previous ledger (the nightly workflow "
+            "keeps its own 'bench-history-nightly' ledger so full-profile "
+            "datapoints never pollute the smoke trend)"
+        ),
+    )
+    parser.add_argument(
         "--keep",
         type=int,
         default=200,
@@ -280,7 +300,7 @@ def main() -> int:
 
     status = None
     if args.download_previous and not args.history.exists():
-        status = download_previous(args.history)
+        status = download_previous(args.history, args.artifact_name)
     history = load_history(args.history)
     metrics = collect_metrics(args.bench_dir)
     if not metrics:

@@ -1,10 +1,21 @@
 """Check intra-repo markdown links and anchors so docs can't rot silently.
 
-Scans every tracked ``*.md`` file for inline links/images
-(``[text](target)``) and verifies that each *relative* target exists on
-disk, resolving from the linking file's directory. Fragment-only links
-(``#section``) are checked against the file's own headings;
-``path#fragment`` links are checked against the target file's headings.
+Scans every tracked ``*.md`` file — ``docs/`` *and* the top-level files
+like ``README.md``, ``ROADMAP.md``, ``CHANGES.md`` — for links and
+verifies that each *relative* target exists on disk, resolving from the
+linking file's directory:
+
+* inline links/images ``[text](target)``;
+* reference-style links ``[text][label]`` against their
+  ``[label]: target`` definitions — matching GitHub's semantics, a use
+  without any definition renders as plain prose (think ``E[j][t]``
+  outside backticks) and is therefore *not* an error;
+* fragment-only links (``#section``) against the file's own headings;
+* ``path#fragment`` links against the target file's headings — so a
+  link into a section of ``ROADMAP.md`` or ``CHANGES.md`` breaks the
+  build the moment that anchor is deleted or renamed, exactly like a
+  ``docs/`` anchor would.
+
 External (``http://``, ``https://``, ``mailto:``) targets are skipped —
 CI must not depend on the network.
 
@@ -13,7 +24,7 @@ Usage::
     python scripts/check_docs.py [--root .]
 
 Exits non-zero listing every broken link. Run by the CI docs job next to
-the examples smoke pass.
+the examples smoke pass; unit-tested in ``tests/test_check_docs.py``.
 """
 
 from __future__ import annotations
@@ -23,12 +34,28 @@ import re
 import sys
 from pathlib import Path
 
-#: Inline markdown links/images: [text](target) — no reference-style.
+#: Inline markdown links/images: [text](target) — resolved directly.
 _LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+#: Reference-style uses: [text][label] (empty label means label = text).
+_REF_USE = re.compile(r"!?\[([^\]]+)\]\[([^\]]*)\]")
+#: Reference definitions: [label]: target (optionally "title").
+_REF_DEF = re.compile(
+    r"^[ ]{0,3}\[([^\]]+)\]:\s+(\S+)(?:\s+\"[^\"]*\")?\s*$", re.MULTILINE
+)
 _HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
 _EXTERNAL = ("http://", "https://", "mailto:")
 #: Directories never scanned (generated or vendored content).
 _SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "node_modules"}
+
+
+_FENCE = re.compile(r"^```.*?^```", re.MULTILINE | re.DOTALL)
+_CODE_SPAN = re.compile(r"`[^`\n]*`")
+
+
+def _strip_code(text: str) -> str:
+    """Remove fenced blocks and inline code spans before link scanning,
+    so ``E[j][t]``-style math in backticks never parses as a link."""
+    return _CODE_SPAN.sub("", _FENCE.sub("", text))
 
 
 def _anchor_of(heading: str) -> str:
@@ -39,9 +66,12 @@ def _anchor_of(heading: str) -> str:
 
 
 def _anchors(path: Path) -> set[str]:
+    # Fenced blocks are stripped so a `# comment` inside a code fence
+    # can't masquerade as a heading anchor; inline code spans stay —
+    # GitHub keeps their text in the anchor.
     return {
         _anchor_of(match.group(1))
-        for match in _HEADING.finditer(path.read_text())
+        for match in _HEADING.finditer(_FENCE.sub("", path.read_text()))
     }
 
 
@@ -53,13 +83,34 @@ def _markdown_files(root: Path) -> list[Path]:
     )
 
 
+def _link_targets(text: str):
+    """Every link target in ``text``: inline plus resolved reference-style.
+
+    A ``[text][label]`` use with no matching definition is skipped, not
+    flagged: GitHub renders it as literal prose (``E[j][t]``-style text
+    outside backticks must not fail the build).
+    """
+    for match in _LINK.finditer(text):
+        yield match.group(1)
+    definitions = {
+        label.strip().lower(): target
+        for label, target in _REF_DEF.findall(text)
+    }
+    for match in _REF_USE.finditer(text):
+        text_part, label = match.groups()
+        target = definitions.get((label or text_part).strip().lower())
+        if target is not None:
+            yield target
+
+
 def check_docs(root: Path) -> list[str]:
     """All broken links under ``root``, as human-readable strings."""
     problems: list[str] = []
     for source in _markdown_files(root):
-        text = source.read_text()
-        for match in _LINK.finditer(text):
-            target = match.group(1)
+        # Code is stripped for link scanning only — heading anchors keep
+        # their inline-code content, matching GitHub's anchor rules.
+        text = _strip_code(source.read_text())
+        for target in _link_targets(text):
             if target.startswith(_EXTERNAL):
                 continue
             path_part, _, fragment = target.partition("#")

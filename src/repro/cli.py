@@ -84,6 +84,19 @@ def _add_shard_flags(parser: argparse.ArgumentParser) -> None:
             "shard axis, so compare against --shard intra --workers 1)"
         ),
     )
+    parser.add_argument(
+        "--noise",
+        type=str,
+        default=None,
+        metavar="SPEC",
+        help=(
+            "noise model spec (repro.sim.noisemodels), e.g. "
+            "'biased:eta=100,p=1e-3', 'scaled:p=1e-3,two_qubit=5', "
+            "'inhom:p=1e-3,meas=1e-2,loc12=5e-3', "
+            "'correlated:p=1e-3,pair_rate=1e-4,pairs=adjacent'; "
+            "omitted = the paper's uniform E1_1 model (see docs/noise.md)"
+        ),
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -313,6 +326,16 @@ def _shard_kwargs(args) -> dict:
     }
 
 
+def _noise_model(args):
+    """``--noise SPEC`` into a model instance (None = historical E1_1)."""
+    spec = getattr(args, "noise", None)
+    if not spec:
+        return None
+    from .sim.noisemodels import parse_noise_spec
+
+    return parse_noise_spec(spec)
+
+
 def _cmd_codes(_args) -> int:
     from .codes.catalog import CATALOG
 
@@ -391,7 +414,9 @@ def _cmd_check(args) -> int:
     if protocol is None:
         print("error: give a code key or --load", file=sys.stderr)
         return 2
-    violations = check_fault_tolerance(protocol, **_shard_kwargs(args))
+    violations = check_fault_tolerance(
+        protocol, model=_noise_model(args), **_shard_kwargs(args)
+    )
     if violations:
         print(f"NOT fault tolerant — {len(violations)} violations:")
         for violation in violations:
@@ -418,6 +443,7 @@ def _cmd_ftcheck(args) -> int:
         protocol,
         engine=args.engine,
         max_violations=args.max_violations,
+        model=_noise_model(args),
         **_shard_kwargs(args),
     )
     seconds = time.perf_counter() - start
@@ -456,6 +482,7 @@ def _cmd_simulate(args) -> int:
     from .sim.subset import SubsetSampler
 
     protocol = synthesize_protocol(get_code(args.code))
+    model = _noise_model(args)
     # The CLI always uses the sharded draw scheme (workers=1 runs the
     # identical chunk plan inline), so --workers never changes results.
     with SubsetSampler.for_protocol(
@@ -463,29 +490,41 @@ def _cmd_simulate(args) -> int:
         engine=args.engine,
         k_max=args.k_max,
         rng=np.random.default_rng(args.seed),
+        model=model,
         **_shard_kwargs(args),
     ) as sampler:
         sampler.enumerate_k1_exact()
         sampler.sample(args.shots)
+        model_label = "" if model is None else f", {args.noise}"
         print(
             f"{protocol.code.name}: f_1 = {sampler.strata[1].rate} (exact, "
-            f"{args.engine} engine)"
+            f"{args.engine} engine{model_label})"
         )
-        for estimate in sampler.curve(sorted(args.p)):
+        sweep = sorted(args.p)
+        ceiling = sampler.p_ceiling
+        if ceiling is not None:
+            skipped = [p for p in sweep if p >= ceiling]
+            if skipped:
+                sweep = [p for p in sweep if p < ceiling]
+                print(
+                    f"  (skipping p >= {ceiling:.3g}: a site rate of the "
+                    "model would reach 1 there)"
+                )
+        for estimate in sampler.curve(sweep):
             print(f"  {estimate}")
         if args.direct:
             from .sim.noise import E1_1
             from .sim.subset import direct_mc
 
             rng = np.random.default_rng(args.seed + 1)
-            for p in sorted(args.p):
+            for p in sweep:
                 # One open executor session for the whole sweep: the
                 # sampler's (the CLI path is always sharded), so a
                 # cluster run pays one handshake/compile per worker,
                 # not one per sweep point.
                 estimate = direct_mc(
                     sampler.engine,
-                    E1_1(p=p),
+                    model.with_p(p) if model is not None else E1_1(p=p),
                     args.shots,
                     rng=rng,
                     evaluator=sampler.evaluator,
@@ -507,6 +546,7 @@ def _cmd_table1(args) -> int:
         rows,
         global_time_budget=args.global_budget,
         verify_ft=args.verify_ft,
+        model=_noise_model(args),
         **_shard_kwargs(args),
     )
     print(render_table1(results))
@@ -522,6 +562,7 @@ def _cmd_figure4(args) -> int:
         seed=args.seed,
         engine=args.engine,
         shard=args.shard,
+        model=_noise_model(args),
         **_shard_kwargs(args),
     )
     print(render_figure4(series))
@@ -538,6 +579,7 @@ def _cmd_budget(args) -> int:
         protocol,
         max_runs=args.max_runs,
         engine=args.engine,
+        model=_noise_model(args),
         **_shard_kwargs(args),
     )
     print(budget.render())

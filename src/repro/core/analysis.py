@@ -32,6 +32,48 @@ from .protocol import DeterministicProtocol
 __all__ = ["ErrorBudget", "two_fault_error_budget"]
 
 
+def _heterogeneous_budget(protocol, planner, merged, model) -> "ErrorBudget":
+    """Model-weighted budget from the planner's per-pair failing masses."""
+    universe = planner.universe
+    f2 = 0.0
+    by_segment: dict[tuple[str, str], float] = {}
+    by_kind: dict[tuple[str, str], float] = {}
+    if merged.pair_ids is not None and merged.pair_ids.size:
+        # merge_partials returns ascending pair ids, so the accumulation
+        # order is deterministic for a given plan.
+        for pair_id, mass in zip(
+            merged.pair_ids.tolist(), merged.pair_mass.tolist()
+        ):
+            _, kinds, segments = planner.pair_case(int(pair_id))
+            f2 += mass
+            seg_key = tuple(sorted(segments))
+            kind_key = tuple(sorted(kinds))
+            by_segment[seg_key] = by_segment.get(seg_key, 0.0) + mass
+            by_kind[kind_key] = by_kind.get(kind_key, 0.0) + mass
+    # Nominal quadratic coefficient: p_L ~ e_2(rates / p) * f2 * p^2 in
+    # the small-p limit; e_2 over the active sites' relative rates
+    # degenerates to C(N, 2) for uniform models.
+    base_p = float(getattr(model, "p", 0.0))
+    relative = (
+        universe.site_rates[universe.site_rates > 0.0] / base_p
+        if base_p > 0.0
+        else np.zeros(0)
+    )
+    e2_relative = (
+        float((relative.sum() ** 2 - (relative**2).sum()) / 2.0)
+        if relative.size
+        else math.nan
+    )
+    return ErrorBudget(
+        code_name=protocol.code.name,
+        num_locations=len(universe.locations),
+        f2_exact=f2,
+        c2_exact=e2_relative * f2,
+        by_segment_pair=by_segment,
+        by_kind_pair=by_kind,
+    )
+
+
 def _segment_label(location_key) -> str:
     segment = location_key[0]
     return segment[0]  # "prep" / "verif" / "branch"
@@ -81,6 +123,7 @@ def two_fault_error_budget(
     max_slab: int | None = None,
     executor=None,
     mem_budget: int | None = None,
+    model=None,
 ) -> ErrorBudget:
     """Exact two-fault enumeration with per-pair attribution.
 
@@ -96,6 +139,16 @@ def two_fault_error_budget(
     and the mass aggregation order matches the per-shot loop, so the
     result is bit-identical across engines, worker counts, backends,
     and slab sizes.
+
+    ``model`` switches the enumeration to a noise model's site pairs
+    (``repro.sim.noisemodels``): every (site pair, draw, draw) run is
+    weighted by its own conditional probability given exactly two
+    events, so ``f2_exact`` is the model's true conditional failure
+    probability (crosstalk pair sites appear with kind/segment label
+    ``"xtalk"``). ``c2_exact`` then reports the nominal quadratic
+    coefficient ``e_2(rates / p) * f2`` — which reduces to
+    ``C(N, 2) * f2`` for uniform models. E1_1 (or ``None``) keeps the
+    historical uniform path bit-for-bit.
     """
     from ..sim.sampler import make_sampler
     from ..sim.shard import resolve_evaluator
@@ -105,8 +158,6 @@ def two_fault_error_budget(
     tables = draw_tables(locations)
 
     num = len(locations)
-    pair_count = math.comb(num, 2)
-    failing = np.zeros(pair_count, dtype=np.int64)
     with resolve_evaluator(
         sampler,
         workers=workers,
@@ -114,13 +165,19 @@ def two_fault_error_budget(
         executor=executor,
         mem_budget=mem_budget,
         default_slab=batch_size,
+        model=model,
     ) as evaluator:
-        total_runs = evaluator.planner.total_pair_runs()
+        planner = evaluator.planner
+        total_runs = planner.total_pair_runs()
         if max_runs is not None and total_runs > max_runs:
             raise ValueError(
                 f"two-fault budget needs {total_runs} runs (> {max_runs})"
             )
-        merged = evaluator.reduce(evaluator.planner.plan_pairs())
+        merged = evaluator.reduce(planner.plan_pairs())
+        if planner.heterogeneous:
+            return _heterogeneous_budget(protocol, planner, merged, model)
+    pair_count = math.comb(num, 2)
+    failing = np.zeros(pair_count, dtype=np.int64)
     if merged.pair_ids is not None and merged.pair_ids.size:
         failing[merged.pair_ids] = merged.pair_counts
 

@@ -180,6 +180,7 @@ def check_fault_tolerance(
     max_slab: int | None = None,
     executor=None,
     mem_budget: int | None = None,
+    model=None,
 ) -> list[FTViolation]:
     """Run every single-fault scenario; return violations (empty = FT).
 
@@ -191,6 +192,17 @@ def check_fault_tolerance(
     capped at ``max_violations``, exactly as the per-shot walk reported
     them, for every engine, worker count, and backend. ``mem_budget``
     sizes the row chunks adaptively instead of ``max_slab``.
+
+    ``model`` generalizes the certificate's fault set to a noise model's
+    single *events* (``repro.sim.noisemodels``): sites with zero rate are
+    excluded, and a correlated crosstalk pair is one event injecting at
+    both member locations — so the certificate answers "does any single
+    fault *mechanism the model can produce* break the protocol?". A
+    violation at a pair site reports the key/injection *tuples* of both
+    members. E1_1 (or ``None``) keeps the historical per-location fault
+    set bit-for-bit. Note that a weight-2 crosstalk event can legally
+    defeat a distance-3 protocol — the certificate then reports it
+    rather than hiding it.
     """
     from ..sim.sampler import make_sampler
     from ..sim.shard import resolve_evaluator
@@ -216,6 +228,7 @@ def check_fault_tolerance(
         executor=executor,
         mem_budget=mem_budget,
         default_slab=batch_size,
+        model=model,
     ) as evaluator:
         planner = evaluator.planner
         for partial in evaluator.map(
@@ -228,14 +241,14 @@ def check_fault_tolerance(
                 partial.row_x.tolist(),
                 partial.row_z.tolist(),
             ):
-                location, injection = planner.row_info(
+                location, injection, injections = planner.row_case(
                     int(row), checkable_only=True
                 )
                 # Violations are rare (zero for a correct protocol), so
                 # the flip evidence is gathered with one per-shot replay.
                 if evidence_runner is None:
                     evidence_runner = ProtocolRunner(protocol)
-                flips = evidence_runner.run({location: injection}).flips
+                flips = evidence_runner.run(injections).flips
                 violations.append(
                     FTViolation(
                         location,

@@ -110,6 +110,7 @@ def run_series(
     max_slab: int | None = None,
     executor=None,
     mem_budget: int | None = None,
+    model=None,
 ) -> Figure4Series:
     """Simulate one code's curve (paper defaults: 8000 shots, k_max keeps
     the truncation tail well under the statistical error at p <= 0.1).
@@ -133,6 +134,11 @@ def run_series(
     Bernoulli Monte-Carlo at that physical rate on the same engine (the
     vectorized ``sample_injections_model_batch`` path) — an end-to-end
     consistency check of the subset decomposition, qsample-style.
+
+    ``model`` selects the noise model (``repro.sim.noisemodels`` seam):
+    ``None`` keeps the historical E1_1 streams bit-for-bit; any other
+    model reweights strata, draws, and the direct check accordingly
+    (the direct check then runs ``model.with_p(direct_check_at)``).
     """
     sweep = FIGURE4_SWEEP if sweep is None else sorted(sweep)
     if protocol is None:
@@ -151,20 +157,42 @@ def run_series(
         max_slab=max_slab,
         executor=executor,
         mem_budget=mem_budget,
+        model=model,
     ) as sampler:
         if exact_k1:
             sampler.enumerate_k1_exact()
-        sampler.sample(shots, p_ref=0.1)
+        # p_ref=None: 0.1 (the paper's p_max) for uniform models, the
+        # model's own strength for heterogeneous ones (whose rates may
+        # not be rescalable to 0.1 at all).
+        sampler.sample(shots, p_ref=None)
+        ceiling = sampler.p_ceiling
+        if ceiling is not None:
+            # A calibrated rate map caps the sweep: points at or above
+            # the strength where a site rate reaches 1 are unreachable.
+            sweep = [p for p in sweep if p < ceiling]
         estimates = sampler.curve(sweep)
         direct = None
+        if (
+            direct_check_at is not None
+            and ceiling is not None
+            and direct_check_at >= ceiling
+        ):
+            # Same skip-not-crash rule as the sweep: the model cannot be
+            # rescaled to the requested check strength.
+            direct_check_at = None
         if direct_check_at is not None:
             # Reuse the sampler's open chunk executor on the sharded
             # path (one handshake/compile per worker for the whole
             # series); the plan — and therefore the tallies — is the
             # same one a fresh session would run.
+            direct_model = (
+                model.with_p(direct_check_at)
+                if model is not None
+                else E1_1(p=direct_check_at)
+            )
             direct = direct_mc(
                 sampler.engine,
-                E1_1(p=direct_check_at),
+                direct_model,
                 direct_shots,
                 rng=np.random.default_rng(seed + 1),
                 workers=workers,
@@ -198,6 +226,7 @@ def _series_task(args: tuple) -> Figure4Series:
         max_slab,
         executor,
         mem_budget,
+        model,
     ) = args
     return run_series(
         code,
@@ -210,6 +239,7 @@ def _series_task(args: tuple) -> Figure4Series:
         max_slab=max_slab,
         executor=executor,
         mem_budget=mem_budget,
+        model=model,
     )
 
 
@@ -226,6 +256,7 @@ def run_figure4(
     max_slab: int | None = None,
     executor=None,
     mem_budget: int | None = None,
+    model=None,
 ) -> list[Figure4Series]:
     """Regenerate all Fig. 4 series.
 
@@ -283,6 +314,7 @@ def run_figure4(
             max_slab,
             executor,
             mem_budget,
+            model,
         )
         for code in codes
     ]

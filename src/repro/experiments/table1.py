@@ -103,6 +103,7 @@ def run_row(
     max_slab: int | None = None,
     executor=None,
     mem_budget: int | None = None,
+    model=None,
 ) -> Table1Row:
     """Synthesize one Table-I row and extract its metrics.
 
@@ -112,7 +113,9 @@ def run_row(
     column next to the metrics. ``workers`` / ``max_slab`` shard that
     certificate's enumeration (``repro.sim.shard``) for the big codes;
     ``executor`` / ``mem_budget`` select the execution backend (e.g.
-    ``repro.sim.cluster`` TCP workers) and adaptive slab sizing.
+    ``repro.sim.cluster`` TCP workers) and adaptive slab sizing;
+    ``model`` certifies against a noise model's fault set
+    (``repro.sim.noisemodels`` — ``None`` keeps the E1_1 enumeration).
     """
     code = get_code(code_key)
     start = time.monotonic()
@@ -142,6 +145,7 @@ def run_row(
             max_slab=max_slab,
             executor=executor,
             mem_budget=mem_budget,
+            model=model,
         )
     return Table1Row(
         code=code_key,
@@ -163,6 +167,7 @@ def run_table1(
     max_slab: int | None = None,
     executor=None,
     mem_budget: int | None = None,
+    model=None,
 ) -> list[Table1Row]:
     """Regenerate Table I (all rows by default)."""
     rows = TABLE1_ROWS if rows is None else rows
@@ -177,6 +182,7 @@ def run_table1(
             max_slab=max_slab,
             executor=executor,
             mem_budget=mem_budget,
+            model=model,
         )
         for code, prep, verif in rows
     ]

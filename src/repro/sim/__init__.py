@@ -25,15 +25,26 @@ from .matching import MatchingDecoder, is_matchable
 from .noise import (
     E1_1,
     ScaledNoiseModel,
+    compose_injections,
     draw_counts,
     draw_tables,
     fault_draws,
     materialize_stratum,
+    merge_injection_dicts,
     sample_injections,
     sample_injections_fixed_k,
     sample_injections_model,
     sample_injections_model_batch,
     sample_injections_stratum,
+)
+from .noisemodels import (
+    BiasedPauliModel,
+    CorrelatedPairModel,
+    InhomogeneousModel,
+    SiteUniverse,
+    adjacent_2q_pairs,
+    parse_noise_spec,
+    site_universe,
 )
 from .reference import TableauProtocolRunner, TableauRunResult
 from .sampler import (
@@ -59,6 +70,9 @@ from .subset import (
     SubsetSampler,
     binomial_weight,
     direct_mc,
+    poisson_binomial_tail,
+    poisson_binomial_weight,
+    poisson_binomial_weights,
     tail_weight,
     wilson_interval,
 )
@@ -68,12 +82,15 @@ __all__ = [
     "AdaptiveSlabPolicy",
     "BatchResult",
     "BatchedSampler",
+    "BiasedPauliModel",
     "ClusterEvaluator",
     "ClusterExecutorFactory",
     "ClusterWorker",
     "CompiledProtocol",
+    "CorrelatedPairModel",
     "DirectEstimate",
     "E1_1",
+    "InhomogeneousModel",
     "Injection",
     "LogicalJudge",
     "LookupDecoder",
@@ -84,6 +101,7 @@ __all__ = [
     "ScaledNoiseModel",
     "ShardPartial",
     "ShardedEvaluator",
+    "SiteUniverse",
     "StratumPlanner",
     "StratumStats",
     "SubsetEstimate",
@@ -91,7 +109,9 @@ __all__ = [
     "Tableau",
     "TableauProtocolRunner",
     "TableauRunResult",
+    "adjacent_2q_pairs",
     "binomial_weight",
+    "compose_injections",
     "direct_mc",
     "draw_counts",
     "draw_tables",
@@ -99,9 +119,14 @@ __all__ = [
     "is_matchable",
     "make_sampler",
     "materialize_stratum",
+    "merge_injection_dicts",
     "merge_partials",
     "parse_hostports",
     "parse_mem_budget",
+    "parse_noise_spec",
+    "poisson_binomial_tail",
+    "poisson_binomial_weight",
+    "poisson_binomial_weights",
     "protocol_locations",
     "resolve_evaluator",
     "run_circuit",
@@ -110,6 +135,7 @@ __all__ = [
     "sample_injections_model",
     "sample_injections_model_batch",
     "sample_injections_stratum",
+    "site_universe",
     "tail_weight",
     "wilson_interval",
 ]

@@ -8,11 +8,18 @@ machines:
 * **Wire format** — length-prefixed pickle frames (8-byte big-endian
   length + pickle payload) over a plain TCP socket. A versioned
   handshake opens every connection: the coordinator sends the magic,
-  the protocol version, and the compiled-engine payload
-  ``(protocol, engine_name, judge, max_slab)`` **once per worker** —
-  the exact payload the spawn-pool fallback in ``shard.py`` already
-  ships (:func:`repro.sim.shard.engine_payload`), so only registered
-  engines and picklable judges cross the wire, loudly.
+  the protocol version, and a *digest-first* session header — the
+  SHA-256 of the pickled engine payload
+  (:func:`repro.sim.shard.engine_payload`), the slab bound, and the
+  noise model. A worker that already holds the compiled engine for
+  that digest (a previous coordinator session shipped it) replies
+  ``welcome`` immediately — **engine-cache reuse**: consecutive
+  sessions with the same (protocol, engine, judge) skip both the
+  payload transfer and the recompilation. On a cache miss the worker
+  answers ``need-payload`` and the coordinator ships the payload once
+  per worker, exactly as the spawn-pool fallback in ``shard.py`` does
+  — so only registered engines and picklable judges cross the wire,
+  loudly.
 
 * :class:`ClusterWorker` — the server side (``repro cluster worker
   --listen HOST:PORT``). It accepts one coordinator at a time, rebuilds
@@ -50,12 +57,13 @@ exactly like ``multiprocessing``'s own socket listeners.
 
 from __future__ import annotations
 
+import hashlib
 import os
 import pickle
 import socket
 import struct
 import threading
-from collections import deque
+from collections import OrderedDict, deque
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
@@ -83,11 +91,16 @@ __all__ = [
 ]
 
 #: Bumped whenever the frame vocabulary or handshake payload changes;
-#: mismatched peers refuse each other instead of desyncing.
-PROTOCOL_VERSION = 1
+#: mismatched peers refuse each other instead of desyncing. Version 2:
+#: digest-first handshake (engine-cache reuse across coordinator
+#: sessions) and the noise model in the session header.
+PROTOCOL_VERSION = 2
 
 _MAGIC = b"RPRO-CLUSTER"
 _LENGTH = struct.Struct(">Q")
+
+#: Compiled engines a worker keeps across coordinator sessions.
+_ENGINE_CACHE_SLOTS = 8
 
 
 class ClusterProtocolError(RuntimeError):
@@ -179,9 +192,14 @@ class ClusterWorker:
     connection): a consumer that holds one evaluator session open while
     opening another — ``simulate --direct --cluster`` does, and so do
     the ``figure4`` code-pool tasks — must not deadlock behind its own
-    first session. The engine is rebuilt per connection from the
-    handshake payload — the compiled protocol and every signature cache
-    then serve all of that session's chunks.
+    first session. Compiled engines are kept in a small per-worker LRU
+    keyed by the coordinator's payload digest, so consecutive sessions
+    with the same (protocol, engine, judge) reuse the compiled protocol
+    and every signature cache instead of recompiling — only the first
+    session of a digest pays the payload transfer and the compile.
+    (Engine caches are append-only dicts, so concurrent sessions sharing
+    one cached engine are safe under the GIL; at worst two sessions
+    compute the same signature once each.)
     """
 
     def __init__(
@@ -195,6 +213,8 @@ class ClusterWorker:
         self.max_chunks = max_chunks
         self._served = 0
         self._served_lock = threading.Lock()
+        self._engines: OrderedDict[str, object] = OrderedDict()
+        self._engines_lock = threading.Lock()
         self._stop = threading.Event()
         self._server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
@@ -263,23 +283,82 @@ class ClusterWorker:
                 ),
             )
             return None
-        return hello[3]  # (protocol, engine_name, judge, max_slab)
+        return hello[3]  # {"digest", "max_slab", "model"}
 
-    def _serve_connection(self, conn: socket.socket) -> None:
+    def _cached_engine(self, digest: str):
+        with self._engines_lock:
+            engine = self._engines.get(digest)
+            if engine is not None:
+                self._engines.move_to_end(digest)
+            return engine
+
+    def _store_engine(self, digest: str, engine) -> None:
+        with self._engines_lock:
+            self._engines[digest] = engine
+            self._engines.move_to_end(digest)
+            while len(self._engines) > _ENGINE_CACHE_SLOTS:
+                self._engines.popitem(last=False)
+
+    def _resolve_engine(self, conn: socket.socket, digest: str):
+        """Cache hit, or a ``need-payload`` round trip; returns
+        ``(engine, cached)`` or ``None`` when the coordinator bailed."""
         from .sampler import make_sampler
 
-        payload = self._handshake(conn)
-        if payload is None:
-            return
-        protocol, engine_name, judge, max_slab = payload
+        engine = self._cached_engine(digest)
+        if engine is not None:
+            return engine, True
+        send_frame(conn, ("need-payload", digest))
+        reply = recv_frame(conn)
+        if reply is None:
+            return None
+        if not (
+            isinstance(reply, tuple)
+            and len(reply) == 2
+            and reply[0] == "payload"
+            and isinstance(reply[1], bytes)
+        ):
+            send_frame(
+                conn,
+                ("reject", "expected a payload-bytes frame after need-payload"),
+            )
+            return None
+        payload_bytes = reply[1]
+        # The payload travels as the coordinator's raw pickle bytes so the
+        # worker can verify the advertised digest before caching under it
+        # — a mislabeled payload is rejected here instead of permanently
+        # poisoning this digest's cache slot for later coordinators.
+        if hashlib.sha256(payload_bytes).hexdigest() != digest:
+            send_frame(
+                conn,
+                ("reject", "payload bytes do not hash to the session digest"),
+            )
+            return None
+        protocol, engine_name, judge = pickle.loads(payload_bytes)
         engine = make_sampler(protocol, engine=engine_name, judge=judge)
-        context = _EngineContext(engine, max_slab)
+        self._store_engine(digest, engine)
+        return engine, False
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        header = self._handshake(conn)
+        if header is None:
+            return
+        resolved = self._resolve_engine(conn, header["digest"])
+        if resolved is None:
+            return
+        engine, cached = resolved
+        context = _EngineContext(
+            engine, header["max_slab"], model=header.get("model")
+        )
         send_frame(
             conn,
             (
                 "welcome",
                 PROTOCOL_VERSION,
-                {"pid": os.getpid(), "locations": len(engine.locations)},
+                {
+                    "pid": os.getpid(),
+                    "locations": len(engine.locations),
+                    "engine_cached": cached,
+                },
             ),
         )
         while True:
@@ -342,9 +421,16 @@ class _MapState:
 
 
 class _WorkerLink:
-    """One handshaken TCP connection to a cluster worker."""
+    """One handshaken TCP connection to a cluster worker.
 
-    def __init__(self, address: tuple[str, int], payload, timeout: float):
+    The handshake is digest-first: the session header names the engine
+    payload by hash, and the payload itself is shipped only when the
+    worker answers ``need-payload`` (a worker that served this engine in
+    a previous session replies ``welcome`` straight away — see
+    ``info["engine_cached"]``).
+    """
+
+    def __init__(self, address: tuple[str, int], header, payload, timeout: float):
         self.address = address
         # Timeout applies to connect only: handshake replies can wait on
         # a loaded worker compiling the engine payload.
@@ -352,9 +438,16 @@ class _WorkerLink:
         self.sock.settimeout(None)
         try:
             send_frame(
-                self.sock, ("hello", _MAGIC, PROTOCOL_VERSION, payload)
+                self.sock, ("hello", _MAGIC, PROTOCOL_VERSION, header)
             )
             reply = recv_frame(self.sock)
+            if (
+                isinstance(reply, tuple)
+                and reply
+                and reply[0] == "need-payload"
+            ):
+                send_frame(self.sock, ("payload", payload))
+                reply = recv_frame(self.sock)
         except (OSError, ConnectionError):
             self.close()
             raise
@@ -394,8 +487,13 @@ class ClusterEvaluator:
         opened lazily on the first ``map`` and reused across calls.
     max_slab / mem_budget:
         Chunk memory bound, forwarded to the planner *and* to every
-        worker in the handshake payload. ``mem_budget`` sizes the slab
+        worker in the handshake header. ``mem_budget`` sizes the slab
         adaptively (:class:`~repro.sim.shard.AdaptiveSlabPolicy`).
+    model:
+        Optional noise model (``repro.sim.noisemodels``), forwarded to
+        the planner and in the handshake header so remote chunk
+        execution samples, enumerates, and weights exactly like the
+        local planner would.
     connect_timeout:
         Per-worker TCP connect/handshake timeout in seconds.
 
@@ -414,16 +512,29 @@ class ClusterEvaluator:
         max_slab: int = _DEFAULT_SLAB,
         mem_budget: int | None = None,
         connect_timeout: float = 10.0,
+        model=None,
     ):
         if mem_budget is not None:
             max_slab = AdaptiveSlabPolicy(mem_budget).slab_for(engine)
         self.engine = engine
         self.addresses = parse_hostports(addresses)
         self.max_slab = int(max_slab)
+        self.model = model
         self.connect_timeout = connect_timeout
-        self.planner = StratumPlanner(engine.locations, max_slab=self.max_slab)
-        protocol, name, judge = engine_payload(engine)
-        self._payload = (protocol, name, judge, self.max_slab)
+        self.planner = StratumPlanner(
+            engine.locations, max_slab=self.max_slab, model=model
+        )
+        # The digest and the shipped bytes are one artifact: the worker
+        # re-hashes exactly these bytes before caching under the digest.
+        self._payload_bytes = pickle.dumps(
+            engine_payload(engine), protocol=pickle.HIGHEST_PROTOCOL
+        )
+        self.payload_digest = hashlib.sha256(self._payload_bytes).hexdigest()
+        self._header = {
+            "digest": self.payload_digest,
+            "max_slab": self.max_slab,
+            "model": model,
+        }
         self._links: list[_WorkerLink] | None = None
         #: True while a map() generator is live; close() must then drop
         #: connections instead of sending "bye" frames that would race
@@ -440,7 +551,12 @@ class ClusterEvaluator:
             for address in self.addresses:
                 try:
                     links.append(
-                        _WorkerLink(address, self._payload, self.connect_timeout)
+                        _WorkerLink(
+                            address,
+                            self._header,
+                            self._payload_bytes,
+                            self.connect_timeout,
+                        )
                     )
                 except ClusterProtocolError:
                     for link in links:
@@ -662,10 +778,11 @@ class ClusterExecutorFactory:
     addresses: tuple[tuple[str, int], ...]
     connect_timeout: float = 10.0
 
-    def __call__(self, engine, max_slab: int) -> ClusterEvaluator:
+    def __call__(self, engine, max_slab: int, model=None) -> ClusterEvaluator:
         return ClusterEvaluator(
             engine,
             self.addresses,
             max_slab=max_slab,
             connect_timeout=self.connect_timeout,
+            model=model,
         )

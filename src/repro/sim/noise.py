@@ -29,6 +29,8 @@ __all__ = [
     "fault_draws",
     "draw_tables",
     "draw_counts",
+    "compose_injections",
+    "merge_injection_dicts",
     "sample_injections",
     "sample_injections_model",
     "sample_injections_model_batch",
@@ -37,12 +39,20 @@ __all__ = [
     "materialize_stratum",
 ]
 
+_LETTER_BITS = {"I": (0, 0), "X": (1, 0), "Z": (0, 1), "Y": (1, 1)}
+_BITS_LETTER = {bits: letter for letter, bits in _LETTER_BITS.items()}
+
 
 @dataclass(frozen=True)
 class E1_1:
     """Uniform single-parameter depolarizing model."""
 
     p: float
+
+    def with_p(self, p: float) -> "E1_1":
+        """The same model at strength ``p`` (the sweep knob of the
+        ``repro.sim.noisemodels`` seam)."""
+        return E1_1(p=p)
 
     def probability(self, kind: str) -> float:
         return self.p
@@ -88,6 +98,17 @@ class ScaledNoiseModel:
                     f"scaled rate {rate} for kind {kind!r} outside [0, 1]"
                 )
 
+    def with_p(self, p: float) -> "ScaledNoiseModel":
+        """The same per-kind factors at base strength ``p`` (every rate
+        scales by ``p / self.p``; construction re-validates the bounds)."""
+        return ScaledNoiseModel(
+            p=p,
+            single_qubit=self.single_qubit,
+            two_qubit=self.two_qubit,
+            reset=self.reset,
+            measurement=self.measurement,
+        )
+
     def probability(self, kind: str) -> float:
         return self.p * getattr(self, self._FACTORS[kind])
 
@@ -103,12 +124,66 @@ class ScaledNoiseModel:
 
 def _model_rates(locations, model) -> np.ndarray:
     """Per-location rates from any noise model (vectorized when possible)."""
+    if hasattr(model, "location_rates"):
+        return np.asarray(model.location_rates(locations), dtype=np.float64)
     if hasattr(model, "kind_rates"):
         return np.asarray(model.kind_rates(locations), dtype=np.float64)
     return np.asarray(
         [model.probability(kind) for _, kind, _ in locations],
         dtype=np.float64,
     )
+
+
+def _model_is_plain(locations, model) -> bool:
+    """True when ``model`` keeps E1_1 draw semantics on this universe:
+    uniform conditional draws and no correlated pair sites (rates may
+    still vary per location). Plain models keep the historical Bernoulli
+    batch stream bit-for-bit."""
+    weights_fn = getattr(model, "draw_weights", None)
+    if weights_fn is not None and weights_fn(locations) is not None:
+        return False
+    pairs_fn = getattr(model, "pair_sites", None)
+    return pairs_fn is None or not tuple(pairs_fn(locations))
+
+
+def compose_injections(a: Injection, b: Injection) -> Injection:
+    """Phase-free composition of two faults at one location.
+
+    Two Paulis inserted after the same instruction compose by XOR of
+    their symplectic bits; two outcome flips cancel. This matches what
+    the batched engine computes when an indexed batch carries the same
+    location twice in one shot (each draw's signature is XORed in
+    independently), so the dict-based per-shot path stays equivalent —
+    correlated pair sites overlapping a base fault need exactly this.
+    """
+    if a.flip or b.flip:
+        if a.paulis or b.paulis:
+            raise ValueError("cannot compose a flip with a Pauli injection")
+        return Injection(flip=bool(a.flip) ^ bool(b.flip))
+    bits: dict[int, tuple[int, int]] = {}
+    for wire, letter in a.paulis + b.paulis:
+        xb, zb = _LETTER_BITS[letter]
+        cx, cz = bits.get(wire, (0, 0))
+        bits[wire] = (cx ^ xb, cz ^ zb)
+    paulis = tuple(
+        (wire, _BITS_LETTER[bit_pair])
+        for wire, bit_pair in sorted(bits.items())
+        if bit_pair != (0, 0)
+    )
+    return Injection(paulis=paulis)
+
+
+def merge_injection_dicts(a: dict, b: dict) -> dict:
+    """Union of two injection dicts, composing collisions per location."""
+    merged = dict(a)
+    for key, injection in b.items():
+        present = merged.get(key)
+        merged[key] = (
+            injection
+            if present is None
+            else compose_injections(present, injection)
+        )
+    return merged
 
 
 def _draw_fault(kind: str, wires, rng: np.random.Generator) -> Injection:
@@ -242,7 +317,17 @@ def sample_injections_model_batch(
     The rng stream differs from ``shots`` sequential
     :func:`sample_injections_model` calls, but is identical for every
     engine consuming the same batch — engine cross-validation stays exact.
+
+    Models with non-uniform draw weights or correlated pair sites
+    (``repro.sim.noisemodels``) route through the compiled
+    :class:`~repro.sim.noisemodels.SiteUniverse` instead: same masked
+    index-pair contract, weighted draw choice, pair firings expanded to
+    both member locations. Plain models keep this historical stream.
     """
+    if not _model_is_plain(locations, model):
+        from .noisemodels import site_universe  # deferred: imports this module
+
+        return site_universe(locations, model).sample_bernoulli(shots, rng)
     num = len(locations)
     rates = _model_rates(locations, model)
     fails = rng.random((shots, num)) < rates[None, :]
@@ -316,17 +401,23 @@ def materialize_stratum(locations, loc_idx, draw_idx) -> list[dict]:
     Accepts both the rectangular output of
     :func:`sample_injections_stratum` and the masked variable-weight output
     of :func:`sample_injections_model_batch` (``loc_idx == -1`` slots are
-    skipped).
+    skipped). A location indexed twice within one shot (correlated pair
+    sites overlapping a base fault) composes by :func:`compose_injections`
+    — the dict path then matches the indexed engines' per-draw XOR.
     """
     tables = draw_tables(locations)
     keys = [key for key, _, _ in locations]
     out = []
     for shot_locs, shot_draws in zip(loc_idx, draw_idx):
-        out.append(
-            {
-                keys[l]: tables[l][d]
-                for l, d in zip(shot_locs.tolist(), shot_draws.tolist())
-                if l >= 0
-            }
-        )
+        injections: dict = {}
+        for l, d in zip(shot_locs.tolist(), shot_draws.tolist()):
+            if l < 0:
+                continue
+            key = keys[l]
+            draw = tables[l][d]
+            present = injections.get(key)
+            injections[key] = (
+                draw if present is None else compose_injections(present, draw)
+            )
+        out.append(injections)
     return out

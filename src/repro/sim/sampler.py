@@ -516,9 +516,18 @@ class BatchedSampler:
         if flat_loc.size == 0:
             return grouped
         pair_ids = flat_loc * self._max_draws + flat_draw
-        order = np.argsort(pair_ids, kind="stable")
-        sorted_pairs = pair_ids[order]
-        sorted_shots = shot_ids[order]
+        # Sort by (pair, shot) and cancel even multiplicities: a shot
+        # carrying the identical (location, draw) twice composes to the
+        # identity under the XOR semantics (correlated pair sites can
+        # overlap a base fault like that; uniform strata never repeat a
+        # location within a shot, so this is a no-op for them).
+        combo = pair_ids.astype(np.int64) * num_shots + shot_ids
+        unique, multiplicity = np.unique(combo, return_counts=True)
+        odd = unique[multiplicity % 2 == 1]
+        if odd.size == 0:
+            return grouped
+        sorted_pairs = (odd // num_shots).astype(pair_ids.dtype)
+        sorted_shots = (odd % num_shots).astype(np.intp)
         boundaries = np.flatnonzero(np.diff(sorted_pairs)) + 1
         starts = np.concatenate([[0], boundaries])
         # All per-group shot masks in one scatter instead of a packing

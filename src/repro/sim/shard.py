@@ -254,6 +254,9 @@ class ShardPartial:
     #: Sparse per-pair failing counts (exact k = 2 enumeration).
     pair_ids: np.ndarray | None = None
     pair_counts: np.ndarray | None = None
+    #: Sparse per-pair failing *mass* (heterogeneous k = 2 enumeration,
+    #: where runs within one pair carry different draw weights).
+    pair_mass: np.ndarray | None = None
 
 
 def _merge_hist(a: np.ndarray | None, b: np.ndarray | None) -> np.ndarray | None:
@@ -297,10 +300,15 @@ def merge_partials(partials: Iterable[ShardPartial]) -> ShardPartial:
         merged.row_z = _concat(merged.row_z, partial.row_z)
         merged.pair_ids = _concat(merged.pair_ids, partial.pair_ids)
         merged.pair_counts = _concat(merged.pair_counts, partial.pair_counts)
+        merged.pair_mass = _concat(merged.pair_mass, partial.pair_mass)
     if merged.pair_ids is not None and merged.pair_ids.size:
         unique, inverse = np.unique(merged.pair_ids, return_inverse=True)
         counts = np.zeros(unique.size, dtype=np.int64)
         np.add.at(counts, inverse, merged.pair_counts)
+        if merged.pair_mass is not None:
+            mass = np.zeros(unique.size, dtype=np.float64)
+            np.add.at(mass, inverse, merged.pair_mass)
+            merged.pair_mass = mass
         merged.pair_ids = unique
         merged.pair_counts = counts
     return merged
@@ -310,9 +318,22 @@ def merge_partials(partials: Iterable[ShardPartial]) -> ShardPartial:
 
 
 class _RowUniverse:
-    """Flat row ids over the (location, draw) enumeration of a universe."""
+    """Flat row ids over the (location, draw) enumeration of a universe.
 
-    def __init__(self, locations, checkable_only: bool):
+    ``included`` are the enumerated unit indices (locations — or *sites*
+    on the heterogeneous path) and ``counts`` their per-unit draw counts;
+    row ``r`` maps back to (unit, draw-within-unit) through the offsets.
+    """
+
+    def __init__(self, included, counts):
+        self.included = np.asarray(included, dtype=np.intp)
+        self.offsets = np.concatenate(
+            ([0], np.cumsum(np.asarray(counts, dtype=np.int64)))
+        ).astype(np.int64)
+        self.num_rows = int(self.offsets[-1])
+
+    @classmethod
+    def for_locations(cls, locations, checkable_only: bool) -> "_RowUniverse":
         counts = draw_counts(locations)
         if checkable_only:
             included = [
@@ -322,12 +343,7 @@ class _RowUniverse:
             ]
         else:
             included = list(range(len(locations)))
-        self.included = np.asarray(included, dtype=np.intp)
-        included_counts = counts[self.included]
-        self.offsets = np.concatenate(
-            ([0], np.cumsum(included_counts))
-        ).astype(np.int64)
-        self.num_rows = int(self.offsets[-1])
+        return cls(included, counts[np.asarray(included, dtype=np.intp)])
 
     def materialize(self, lo: int, hi: int) -> tuple[np.ndarray, np.ndarray]:
         """Rows ``[lo, hi)`` as ``(rows, 1)`` index arrays."""
@@ -350,18 +366,41 @@ class StratumPlanner:
         the peak-memory knob (``--max-slab`` on the CLI). Sampled chunks
         hold at most ``max_slab`` shots; pair chunks expand to at most
         ``max_slab`` runs (or one location pair, whichever is larger).
+    model:
+        Optional noise model (``repro.sim.noisemodels`` seam). A
+        heterogeneous model (per-location rates, weighted draws, or
+        correlated pair sites) switches the planner's enumeration axis
+        from locations to *sites* and all sampled/exact weights to the
+        model's own probabilities; a uniform model (E1_1 in disguise)
+        keeps every historical path bit-for-bit, so routing E1_1 through
+        the seam changes nothing.
 
     All ``plan_*`` methods return lazy iterators of specs: planning a
     billion-shot stratum allocates nothing beyond the next spec.
     """
 
-    def __init__(self, locations, *, max_slab: int = _DEFAULT_SLAB):
+    def __init__(
+        self, locations, *, max_slab: int = _DEFAULT_SLAB, model=None
+    ):
         if max_slab < 1:
             raise ValueError("max_slab must be positive")
         self.locations = list(locations)
         self.max_slab = int(max_slab)
+        self.model = model
         self._counts = draw_counts(self.locations)
         self._universes: dict[bool, _RowUniverse] = {}
+        self.universe = None
+        if model is not None:
+            from .noisemodels import site_universe
+
+            universe = site_universe(self.locations, model)
+            if not universe.uniform:
+                self.universe = universe
+
+    @property
+    def heterogeneous(self) -> bool:
+        """Whether enumeration runs over model sites with model weights."""
+        return self.universe is not None
 
     # -- sampled strata -------------------------------------------------------
 
@@ -407,7 +446,15 @@ class StratumPlanner:
     def row_universe(self, checkable_only: bool = False) -> _RowUniverse:
         universe = self._universes.get(checkable_only)
         if universe is None:
-            universe = _RowUniverse(self.locations, checkable_only)
+            if self.universe is not None:
+                sites = self.universe.enumeration_sites(checkable_only)
+                universe = _RowUniverse(
+                    sites, self.universe.site_draw_counts[sites]
+                )
+            else:
+                universe = _RowUniverse.for_locations(
+                    self.locations, checkable_only
+                )
             self._universes[checkable_only] = universe
         return universe
 
@@ -428,52 +475,140 @@ class StratumPlanner:
                 threshold=threshold,
             )
 
+    def _site_rows(self, chunk: RowChunk) -> tuple[np.ndarray, np.ndarray]:
+        """One row chunk as flat (site, draw-within-site) arrays."""
+        sites, draws = self.row_universe(chunk.checkable_only).materialize(
+            chunk.lo, chunk.hi
+        )
+        return sites[:, 0], draws[:, 0]
+
     def materialize_rows(
         self, chunk: RowChunk
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Re-create one row chunk's ``(rows, 1)`` index arrays."""
-        return self.row_universe(chunk.checkable_only).materialize(
+        """Re-create one row chunk's engine index arrays.
+
+        Uniform: ``(rows, 1)`` (location, draw) arrays. Heterogeneous:
+        the site rows expanded through the model universe — masked
+        ``(rows, 2)`` arrays when correlated pair sites are present, so
+        a pair site's single row injects at both member locations.
+        """
+        loc_idx, draw_idx = self.row_universe(chunk.checkable_only).materialize(
             chunk.lo, chunk.hi
         )
+        if self.universe is not None:
+            return self.universe.expand(loc_idx, draw_idx)
+        return loc_idx, draw_idx
 
     def row_weights(
         self, chunk: RowChunk, loc_idx: np.ndarray | None = None
     ) -> np.ndarray:
         """Conditional probability of each row given exactly one fault.
 
-        The location is uniform over the *full* universe and the draw
-        uniform within the location, matching
-        :meth:`SubsetSampler.enumerate_k1_exact`'s weighting. Pass the
-        chunk's already-materialized ``loc_idx`` to skip re-expansion.
+        Uniform: the location is uniform over the *full* universe and the
+        draw uniform within the location, matching
+        :meth:`SubsetSampler.enumerate_k1_exact`'s weighting (pass the
+        chunk's already-materialized ``loc_idx`` to skip re-expansion).
+        Heterogeneous: each (site, draw) row is weighted by its own
+        conditional probability ``odds_s / e_1 * q_s(draw)``.
         """
+        if self.universe is not None:
+            sites, draws = self._site_rows(chunk)
+            return self.universe.row_weights_for(sites, draws)
         if loc_idx is None:
             loc_idx, _ = self.materialize_rows(chunk)
         return 1.0 / (len(self.locations) * self._counts[loc_idx[:, 0]])
 
+    def materialize_rows_with_weights(
+        self, chunk: RowChunk
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """One row chunk's engine index arrays plus its conditional
+        weights, from a single row-universe materialization (the exact
+        k = 1 executor path pays the expansion once, not twice)."""
+        sites, draws = self._site_rows(chunk)
+        if self.universe is not None:
+            loc_idx, draw_idx = self.universe.expand(
+                sites[:, None], draws[:, None]
+            )
+            return loc_idx, draw_idx, self.universe.row_weights_for(
+                sites, draws
+            )
+        weights = 1.0 / (len(self.locations) * self._counts[sites])
+        return sites[:, None], draws[:, None], weights
+
     def row_info(self, row: int, *, checkable_only: bool = False):
-        """(location key, Injection) of one global row id."""
+        """(location key, Injection) of one global row id.
+
+        Heterogeneous pair sites return a key tuple and an Injection
+        tuple (one per member location); see :meth:`row_case` for the
+        replayable dict form.
+        """
+        location, injection, _ = self.row_case(
+            row, checkable_only=checkable_only
+        )
+        return location, injection
+
+    def row_case(self, row: int, *, checkable_only: bool = False):
+        """``(location, injection, injections_dict)`` of one global row.
+
+        The dict is directly replayable by a per-shot runner (the FT
+        certificate's evidence path); location/injection are the
+        reporting labels — for a heterogeneous pair site, tuples of the
+        two member keys/draws.
+        """
         universe = self.row_universe(checkable_only)
         slot = int(np.searchsorted(universe.offsets, row, side="right") - 1)
-        location = int(universe.included[slot])
+        unit = int(universe.included[slot])
         draw = row - int(universe.offsets[slot])
-        key = self.locations[location][0]
-        return key, draw_tables(self.locations)[location][draw]
+        if self.universe is not None:
+            injection, injections = self.universe.site_injections(unit, draw)
+            return self.universe.site_key(unit), injection, injections
+        key = self.locations[unit][0]
+        injection = draw_tables(self.locations)[unit][draw]
+        return key, injection, {key: injection}
 
     # -- exact k = 2 pairs ----------------------------------------------------
+    #
+    # The pair enumeration runs over *units*: locations on the uniform
+    # path, model sites (base locations + correlated pair sites, active
+    # only) on the heterogeneous path. Pair ids index the lexicographic
+    # (a < b) enumeration of unit *positions*, which coincides with
+    # location indices in the uniform case — the historical contract.
+
+    def _pair_units(self) -> tuple[np.ndarray, np.ndarray]:
+        """(unit ids, per-unit draw counts) of the pair enumeration.
+
+        Cached: the planner is immutable after construction, and
+        ``pair_case`` / ``pair_of`` call this once per failing pair.
+        """
+        cached = getattr(self, "_pair_units_cache", None)
+        if cached is None:
+            if self.universe is not None:
+                sites = self.universe.enumeration_sites()
+                cached = sites, self.universe.site_draw_counts[sites]
+            else:
+                cached = (
+                    np.arange(len(self.locations), dtype=np.intp),
+                    self._counts.astype(np.int64),
+                )
+            self._pair_units_cache = cached
+        return cached
 
     def num_pairs(self) -> int:
-        num = len(self.locations)
+        num = self._pair_units()[0].size
         return num * (num - 1) // 2
 
     def total_pair_runs(self) -> int:
         """Total (draw × draw) runs of the full pair enumeration."""
-        counts = self._counts.astype(np.int64)
+        if self.universe is not None:
+            return self.universe.total_pair_runs()
+        counts = self._pair_units()[1].astype(np.int64)
         total = int(counts.sum())
         return int((total * total - int((counts * counts).sum())) // 2)
 
     def pair_of(self, pair_id: int) -> tuple[int, int]:
-        """Inverse of the lexicographic (i < j) pair enumeration."""
-        num = len(self.locations)
+        """Inverse of the lexicographic (a < b) pair enumeration
+        (positions in the unit list; location indices when uniform)."""
+        num = self._pair_units()[0].size
         i = 0
         remaining = pair_id
         while remaining >= num - i - 1:
@@ -483,8 +618,8 @@ class StratumPlanner:
 
     def plan_pairs(self) -> Iterator[PairChunk]:
         """Chunk the pair enumeration, bounding expanded runs per chunk."""
-        num = len(self.locations)
-        counts = self._counts
+        _, counts = self._pair_units()
+        num = counts.size
         index = 0
         lo = 0
         budget = 0
@@ -502,11 +637,12 @@ class StratumPlanner:
         if budget:
             yield PairChunk(index=index, lo=lo, hi=pair_id)
 
-    def materialize_pairs(
+    def materialize_unit_pairs(
         self, chunk: PairChunk
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Expand one pair chunk into ``(runs, 2)`` index arrays + pair ids."""
-        counts = self._counts
+        """One pair chunk as ``(runs, 2)`` *unit*-level arrays + pair ids."""
+        units, counts = self._pair_units()
+        num = counts.size
         i, j = self.pair_of(chunk.lo)
         loc_blocks: list[np.ndarray] = []
         draw_blocks: list[np.ndarray] = []
@@ -515,8 +651,8 @@ class StratumPlanner:
             num_i, num_j = int(counts[i]), int(counts[j])
             runs = num_i * num_j
             loc = np.empty((runs, 2), dtype=np.intp)
-            loc[:, 0] = i
-            loc[:, 1] = j
+            loc[:, 0] = units[i]
+            loc[:, 1] = units[j]
             draw = np.empty((runs, 2), dtype=np.intp)
             draw[:, 0] = np.repeat(np.arange(num_i, dtype=np.intp), num_j)
             draw[:, 1] = np.tile(np.arange(num_j, dtype=np.intp), num_i)
@@ -524,7 +660,7 @@ class StratumPlanner:
             draw_blocks.append(draw)
             pair_blocks.append(np.full(runs, pair_id, dtype=np.intp))
             j += 1
-            if j == len(self.locations):
+            if j == num:
                 i += 1
                 j = i + 1
         return (
@@ -533,11 +669,28 @@ class StratumPlanner:
             np.concatenate(pair_blocks),
         )
 
+    def materialize_pairs(
+        self, chunk: PairChunk
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Expand one pair chunk into engine index arrays + pair ids.
+
+        Uniform: ``(runs, 2)`` (location, draw) arrays. Heterogeneous:
+        site pairs expanded through the model universe (masked
+        ``(runs, 4)`` when correlated pair sites are present).
+        """
+        unit_idx, draw_idx, pair_ids = self.materialize_unit_pairs(chunk)
+        if self.universe is not None:
+            loc_idx, draw_idx = self.universe.expand(unit_idx, draw_idx)
+            return loc_idx, draw_idx, pair_ids
+        return unit_idx, draw_idx, pair_ids
+
     def pair_weight(self, pair_id: int) -> float:
-        """Conditional probability of one (pair, draw, draw) run."""
+        """Conditional probability of one (pair, draw, draw) run
+        (uniform path; heterogeneous runs use :meth:`pair_run_weights`)."""
         i, j = self.pair_of(pair_id)
+        _, counts = self._pair_units()
         return 1.0 / (
-            self.num_pairs() * int(self._counts[i]) * int(self._counts[j])
+            self.num_pairs() * int(counts[i]) * int(counts[j])
         )
 
     def pair_weights(self, chunk: PairChunk) -> np.ndarray:
@@ -545,8 +698,12 @@ class StratumPlanner:
 
         One incremental (i, j) walk over the range — no per-pair
         triangular inversion — for the chunk-local mass accumulation.
+        (Uniform path: within one pair every draw × draw run shares this
+        weight; heterogeneous chunks get per-run weights from
+        :meth:`pair_run_weights` instead.)
         """
-        counts = self._counts
+        _, counts = self._pair_units()
+        num = counts.size
         pairs = self.num_pairs()
         i, j = self.pair_of(chunk.lo)
         weights = np.empty(chunk.hi - chunk.lo, dtype=np.float64)
@@ -555,10 +712,43 @@ class StratumPlanner:
                 pairs * int(counts[i]) * int(counts[j])
             )
             j += 1
-            if j == len(self.locations):
+            if j == num:
                 i += 1
                 j = i + 1
         return weights
+
+    def pair_run_weights(
+        self,
+        unit_idx: np.ndarray,
+        draw_idx: np.ndarray,
+    ) -> np.ndarray:
+        """Heterogeneous per-run conditional weights for materialized
+        unit pairs: ``odds_a odds_b / e_2 * q_a(d) q_b(d')``."""
+        if self.universe is None:
+            raise ValueError("pair_run_weights needs a heterogeneous model")
+        return self.universe.pair_run_weights_for(
+            unit_idx[:, 0], draw_idx[:, 0], unit_idx[:, 1], draw_idx[:, 1]
+        )
+
+    def pair_case(self, pair_id: int):
+        """Reporting labels of one pair id: ``((key_a, key_b),
+        (kind_a, kind_b), (segment_a, segment_b))``."""
+        a, b = self.pair_of(pair_id)
+        units, _ = self._pair_units()
+        if self.universe is not None:
+            sa, sb = int(units[a]), int(units[b])
+            return (
+                (self.universe.site_key(sa), self.universe.site_key(sb)),
+                (self.universe.site_kind(sa), self.universe.site_kind(sb)),
+                (self.universe.site_segment(sa), self.universe.site_segment(sb)),
+            )
+        key_a, kind_a, _ = self.locations[int(units[a])]
+        key_b, kind_b, _ = self.locations[int(units[b])]
+        return (
+            (key_a, key_b),
+            (kind_a, kind_b),
+            (key_a[0][0], key_b[0][0]),
+        )
 
     # -- explicit dict batches ------------------------------------------------
 
@@ -580,14 +770,20 @@ class StratumPlanner:
 class _EngineContext:
     """Per-process execution state: the engine, its planner, lazy reducers."""
 
-    def __init__(self, engine, max_slab: int, planner: StratumPlanner | None = None):
+    def __init__(
+        self,
+        engine,
+        max_slab: int,
+        planner: StratumPlanner | None = None,
+        model=None,
+    ):
         self.engine = engine
         # Pool workers build their own planner; the inline context shares
         # the evaluator's so row-universe caches exist once per process.
         self.planner = (
             planner
             if planner is not None
-            else StratumPlanner(engine.locations, max_slab=max_slab)
+            else StratumPlanner(engine.locations, max_slab=max_slab, model=model)
         )
         self._reducers = None
 
@@ -610,9 +806,16 @@ def _run_chunk(ctx: _EngineContext, chunk) -> ShardPartial:
     planner = ctx.planner
     if isinstance(chunk, StratumChunk):
         rng = np.random.default_rng(np.random.SeedSequence(chunk.entropy))
-        loc_idx, draw_idx = sample_injections_stratum(
-            engine.locations, chunk.k, chunk.shots, rng
-        )
+        if planner.heterogeneous:
+            # Conditional-Bernoulli site subsets + weighted draws (the
+            # model travels with the worker context, not the chunk).
+            loc_idx, draw_idx = planner.universe.sample_stratum(
+                chunk.k, chunk.shots, rng
+            )
+        else:
+            loc_idx, draw_idx = sample_injections_stratum(
+                engine.locations, chunk.k, chunk.shots, rng
+            )
         verdicts = np.asarray(
             engine.failures_indexed(loc_idx, draw_idx), dtype=bool
         )
@@ -623,9 +826,20 @@ def _run_chunk(ctx: _EngineContext, chunk) -> ShardPartial:
         )
     if isinstance(chunk, BernoulliChunk):
         rng = np.random.default_rng(np.random.SeedSequence(chunk.entropy))
-        loc_idx, draw_idx = sample_injections_model_batch(
-            engine.locations, chunk.model, chunk.shots, rng
-        )
+        if (
+            planner.universe is not None
+            and chunk.model == planner.model
+        ):
+            # Same model as the worker context: reuse its compiled
+            # universe (rate vectors, pair adjacency, draw CDFs) instead
+            # of rebuilding one per chunk; the draw stream is identical.
+            loc_idx, draw_idx = planner.universe.sample_bernoulli(
+                chunk.shots, rng
+            )
+        else:
+            loc_idx, draw_idx = sample_injections_model_batch(
+                engine.locations, chunk.model, chunk.shots, rng
+            )
         verdicts = np.asarray(
             engine.failures_indexed(loc_idx, draw_idx), dtype=bool
         )
@@ -635,7 +849,14 @@ def _run_chunk(ctx: _EngineContext, chunk) -> ShardPartial:
             failures=int(verdicts.sum()),
         )
     if isinstance(chunk, RowChunk):
-        loc_idx, draw_idx = planner.materialize_rows(chunk)
+        if chunk.checkable_only:
+            loc_idx, draw_idx = planner.materialize_rows(chunk)
+        else:
+            # Exact-k1 mode needs the weights too — one materialization
+            # covers both instead of expanding the row range twice.
+            loc_idx, draw_idx, row_weights = (
+                planner.materialize_rows_with_weights(chunk)
+            )
         if chunk.checkable_only:
             # Certificate mode: residual weights + violation evidence.
             x_reducer, z_reducer = ctx.reducers
@@ -659,7 +880,7 @@ def _run_chunk(ctx: _EngineContext, chunk) -> ShardPartial:
         verdicts = np.asarray(
             engine.failures_indexed(loc_idx, draw_idx), dtype=bool
         )
-        weights = planner.row_weights(chunk, loc_idx)
+        weights = row_weights
         return ShardPartial(
             index=chunk.index,
             trials=int(loc_idx.shape[0]),
@@ -667,6 +888,30 @@ def _run_chunk(ctx: _EngineContext, chunk) -> ShardPartial:
             weighted_mass=float(weights[verdicts].sum()),
         )
     if isinstance(chunk, PairChunk):
+        if planner.heterogeneous:
+            unit_idx, unit_draw, pair_ids = planner.materialize_unit_pairs(
+                chunk
+            )
+            loc_idx, draw_idx = planner.universe.expand(unit_idx, unit_draw)
+            verdicts = np.asarray(
+                engine.failures_indexed(loc_idx, draw_idx), dtype=bool
+            )
+            run_weights = planner.pair_run_weights(unit_idx, unit_draw)
+            failing = pair_ids[verdicts]
+            unique, inverse = np.unique(failing, return_inverse=True)
+            counts = np.zeros(unique.size, dtype=np.int64)
+            np.add.at(counts, inverse, 1)
+            pair_mass = np.zeros(unique.size, dtype=np.float64)
+            np.add.at(pair_mass, inverse, run_weights[verdicts])
+            return ShardPartial(
+                index=chunk.index,
+                trials=int(loc_idx.shape[0]),
+                failures=int(verdicts.sum()),
+                weighted_mass=float(pair_mass.sum()),
+                pair_ids=unique.astype(np.int64),
+                pair_counts=counts,
+                pair_mass=pair_mass,
+            )
         loc_idx, draw_idx, pair_ids = planner.materialize_pairs(chunk)
         verdicts = np.asarray(
             engine.failures_indexed(loc_idx, draw_idx), dtype=bool
@@ -714,16 +959,20 @@ _WORKER_CONTEXT: _EngineContext | None = None
 
 def _init_fork_worker() -> None:
     global _WORKER_CONTEXT
-    engine, max_slab = _FORK_PAYLOAD
-    _WORKER_CONTEXT = _EngineContext(engine, max_slab)
+    engine, max_slab, model = _FORK_PAYLOAD
+    _WORKER_CONTEXT = _EngineContext(engine, max_slab, model=model)
 
 
-def _init_spawn_worker(protocol, engine_name: str, judge, max_slab: int) -> None:
+def _init_spawn_worker(
+    protocol, engine_name: str, judge, max_slab: int, model=None
+) -> None:
     global _WORKER_CONTEXT
     from .sampler import make_sampler
 
     _WORKER_CONTEXT = _EngineContext(
-        make_sampler(protocol, engine=engine_name, judge=judge), max_slab
+        make_sampler(protocol, engine=engine_name, judge=judge),
+        max_slab,
+        model=model,
     )
 
 
@@ -797,6 +1046,7 @@ class ShardedEvaluator:
         max_slab: int = _DEFAULT_SLAB,
         start_method: str | None = None,
         mem_budget: int | None = None,
+        model=None,
     ):
         if workers < 1:
             raise ValueError("workers must be positive")
@@ -805,8 +1055,11 @@ class ShardedEvaluator:
         self.engine = engine
         self.workers = int(workers)
         self.max_slab = int(max_slab)
+        self.model = model
         self.start_method = start_method or default_start_method()
-        self.planner = StratumPlanner(engine.locations, max_slab=max_slab)
+        self.planner = StratumPlanner(
+            engine.locations, max_slab=max_slab, model=model
+        )
         self._context = _EngineContext(engine, self.max_slab, planner=self.planner)
         self._pool = None
 
@@ -817,7 +1070,7 @@ class ShardedEvaluator:
             ctx = multiprocessing.get_context(self.start_method)
             if self.start_method == "fork":
                 global _FORK_PAYLOAD
-                _FORK_PAYLOAD = (self.engine, self.max_slab)
+                _FORK_PAYLOAD = (self.engine, self.max_slab, self.model)
                 try:
                     self._pool = ctx.Pool(
                         self.workers, initializer=_init_fork_worker
@@ -829,12 +1082,13 @@ class ShardedEvaluator:
                 # so only the built-in engines can cross a spawn boundary
                 # — a custom engine object must refuse, not be silently
                 # replaced. The judge travels in the payload (an
-                # unpicklable custom judge fails pool creation loudly).
+                # unpicklable custom judge fails pool creation loudly),
+                # and so does the noise model (frozen dataclasses).
                 protocol, name, judge = engine_payload(self.engine)
                 self._pool = ctx.Pool(
                     self.workers,
                     initializer=_init_spawn_worker,
-                    initargs=(protocol, name, judge, self.max_slab),
+                    initargs=(protocol, name, judge, self.max_slab, self.model),
                 )
         return self._pool
 
@@ -889,6 +1143,7 @@ def resolve_evaluator(
     executor=None,
     mem_budget: int | None = None,
     default_slab: int | None = None,
+    model=None,
 ):
     """Build the chunk executor every routed consumer evaluates through.
 
@@ -910,6 +1165,13 @@ def resolve_evaluator(
     returned here supports ``map``/``reduce``/``close`` and the context
     manager protocol, and executes the *same* chunk plans — results are
     bit-identical across backends, worker counts, and worker sets.
+
+    ``model`` threads a noise model (``repro.sim.noisemodels``) into the
+    planner, the pool workers, and — through a model-aware ``executor``
+    like :class:`repro.sim.cluster.ClusterExecutorFactory` — the cluster
+    handshake, so heterogeneous workloads shard and distribute exactly
+    like uniform ones. Executors that predate the seam (two-argument
+    callables) still work when no model is given.
     """
     if max_slab is None:
         if mem_budget is not None:
@@ -917,7 +1179,12 @@ def resolve_evaluator(
         else:
             max_slab = default_slab if default_slab is not None else _DEFAULT_SLAB
     if executor is not None:
+        if model is not None:
+            return executor(engine, int(max_slab), model)
         return executor(engine, int(max_slab))
     return ShardedEvaluator(
-        engine, workers=max(1, workers or 1), max_slab=int(max_slab)
+        engine,
+        workers=max(1, workers or 1),
+        max_slab=int(max_slab),
+        model=model,
     )

@@ -47,6 +47,7 @@ import numpy as np
 from .frame import Injection, protocol_locations
 from .noise import (
     draw_tables,
+    materialize_stratum,
     sample_injections_fixed_k,
     sample_injections_model_batch,
     sample_injections_stratum,
@@ -61,6 +62,9 @@ __all__ = [
     "wilson_interval",
     "binomial_weight",
     "tail_weight",
+    "poisson_binomial_weights",
+    "poisson_binomial_weight",
+    "poisson_binomial_tail",
 ]
 
 
@@ -77,6 +81,40 @@ def tail_weight(num_locations: int, k_max: int, p: float) -> float:
     """``P(K > k_max)`` — the unsampled-strata weight bound."""
     head = sum(binomial_weight(num_locations, k, p) for k in range(k_max + 1))
     return max(0.0, 1.0 - head)
+
+
+def poisson_binomial_weights(rates, k_max: int) -> np.ndarray:
+    """``P(K = k)`` for ``k = 0..k_max`` under heterogeneous Bernoulli rates.
+
+    The heterogeneous generalization of :func:`binomial_weight`: with
+    per-location (per-site) rates ``r_i`` the fault count is
+    Poisson-binomial, and the head distribution folds one location at a
+    time into a truncated convolution — O(N * k_max), deterministic in
+    the location order. For a constant rate vector the values agree with
+    the closed binomial form up to float rounding (the uniform consumers
+    keep the closed form, so E1_1 results are bit-identical).
+    """
+    rates = np.asarray(rates, dtype=np.float64)
+    if np.any((rates < 0.0) | (rates > 1.0)):
+        raise ValueError("rates must lie in [0, 1]")
+    head = np.zeros(k_max + 1, dtype=np.float64)
+    head[0] = 1.0
+    for r in rates:
+        head[1:] = head[1:] * (1.0 - r) + head[:-1] * r
+        head[0] *= 1.0 - r
+    return head
+
+
+def poisson_binomial_weight(rates, k: int) -> float:
+    """``P(K = k)`` under heterogeneous per-location rates."""
+    return float(poisson_binomial_weights(rates, k)[k])
+
+
+def poisson_binomial_tail(rates, k_max: int) -> float:
+    """``P(K > k_max)`` under heterogeneous per-location rates."""
+    return max(
+        0.0, 1.0 - float(poisson_binomial_weights(rates, k_max).sum())
+    )
 
 
 def wilson_interval(
@@ -223,6 +261,7 @@ def direct_mc(
                 executor=executor,
                 mem_budget=mem_budget,
                 default_slab=batch_size,
+                model=model,
             )
         try:
             merged = merge_partials(
@@ -238,13 +277,26 @@ def direct_mc(
             trials=shots,
             failures=merged.failures,
         )
+    from .noise import _model_is_plain
+
+    universe = None
+    if not _model_is_plain(engine.locations, model):
+        # Compile the site universe once for the whole serial loop
+        # (rate vectors, pair adjacency, draw CDFs) instead of once per
+        # batch inside sample_injections_model_batch.
+        from .noisemodels import site_universe
+
+        universe = site_universe(engine.locations, model)
     failures = 0
     remaining = shots
     while remaining > 0:
         step = min(remaining, batch_size)
-        loc_idx, draw_idx = sample_injections_model_batch(
-            engine.locations, model, step, rng
-        )
+        if universe is not None:
+            loc_idx, draw_idx = universe.sample_bernoulli(step, rng)
+        else:
+            loc_idx, draw_idx = sample_injections_model_batch(
+                engine.locations, model, step, rng
+            )
         verdicts = np.asarray(
             engine.failures_indexed(loc_idx, draw_idx), dtype=bool
         )
@@ -304,6 +356,19 @@ class SubsetSampler:
         Per-worker slab memory budget in bytes; sizes ``max_slab``
         adaptively (:class:`repro.sim.shard.AdaptiveSlabPolicy`) when
         ``max_slab`` is not given. Also opts into the sharded scheme.
+    model:
+        Optional noise model (the ``repro.sim.noisemodels`` seam).
+        ``None`` keeps the historical E1_1 behaviour. A *uniform* model
+        (E1_1 itself, or any model that degenerates to it) routes through
+        the same code paths bit-for-bit. A heterogeneous model switches
+        the strata to the site universe: stratum weights become
+        Poisson-binomial over the per-site rates, sampled strata draw
+        site subsets from the exact conditional-Bernoulli law with the
+        model's draw weights, and the exact k = 1 / k = 2 enumerations
+        weight every (site, draw) by its own conditional probability.
+        ``estimate(p)`` rescales all rates by ``p / model.p`` (exact at
+        the model's own rates; see ``docs/noise.md`` for the sweep
+        semantics).
     """
 
     def __init__(
@@ -319,11 +384,10 @@ class SubsetSampler:
         max_slab: int | None = None,
         executor=None,
         mem_budget: int | None = None,
+        model=None,
     ):
         if k_max < 1:
             raise ValueError("k_max must be at least 1")
-        if k_max > len(locations):
-            k_max = len(locations)
         if failure_fn is None and engine is None:
             raise ValueError("need a failure_fn or an engine")
         if batch_size < 1:
@@ -332,6 +396,20 @@ class SubsetSampler:
             workers is not None or executor is not None or mem_budget is not None
         ):
             raise ValueError("workers/executor/mem_budget require an engine")
+        self.model = model
+        self._universe = None
+        if model is not None:
+            from .noisemodels import site_universe
+
+            universe = site_universe(list(locations), model)
+            if not universe.uniform:
+                self._universe = universe
+        if self._universe is not None:
+            k_cap = int(self._universe.active_sites.size)
+        else:
+            k_cap = len(locations)
+        if k_max > k_cap:
+            k_max = k_cap
         self.failure_fn = failure_fn
         self.locations = list(locations)
         self.k_max = k_max
@@ -362,6 +440,7 @@ class SubsetSampler:
         max_slab: int | None = None,
         executor=None,
         mem_budget: int | None = None,
+        model=None,
     ) -> "SubsetSampler":
         """Build a sampler over a protocol's full location universe.
 
@@ -370,7 +449,7 @@ class SubsetSampler:
         the per-shot oracle behind the identical interface. ``workers`` /
         ``max_slab`` enable intra-code sharding; ``executor`` /
         ``mem_budget`` select the execution backend and adaptive slab
-        sizing (see class docs).
+        sizing; ``model`` selects the noise model (see class docs).
         """
         from .sampler import make_sampler  # deferred: sampler imports noise
 
@@ -386,6 +465,7 @@ class SubsetSampler:
             max_slab=max_slab,
             executor=executor,
             mem_budget=mem_budget,
+            model=model,
         )
 
     # -- sharded execution -----------------------------------------------------
@@ -420,6 +500,7 @@ class SubsetSampler:
                 executor=self.executor,
                 mem_budget=self.mem_budget,
                 default_slab=self.batch_size,
+                model=self.model,
             )
         return self._evaluator
 
@@ -465,7 +546,10 @@ class SubsetSampler:
         (``repro.sim.shard``) in ``max_slab`` row chunks — streamed, and
         fanned across the worker pool when ``workers > 1``, with the same
         mass for any worker count. The ``failure_fn`` path keeps the
-        historical dict-at-a-time loop.
+        historical dict-at-a-time loop. Under a heterogeneous model the
+        rows are the model's active *sites* (correlated pair sites
+        included, firing as one event) and each (site, draw) row carries
+        its own conditional probability.
         """
         if self.engine is not None:
             merged = self.evaluator.reduce(
@@ -475,12 +559,17 @@ class SubsetSampler:
         else:
             configurations: list[dict] = []
             weights: list[float] = []
-            tables = draw_tables(self.locations)
-            for (key, _, _), draws in zip(self.locations, tables):
-                weight = 1.0 / (len(self.locations) * len(draws))
-                for injection in draws:
-                    configurations.append({key: injection})
+            if self._universe is not None:
+                for injections, weight in self._universe.iter_rows():
+                    configurations.append(injections)
                     weights.append(weight)
+            else:
+                tables = draw_tables(self.locations)
+                for (key, _, _), draws in zip(self.locations, tables):
+                    weight = 1.0 / (len(self.locations) * len(draws))
+                    for injection in draws:
+                        configurations.append({key: injection})
+                        weights.append(weight)
             total = 0.0
             for start in range(0, len(configurations), self.batch_size):
                 chunk = configurations[start : start + self.batch_size]
@@ -522,6 +611,34 @@ class SubsetSampler:
                 )
             merged = self.evaluator.reduce(planner.plan_pairs())
             total = merged.weighted_mass
+            stats = self.strata[2]
+            stats.exact = True
+            stats.trials = 10**9
+            stats.failures = round(total * stats.trials)
+            return
+        if self._universe is not None:
+            total_runs = self._universe.total_pair_runs()
+            if max_runs is not None and total_runs > max_runs:
+                raise ValueError(
+                    f"exact k=2 enumeration needs {total_runs} runs "
+                    f"(> max_runs={max_runs})"
+                )
+            total = 0.0
+            configurations = []
+            weights = []
+            for injections, weight, _, _ in self._universe.iter_pair_runs():
+                configurations.append(injections)
+                weights.append(weight)
+                if len(configurations) >= self.batch_size:
+                    verdicts = self._eval_batch(configurations)
+                    for offset in np.nonzero(verdicts)[0]:
+                        total += weights[int(offset)]
+                    configurations.clear()
+                    weights.clear()
+            if configurations:
+                verdicts = self._eval_batch(configurations)
+                for offset in np.nonzero(verdicts)[0]:
+                    total += weights[int(offset)]
             stats = self.strata[2]
             stats.exact = True
             stats.trials = 10**9
@@ -583,6 +700,21 @@ class SubsetSampler:
         if stats.exact:
             return stats
         if self.engine is None:
+            if self._universe is not None:
+                remaining = shots
+                while remaining > 0:
+                    step = min(remaining, self.batch_size)
+                    loc_idx, draw_idx = self._universe.sample_stratum(
+                        k, step, self.rng
+                    )
+                    dicts = materialize_stratum(
+                        self.locations, loc_idx, draw_idx
+                    )
+                    verdicts = self._eval_batch(dicts)
+                    stats.trials += step
+                    stats.failures += int(verdicts.sum())
+                    remaining -= step
+                return stats
             for _ in range(shots):
                 injections = sample_injections_fixed_k(
                     self.locations, k, self.rng
@@ -602,9 +734,14 @@ class SubsetSampler:
         remaining = shots
         while remaining > 0:
             step = min(remaining, self.batch_size)
-            loc_idx, draw_idx = sample_injections_stratum(
-                self.locations, k, step, self.rng
-            )
+            if self._universe is not None:
+                loc_idx, draw_idx = self._universe.sample_stratum(
+                    k, step, self.rng
+                )
+            else:
+                loc_idx, draw_idx = sample_injections_stratum(
+                    self.locations, k, step, self.rng
+                )
             verdicts = np.asarray(
                 self.engine.failures_indexed(loc_idx, draw_idx), dtype=bool
             )
@@ -617,7 +754,7 @@ class SubsetSampler:
         self,
         shots: int,
         *,
-        p_ref: float = 0.1,
+        p_ref: float | None = None,
         batch: int | None = None,
         allocation: str = "dynamic",
     ) -> None:
@@ -630,7 +767,19 @@ class SubsetSampler:
         (each batch is one engine call, so fine-grained re-allocation
         would squander the vectorization), per-shot mode keeps the
         historical 50.
+
+        ``p_ref`` defaults to the historical ``0.1`` (the paper's
+        ``p_max``) for uniform models, and to the *model's own strength*
+        for heterogeneous ones — a calibrated rate map may not even be
+        rescalable to 0.1 (a site rate would cross 1), and its natural
+        variance target is its own operating point.
         """
+        if p_ref is None:
+            p_ref = (
+                0.1
+                if self._universe is None
+                else float(getattr(self.model, "p", 0.1))
+            )
         if batch is None:
             batch = 50 if self.engine is None else 500
         sampled = [k for k in range(1, self.k_max + 1) if not self.strata[k].exact]
@@ -643,16 +792,16 @@ class SubsetSampler:
             return
         if allocation != "dynamic":
             raise ValueError(f"unknown allocation {allocation!r}")
-        n = len(self.locations)
         spent = 0
         # Seed every stratum so std errors are defined.
         seed = min(batch, max(1, shots // (4 * len(sampled))))
         for k in sampled:
             self.sample_stratum(k, seed)
             spent += seed
+        head_ref = self._stratum_head(p_ref)
         while spent < shots:
             contributions = {
-                k: binomial_weight(n, k, p_ref) * self.strata[k].std_error()
+                k: head_ref[k] * self.strata[k].std_error()
                 for k in sampled
             }
             target = max(contributions, key=contributions.get)
@@ -662,17 +811,45 @@ class SubsetSampler:
 
     # -- estimation ------------------------------------------------------------
 
+    def _stratum_head(self, p: float) -> np.ndarray:
+        """``P(K = k)`` for ``k = 0..k_max`` at physical strength ``p``.
+
+        Binomial (the historical closed form, bit-identical) when the
+        model is uniform or absent; Poisson-binomial over the site rates
+        rescaled by ``p / model.p`` when heterogeneous.
+        """
+        if self._universe is None:
+            n = len(self.locations)
+            return np.asarray(
+                [binomial_weight(n, k, p) for k in range(self.k_max + 1)],
+                dtype=np.float64,
+            )
+        return self._universe.stratum_weights(self.k_max, p)
+
+    def _tail_weight(self, p: float, head: np.ndarray) -> float:
+        if self._universe is None:
+            return tail_weight(len(self.locations), self.k_max, p)
+        return max(0.0, 1.0 - float(head.sum()))
+
     def estimate(self, p: float, *, z: float = 1.96) -> SubsetEstimate:
-        """``p_L(p)`` with Wilson confidence and truncation bounds."""
-        n = len(self.locations)
+        """``p_L(p)`` with Wilson confidence and truncation bounds.
+
+        Under a heterogeneous model the stratum weights are the exact
+        Poisson-binomial probabilities of the site rates rescaled to
+        ``p``; the conditional rates ``f_k`` are the ones sampled at the
+        model's own strength (exact for rate-homogeneous models like
+        ``BiasedPauliModel``; second-order accurate across the sweep for
+        rate-heterogeneous ones — see ``docs/noise.md``).
+        """
+        head = self._stratum_head(p)
         mean = lower = upper = 0.0
         for k, stats in self.strata.items():
-            weight = binomial_weight(n, k, p)
+            weight = float(head[k])
             mean += weight * stats.rate
             lo, hi = stats.interval(z)
             lower += weight * lo
             upper += weight * hi
-        tail = tail_weight(n, self.k_max, p)
+        tail = self._tail_weight(p, head)
         return SubsetEstimate(
             p=p,
             mean=mean,
@@ -680,6 +857,16 @@ class SubsetSampler:
             upper=min(1.0, upper + tail),
             tail=tail,
         )
+
+    @property
+    def p_ceiling(self) -> float | None:
+        """Supremum of strengths the model can be rescaled to (exclusive),
+        or ``None`` for the uniform path (any ``p <= 1`` is valid).
+        ``estimate(p)`` raises at or above it; sweep consumers
+        (``figure4``, the CLI) skip those points instead."""
+        if self._universe is None:
+            return None
+        return self._universe.max_strength()
 
     def curve(self, p_values, *, z: float = 1.96) -> list[SubsetEstimate]:
         """Estimates across a sweep of physical error rates."""

@@ -245,8 +245,8 @@ class TestAdaptiveSlabPolicy:
         )
         expected = AdaptiveSlabPolicy(budget).slab_for(steane_engine)
         assert evaluator.max_slab == expected
-        # The budget-derived bound also travels to workers in the payload.
-        assert evaluator._payload[3] == expected
+        # The budget-derived bound also travels to workers in the header.
+        assert evaluator._header["max_slab"] == expected
 
     def test_resolve_evaluator_priority(self, steane_engine):
         # Explicit max_slab wins over mem_budget; mem_budget over default.
@@ -537,6 +537,123 @@ class TestConsumerParity:
         )
         assert inline[0].ft_certified is True
         assert clustered[0].ft_certified is True
+
+
+class TestEngineCacheReuse:
+    """ISSUE-5 satellite: workers cache the compiled payload by digest."""
+
+    def test_second_session_hits_the_cache(self, steane_engine, spin_workers):
+        (address,) = spin_workers(1)
+        first = ClusterEvaluator(steane_engine, [address], max_slab=256)
+        base = first.reduce(first.planner.plan_stratum(2, 1500, 42))
+        assert first._links[0].info["engine_cached"] is False
+        first.close()
+
+        second = ClusterEvaluator(steane_engine, [address], max_slab=256)
+        again = second.reduce(second.planner.plan_stratum(2, 1500, 42))
+        assert second._links[0].info["engine_cached"] is True
+        second.close()
+        assert (base.trials, base.failures) == (again.trials, again.failures)
+
+    def test_digest_is_stable_across_coordinators(self, steane_engine):
+        """Two evaluators over the same engine payload share one digest,
+        so a worker serves both from one compiled engine."""
+        a = ClusterEvaluator(steane_engine, [("127.0.0.1", 1)])
+        b = ClusterEvaluator(steane_engine, [("127.0.0.1", 1)])
+        assert a.payload_digest == b.payload_digest
+
+    def test_mislabeled_payload_rejected_not_cached(
+        self, steane_engine, spin_workers
+    ):
+        """The worker re-hashes the payload bytes before caching: a
+        payload that does not hash to the advertised digest is refused,
+        so a buggy coordinator cannot poison the digest's cache slot."""
+        import pickle
+
+        import repro.sim.cluster as cluster_module
+
+        (address,) = spin_workers(1)
+        payload_bytes = pickle.dumps(engine_payload(steane_engine))
+        header = {"digest": "0" * 64, "max_slab": 64, "model": None}
+        sock = socket.create_connection(address, timeout=5)
+        try:
+            send_frame(
+                sock,
+                ("hello", cluster_module._MAGIC, PROTOCOL_VERSION, header),
+            )
+            kind, _ = recv_frame(sock)
+            assert kind == "need-payload"
+            send_frame(sock, ("payload", payload_bytes))
+            reply = recv_frame(sock)
+        finally:
+            sock.close()
+        assert reply[0] == "reject"
+        assert "hash" in reply[1]
+        # The bogus digest must not have been cached: a well-formed
+        # session against the same worker still starts from a cache miss.
+        evaluator = ClusterEvaluator(steane_engine, [address], max_slab=64)
+        evaluator._ensure_links()
+        assert evaluator._links[0].info["engine_cached"] is False
+        evaluator.close()
+
+    def test_different_slab_same_engine_cache(self, steane_engine, spin_workers):
+        """max_slab is per-session (planner state), not part of the
+        engine digest — a re-sized session still hits the cache."""
+        (address,) = spin_workers(1)
+        first = ClusterEvaluator(steane_engine, [address], max_slab=128)
+        first.reduce(first.planner.plan_stratum(1, 200, 7))
+        first.close()
+        second = ClusterEvaluator(steane_engine, [address], max_slab=4096)
+        second.reduce(second.planner.plan_stratum(1, 200, 7))
+        assert second._links[0].info["engine_cached"] is True
+        second.close()
+
+
+class TestHeterogeneousModelOnCluster:
+    """Noise models travel in the handshake header: cluster runs of
+    heterogeneous workloads are bit-identical to inline."""
+
+    def test_biased_workloads_bit_identical(self, steane_engine, spin_workers):
+        from repro.sim.noisemodels import BiasedPauliModel
+
+        model = BiasedPauliModel(p=0.01, eta=100.0)
+        addresses = spin_workers(2)
+        with ShardedEvaluator(steane_engine, max_slab=512, model=model) as inline:
+            stratum = inline.reduce(inline.planner.plan_stratum(2, 3000, 99))
+            rows = inline.reduce(inline.planner.plan_rows(checkable_only=False))
+            pairs = inline.reduce(inline.planner.plan_pairs())
+        with ClusterEvaluator(
+            steane_engine, addresses, max_slab=512, model=model
+        ) as cluster:
+            c_stratum = cluster.reduce(cluster.planner.plan_stratum(2, 3000, 99))
+            c_rows = cluster.reduce(cluster.planner.plan_rows(checkable_only=False))
+            c_pairs = cluster.reduce(cluster.planner.plan_pairs())
+        assert (stratum.trials, stratum.failures) == (
+            c_stratum.trials,
+            c_stratum.failures,
+        )
+        assert rows.weighted_mass == c_rows.weighted_mass
+        assert pairs.weighted_mass == c_pairs.weighted_mass
+        assert np.array_equal(pairs.pair_ids, c_pairs.pair_ids)
+        assert np.array_equal(pairs.pair_mass, c_pairs.pair_mass)
+
+    def test_correlated_certificate_parity(self, spin_workers):
+        from repro.core.ftcheck import check_fault_tolerance
+        from repro.sim.cluster import ClusterExecutorFactory
+        from repro.sim.noisemodels import CorrelatedPairModel
+
+        protocol = cached_protocol("steane")
+        model = CorrelatedPairModel(p=1e-3, pair_rate=5e-4)
+        addresses = spin_workers(2)
+        inline = check_fault_tolerance(protocol, model=model, max_violations=50)
+        clustered = check_fault_tolerance(
+            protocol,
+            model=model,
+            max_violations=50,
+            executor=ClusterExecutorFactory(tuple(addresses)),
+        )
+        assert inline == clustered
+        assert inline  # crosstalk events do defeat a d=3 protocol
 
 
 def _free_port() -> int:

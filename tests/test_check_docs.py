@@ -1,0 +1,149 @@
+"""Unit tests for the docs link checker (``scripts/check_docs.py``).
+
+The ISSUE-5 satellite: links into deleted anchors of ``ROADMAP.md`` /
+``CHANGES.md`` must be flagged like any ``docs/`` anchor, and
+reference-style links are checked against their definitions.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+_SPEC = importlib.util.spec_from_file_location(
+    "check_docs", REPO_ROOT / "scripts" / "check_docs.py"
+)
+check_docs_module = importlib.util.module_from_spec(_SPEC)
+sys.modules.setdefault("check_docs", check_docs_module)
+_SPEC.loader.exec_module(check_docs_module)
+check_docs = check_docs_module.check_docs
+
+
+def write(root: Path, name: str, text: str) -> None:
+    path = root / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text)
+
+
+class TestInlineLinks:
+    def test_clean_tree_passes(self, tmp_path):
+        write(tmp_path, "ROADMAP.md", "# Open items\n\ndetails\n")
+        write(
+            tmp_path,
+            "docs/guide.md",
+            "see [the roadmap](../ROADMAP.md#open-items)\n",
+        )
+        assert check_docs(tmp_path) == []
+
+    def test_deleted_roadmap_anchor_is_flagged(self, tmp_path):
+        write(tmp_path, "ROADMAP.md", "# Renamed section\n")
+        write(
+            tmp_path,
+            "docs/guide.md",
+            "see [the roadmap](../ROADMAP.md#open-items)\n",
+        )
+        problems = check_docs(tmp_path)
+        assert len(problems) == 1
+        assert "broken anchor" in problems[0]
+        assert "ROADMAP.md#open-items" in problems[0]
+
+    def test_deleted_changes_anchor_is_flagged(self, tmp_path):
+        write(tmp_path, "CHANGES.md", "PR 1: something\n")
+        write(tmp_path, "README.md", "[log](CHANGES.md#pr-1-summary)\n")
+        problems = check_docs(tmp_path)
+        assert len(problems) == 1
+        assert "CHANGES.md#pr-1-summary" in problems[0]
+
+    def test_missing_target_flagged(self, tmp_path):
+        write(tmp_path, "README.md", "[gone](docs/nope.md)\n")
+        problems = check_docs(tmp_path)
+        assert len(problems) == 1
+        assert "missing target" in problems[0]
+
+    def test_self_anchor(self, tmp_path):
+        write(tmp_path, "README.md", "# Intro\n\n[up](#intro) [bad](#nope)\n")
+        problems = check_docs(tmp_path)
+        assert len(problems) == 1
+        assert "#nope" in problems[0]
+
+    def test_external_links_skipped(self, tmp_path):
+        write(tmp_path, "README.md", "[x](https://example.com/a#b)\n")
+        assert check_docs(tmp_path) == []
+
+
+class TestReferenceStyleLinks:
+    def test_defined_reference_resolves(self, tmp_path):
+        write(tmp_path, "ROADMAP.md", "# Open items\n")
+        write(
+            tmp_path,
+            "README.md",
+            "see [the roadmap][rm]\n\n[rm]: ROADMAP.md#open-items\n",
+        )
+        assert check_docs(tmp_path) == []
+
+    def test_reference_to_deleted_anchor_flagged(self, tmp_path):
+        write(tmp_path, "ROADMAP.md", "# Something else\n")
+        write(
+            tmp_path,
+            "README.md",
+            "see [the roadmap][rm]\n\n[rm]: ROADMAP.md#open-items\n",
+        )
+        problems = check_docs(tmp_path)
+        assert len(problems) == 1
+        assert "broken anchor" in problems[0]
+
+    def test_undefined_label_is_prose_not_an_error(self, tmp_path):
+        """GitHub renders [text][label] without a definition as literal
+        prose — bracket math like E[j][t] outside backticks must pass."""
+        write(
+            tmp_path,
+            "README.md",
+            "see [the roadmap][missing]; the table E[j][t] holds e_t\n",
+        )
+        assert check_docs(tmp_path) == []
+
+    def test_implicit_label_uses_text(self, tmp_path):
+        write(
+            tmp_path,
+            "README.md",
+            "see [roadmap][]\n\n[roadmap]: ROADMAP.md\n",
+        )
+        write(tmp_path, "ROADMAP.md", "# Open items\n")
+        assert check_docs(tmp_path) == []
+
+
+class TestCodeIsIgnored:
+    def test_bracket_math_in_code_spans_not_links(self, tmp_path):
+        write(tmp_path, "README.md", "the DP table `E[j][t]` and `a[i][j]`\n")
+        assert check_docs(tmp_path) == []
+
+    def test_fenced_blocks_ignored(self, tmp_path):
+        write(
+            tmp_path,
+            "README.md",
+            "```python\nx = [text](missing.md)\nrows[i][j]\n```\n",
+        )
+        assert check_docs(tmp_path) == []
+
+    def test_heading_anchors_keep_code_spans(self, tmp_path):
+        write(tmp_path, "docs/a.md", "# The `repro.sim` layer\n")
+        write(tmp_path, "README.md", "[a](docs/a.md#the-reprosim-layer)\n")
+        assert check_docs(tmp_path) == []
+
+    def test_fence_comments_are_not_anchors(self, tmp_path):
+        """A `# comment` inside a code fence must not satisfy an anchor
+        link — only real headings count."""
+        write(
+            tmp_path,
+            "ROADMAP.md",
+            "# Real heading\n\n```sh\n# phantom heading\nrun thing\n```\n",
+        )
+        write(tmp_path, "README.md", "[x](ROADMAP.md#phantom-heading)\n")
+        problems = check_docs(tmp_path)
+        assert len(problems) == 1
+        assert "broken anchor" in problems[0]
+
+
+class TestRepoDocsAreClean:
+    def test_the_real_tree_passes(self):
+        assert check_docs(REPO_ROOT) == []

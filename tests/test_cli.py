@@ -275,3 +275,110 @@ class TestCommands:
         )
         assert main(["table1", "--fast", "--verify-ft"]) == 0
         assert " FT " in capsys.readouterr().out
+
+
+class TestNoiseFlag:
+    def test_noise_flag_on_every_engine_backed_subcommand(self):
+        for command in (
+            ["check", "steane"],
+            ["ftcheck", "steane"],
+            ["simulate", "steane"],
+            ["table1"],
+            ["figure4"],
+            ["budget", "steane"],
+        ):
+            args = build_parser().parse_args(command)
+            assert args.noise is None, command
+            args = build_parser().parse_args(
+                command + ["--noise", "biased:eta=100,p=1e-3"]
+            )
+            assert args.noise == "biased:eta=100,p=1e-3"
+
+    def test_bad_spec_is_loud(self):
+        with pytest.raises(ValueError, match="unknown noise model"):
+            main(["budget", "steane", "--noise", "thermal:p=1"])
+
+    def test_e1_1_spec_output_identical_to_default(self, capsys):
+        assert main(["budget", "steane"]) == 0
+        plain = capsys.readouterr().out
+        assert main(["budget", "steane", "--noise", "e1_1:p=1e-3"]) == 0
+        assert capsys.readouterr().out == plain
+
+    def test_direct_sweep_with_legacy_model_specs(self, capsys):
+        """--direct calls model.with_p per sweep point — E1_1 and scaled
+        specs must survive it (regression: with_p was missing)."""
+        for spec in ("e1_1:p=1e-3", "scaled:p=1e-3,two_qubit=5"):
+            assert (
+                main(
+                    [
+                        "simulate",
+                        "steane",
+                        "--shots",
+                        "100",
+                        "--direct",
+                        "--noise",
+                        spec,
+                        "--p",
+                        "1e-3",
+                    ]
+                )
+                == 0
+            )
+            assert "direct" in capsys.readouterr().out
+
+    def test_biased_simulate_runs(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "steane",
+                    "--shots",
+                    "300",
+                    "--noise",
+                    "biased:eta=100,p=2e-2",
+                    "--p",
+                    "1e-3",
+                    "2e-2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "biased:eta=100,p=2e-2" in out
+        assert "p_L" in out
+
+    def test_rate_map_model_with_default_sweep(self, capsys):
+        """The CLI's own --noise help example must run with the default
+        --p sweep: unreachable points (a site rate would reach 1) are
+        skipped with a note, not a crash."""
+        assert (
+            main(
+                [
+                    "simulate",
+                    "steane",
+                    "--shots",
+                    "150",
+                    "--noise",
+                    "inhom:p=1e-3,meas=1e-2,loc12=5e-3",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "skipping p >=" in out
+        assert "p=0.01:" in out  # reachable points still reported
+
+    def test_correlated_ftcheck_reports_pair_events(self, capsys):
+        code = main(
+            [
+                "ftcheck",
+                "steane",
+                "--noise",
+                "correlated:p=1e-3,pair_rate=1e-4",
+                "--max-violations",
+                "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1  # weight-2 crosstalk events defeat a d=3 protocol
+        assert "NOT fault tolerant" in out
