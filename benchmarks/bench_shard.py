@@ -38,6 +38,7 @@ from repro.codes.catalog import get_code
 from repro.core.protocol import synthesize_protocol
 from repro.sim.sampler import make_sampler
 from repro.sim.shard import ShardedEvaluator, merge_partials
+from repro.store import resolve_store
 
 
 def _run_sharded(protocol, k, shots, seed, workers, max_slab):
@@ -73,9 +74,18 @@ def run_recorder(
     workers: int,
     max_slab: int,
 ) -> dict:
+    # Two timed synthesis calls: with the artifact store enabled
+    # (repro.store, the default) the first call pays the full SAT search
+    # and the second loads the stored protocol JSON, so the cold/warm gap
+    # is the store's synthesis saving; with REPRO_STORE=off both are
+    # cold. "synthesis_seconds" stays the cold number for ledger
+    # continuity with earlier datapoints.
     synth_start = time.perf_counter()
     protocol = synthesize_protocol(get_code(code_key))
     synth_seconds = time.perf_counter() - synth_start
+    warm_start = time.perf_counter()
+    protocol = synthesize_protocol(get_code(code_key))
+    synth_warm_seconds = time.perf_counter() - warm_start
 
     serial_tallies, serial_seconds, peak_slab = _run_sharded(
         protocol, k, shots, seed, 1, max_slab
@@ -100,6 +110,9 @@ def run_recorder(
         "max_slab": max_slab,
         "peak_slab_observed": peak_slab,
         "synthesis_seconds": round(synth_seconds, 4),
+        "synthesis_seconds_cold": round(synth_seconds, 4),
+        "synthesis_seconds_warm": round(synth_warm_seconds, 4),
+        "store_enabled": resolve_store(None) is not None,
         "serial_seconds": round(serial_seconds, 4),
         "sharded_seconds": round(sharded_seconds, 4),
         "serial_shots_per_second": round(shots / serial_seconds),

@@ -23,11 +23,20 @@ count) and ``--max-slab M`` (bound the configurations materialized per
 chunk, i.e. peak slab memory); see ``docs/cli.md`` for the full tour.
 Every command prints human-readable output; machine-readable artifacts go
 through ``--output`` (protocol JSON) and ``--qasm`` (OpenQASM export).
+
+Expensive artifacts (synthesized protocols, compiled engines, FT
+certificates, error budgets, SAT transcripts) are cached persistently in
+the content-addressed artifact store (``repro.store``, default
+``~/.cache/repro-store``). Every pipeline subcommand takes ``--store
+PATH`` to point at a different root and ``--no-store`` to bypass caching
+entirely — results are bit-identical either way. ``python -m repro store
+ls|verify|gc`` inspects and maintains the store itself.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
@@ -99,6 +108,43 @@ def _add_shard_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_store_flags(parser: argparse.ArgumentParser) -> None:
+    """The artifact-store knobs shared by every pipeline subcommand."""
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument(
+        "--store",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=(
+            "artifact-store root for this invocation (default: the "
+            "REPRO_STORE environment variable, else ~/.cache/repro-store)"
+        ),
+    )
+    group.add_argument(
+        "--no-store",
+        action="store_true",
+        help=(
+            "bypass the artifact store: recompute everything, write "
+            "nothing (results are bit-identical with or without it)"
+        ),
+    )
+
+
+def _apply_store_flags(args) -> None:
+    """Fold ``--store`` / ``--no-store`` into the ambient resolution.
+
+    The store is resolved per call from ``REPRO_STORE`` (``repro.store``),
+    so setting the environment variable here threads the choice through
+    every layer — experiments, pools (children inherit the environment),
+    and cluster coordinators — without a parameter relay.
+    """
+    if getattr(args, "no_store", False):
+        os.environ["REPRO_STORE"] = "off"
+    elif getattr(args, "store", None):
+        os.environ["REPRO_STORE"] = str(args.store)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -129,6 +175,7 @@ def build_parser() -> argparse.ArgumentParser:
     synthesize.add_argument(
         "--qasm", type=Path, help="write OpenQASM segments into this directory"
     )
+    _add_store_flags(synthesize)
 
     check = sub.add_parser(
         "check", help="exhaustive single-fault FT certificate"
@@ -138,6 +185,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--load", type=Path, help="check a protocol JSON instead"
     )
     _add_shard_flags(check)
+    _add_store_flags(check)
 
     ftcheck = sub.add_parser(
         "ftcheck",
@@ -173,6 +221,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=2025, help="survey sampling seed"
     )
     _add_shard_flags(ftcheck)
+    _add_store_flags(ftcheck)
 
     simulate = sub.add_parser(
         "simulate", help="circuit-level noise simulation (Fig. 4 pipeline)"
@@ -206,6 +255,7 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     _add_shard_flags(simulate)
+    _add_store_flags(simulate)
 
     table1 = sub.add_parser("table1", help="regenerate the paper's Table I")
     table1.add_argument(
@@ -225,6 +275,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the batched FT certificate per row (adds an FT column)",
     )
     _add_shard_flags(table1)
+    _add_store_flags(table1)
 
     figure4 = sub.add_parser("figure4", help="regenerate the paper's Fig. 4")
     figure4.add_argument("--codes", nargs="+", default=None)
@@ -249,6 +300,7 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     _add_shard_flags(figure4)
+    _add_store_flags(figure4)
 
     budget = sub.add_parser(
         "budget",
@@ -268,6 +320,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="evaluation engine (bit-identical budgets; batched is faster)",
     )
     _add_shard_flags(budget)
+    _add_store_flags(budget)
 
     cluster = sub.add_parser(
         "cluster",
@@ -287,6 +340,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="HOST:PORT",
         help="listen address (PORT 0 binds an ephemeral port and prints it)",
     )
+    _add_store_flags(worker)
     worker.add_argument(
         "--max-chunks",
         type=int,
@@ -295,6 +349,45 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "fault-injection drill: crash (drop the connection with the "
             "in-flight chunk unacknowledged) after executing N chunks"
+        ),
+    )
+
+    store_cmd = sub.add_parser(
+        "store",
+        help="inspect and maintain the artifact store (repro.store)",
+    )
+    store_cmd.add_argument(
+        "--store",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=(
+            "store root to operate on (default: REPRO_STORE, else "
+            "~/.cache/repro-store)"
+        ),
+    )
+    store_sub = store_cmd.add_subparsers(dest="store_command", required=True)
+    store_sub.add_parser(
+        "ls", help="list every entry: kind, key, size, age"
+    )
+    store_sub.add_parser(
+        "verify",
+        help=(
+            "re-hash every entry against its recorded digest; corrupt "
+            "entries are quarantined (never deleted, never served)"
+        ),
+    )
+    gc = store_sub.add_parser(
+        "gc", help="evict least-recently-used entries down to a size budget"
+    )
+    gc.add_argument(
+        "--max-bytes",
+        type=str,
+        required=True,
+        metavar="BYTES",
+        help=(
+            "target total payload size (accepts K/M/G suffixes, e.g. "
+            "512M); least-recently-read entries are removed first"
         ),
     )
 
@@ -613,6 +706,61 @@ def _cmd_cluster(args) -> int:
     return 0
 
 
+def _format_age(seconds: float) -> str:
+    seconds = max(0.0, seconds)
+    for unit, span in (("d", 86400.0), ("h", 3600.0), ("m", 60.0)):
+        if seconds >= span:
+            return f"{seconds / span:.0f}{unit}"
+    return f"{seconds:.0f}s"
+
+
+def _cmd_store(args) -> int:
+    import time
+
+    from .store import resolve_store
+
+    store = resolve_store(None)
+    if store is None:
+        print(
+            "error: the artifact store is disabled (REPRO_STORE is set to "
+            "'off'); pass --store PATH or unset REPRO_STORE",
+            file=sys.stderr,
+        )
+        return 2
+    if args.store_command == "ls":
+        now = time.time()
+        entries = list(store.entries())
+        if entries:
+            print(f"{'kind':<9} {'key':<64} {'bytes':>12} {'age':>6}")
+            for entry in entries:
+                print(
+                    f"{entry.kind:<9} {entry.key:<64} {entry.size:>12} "
+                    f"{_format_age(now - entry.atime):>6}"
+                )
+        total = sum(entry.size for entry in entries)
+        print(f"{len(entries)} entries, {total} bytes in {store.root}")
+        return 0
+    if args.store_command == "verify":
+        report = store.verify()
+        for kind, key, reason in report["quarantined"]:
+            print(f"quarantined {kind}/{key}: {reason}")
+        print(
+            f"{report['ok']} ok, {report['unreadable_codec']} unreadable "
+            f"(missing codec), {len(report['quarantined'])} quarantined"
+        )
+        return 1 if report["quarantined"] else 0
+    # gc
+    from .sim.shard import parse_mem_budget
+
+    result = store.gc(parse_mem_budget(args.max_bytes))
+    print(
+        f"evicted {result['evicted']} entries "
+        f"({result['evicted_bytes']} bytes); "
+        f"{result['remaining_bytes']} bytes remain"
+    )
+    return 0
+
+
 _COMMANDS = {
     "codes": _cmd_codes,
     "synthesize": _cmd_synthesize,
@@ -623,11 +771,13 @@ _COMMANDS = {
     "figure4": _cmd_figure4,
     "budget": _cmd_budget,
     "cluster": _cmd_cluster,
+    "store": _cmd_store,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    _apply_store_flags(args)
     return _COMMANDS[args.command](args)
 
 

@@ -817,12 +817,39 @@ def make_sampler(
     *,
     engine: str = "batched",
     judge: LogicalJudge | None = None,
+    store=None,
 ):
-    """Engine factory: ``engine`` is ``"batched"`` or ``"reference"``."""
+    """Engine factory: ``engine`` is ``"batched"`` or ``"reference"``.
+
+    With the artifact store enabled (``repro.store``), compiled batched
+    engines are cached on disk under a content key derived from the
+    canonical protocol JSON digest (:func:`repro.store.keys.engine_key`),
+    so a fresh process — a spawn-pool worker, a restarted cluster
+    worker, the next CLI invocation — loads the compiled segment maps
+    instead of recompiling them. Cache hits and misses return
+    functionally identical engines (the compilation is deterministic);
+    the reference engine is never cached (it compiles nothing).
+    """
     try:
         cls = _ENGINES[engine]
     except KeyError:
         raise ValueError(
             f"unknown engine {engine!r} (expected one of {sorted(_ENGINES)})"
         ) from None
-    return cls(protocol, judge=judge)
+    if engine != "batched":
+        return cls(protocol, judge=judge)
+    from ..store import keys as store_keys
+    from ..store import resolve_store
+
+    store = resolve_store(store)
+    if store is None:
+        return cls(protocol, judge=judge)
+    key = store_keys.engine_key(protocol, engine, judge)
+    if key is None:  # unpicklable inputs can't be named stably
+        return cls(protocol, judge=judge)
+    cached = store.get_object("engine", key)
+    if isinstance(cached, cls):
+        return cached
+    sampler = cls(protocol, judge=judge)
+    store.put_object("engine", key, sampler)
+    return sampler

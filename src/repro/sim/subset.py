@@ -441,6 +441,7 @@ class SubsetSampler:
         executor=None,
         mem_budget: int | None = None,
         model=None,
+        store=None,
     ) -> "SubsetSampler":
         """Build a sampler over a protocol's full location universe.
 
@@ -449,11 +450,15 @@ class SubsetSampler:
         the per-shot oracle behind the identical interface. ``workers`` /
         ``max_slab`` enable intra-code sharding; ``executor`` /
         ``mem_budget`` select the execution backend and adaptive slab
-        sizing; ``model`` selects the noise model (see class docs).
+        sizing; ``model`` selects the noise model (see class docs);
+        ``store`` is forwarded to the engine factory's artifact cache
+        (``repro.sim.sampler.make_sampler``).
         """
         from .sampler import make_sampler  # deferred: sampler imports noise
 
-        sampler_engine = make_sampler(protocol, engine=engine, judge=judge)
+        sampler_engine = make_sampler(
+            protocol, engine=engine, judge=judge, store=store
+        )
         return cls(
             None,
             protocol_locations(protocol),

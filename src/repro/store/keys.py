@@ -1,0 +1,195 @@
+"""Stable content keys for the artifact store (and the cluster handshake).
+
+One digest scheme, shared by every layer that names expensive artifacts:
+
+* :func:`payload_digest` — SHA-256 of pickled engine-payload bytes. This
+  is the digest the cluster handshake has always used (extracted here
+  from ``repro.sim.cluster``): the coordinator advertises it in the
+  session header, the worker re-hashes the shipped bytes against it
+  before caching, and — new with the store — both sides use it as the
+  disk key for compiled engines, so a restarted worker can seed its
+  in-memory LRU from disk without a payload transfer.
+* :func:`engine_key` — the *store* key of a compiled engine, derived
+  from the canonical protocol JSON digest plus the engine name and
+  judge token. Deliberately **not** the payload pickle digest: pickling
+  is representation-sensitive (even pickling a compiled sampler can
+  perturb the referenced protocol's subsequent pickle bytes), whereas
+  the JSON digest is a pure function of the protocol's content. The
+  cluster additionally stores each shipped engine under its session
+  :func:`payload_digest`, so workers can still seed their LRU from disk
+  by the digest the handshake advertises.
+* :func:`protocol_key` — what ``synthesize_protocol`` is *about to
+  compute*: the code's check matrices plus every synthesis parameter
+  (and the serialization format version, so format bumps never collide).
+* :func:`protocol_digest` — what a synthesis *produced*: SHA-256 of the
+  canonical protocol JSON. Stable across processes and across
+  pickle/JSON round-trips (the JSON round-trip is pinned
+  instruction-for-instruction identical), which makes it the right base
+  for result keys (certificates, budgets).
+* :func:`cnf_digest` — SHA-256 over a CNF's variable count and clause
+  list, keying SAT solve transcripts.
+
+Pickle-based digests (:func:`payload_digest`, :func:`model_token`) are
+representation-sensitive: two *functionally* identical objects with
+different in-memory provenance can pickle differently. That is fine for
+cache keys — a key split costs a recompute, never a wrong result — but
+it is why result and engine keys are built on :func:`protocol_digest`
+(canonical JSON) rather than protocol pickles: the JSON digest is
+identical across processes, start methods, and pickle round-trips
+(verified across fork and spawn workers in ``tests/store/test_keys.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pickle
+
+__all__ = [
+    "budget_key",
+    "cnf_digest",
+    "engine_key",
+    "ftcert_key",
+    "model_token",
+    "payload_digest",
+    "protocol_digest",
+    "protocol_key",
+    "sha256_hex",
+]
+
+
+def sha256_hex(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def _json_key(obj) -> str:
+    """Digest of a canonical-JSON-encoded key description."""
+    return sha256_hex(
+        json.dumps(obj, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    )
+
+
+# -- engines / cluster handshake ----------------------------------------------
+
+
+def payload_digest(payload_bytes: bytes) -> str:
+    """Digest of pickled engine-payload bytes (the cluster session digest)."""
+    return sha256_hex(payload_bytes)
+
+
+def engine_key(protocol, engine_name: str, judge=None) -> str | None:
+    """Disk key of a compiled engine; None when the judge can't be named.
+
+    Built on the canonical protocol JSON digest (stable across
+    processes and pickle round-trips), not the payload pickle — see the
+    module docstring for why. The default ``judge=None`` tokenizes to
+    ``"none"``; a custom judge is tokenized by its pickle, and an
+    unpicklable judge disables caching for that call.
+    """
+    token = model_token(judge)
+    if not token:
+        return None
+    return _json_key(
+        {
+            "artifact": "engine",
+            "protocol": protocol_digest(protocol),
+            "engine": engine_name,
+            "judge": token,
+        }
+    )
+
+
+# -- protocols ----------------------------------------------------------------
+
+
+def protocol_key(
+    code,
+    *,
+    prep_method: str,
+    verification_method: str,
+    max_correction_measurements: int,
+) -> str:
+    """Key of a ``synthesize_protocol`` call: code + every parameter."""
+    from ..core.serialize import _FORMAT_VERSION
+
+    return _json_key(
+        {
+            "artifact": "protocol",
+            "format_version": _FORMAT_VERSION,
+            "code": {
+                "name": code.name,
+                "hx": code.hx.tolist(),
+                "hz": code.hz.tolist(),
+            },
+            "prep_method": prep_method,
+            "verification_method": verification_method,
+            "max_correction_measurements": max_correction_measurements,
+        }
+    )
+
+
+def protocol_digest(protocol) -> str:
+    """Canonical digest of a synthesized protocol (its JSON form)."""
+    from ..core.serialize import protocol_to_json
+
+    return sha256_hex(protocol_to_json(protocol).encode("utf-8"))
+
+
+# -- models and derived results -----------------------------------------------
+
+
+def model_token(model) -> str:
+    """Short stable token for a noise model (None = the uniform E1_1)."""
+    if model is None:
+        return "none"
+    try:
+        return sha256_hex(
+            pickle.dumps(model, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+    except Exception:
+        # An unpicklable model cannot be named stably; the caller treats
+        # this as "don't cache".
+        return ""
+
+
+def ftcert_key(protocol_digest_hex: str, model) -> str | None:
+    """Key of an exact k=1 certificate (``check_fault_tolerance``)."""
+    token = model_token(model)
+    if not token:
+        return None
+    return _json_key(
+        {
+            "artifact": "ftcert",
+            "k": 1,
+            "protocol": protocol_digest_hex,
+            "model": token,
+        }
+    )
+
+
+def budget_key(protocol_digest_hex: str, model) -> str | None:
+    """Key of an exact k=2 error budget (``two_fault_error_budget``)."""
+    token = model_token(model)
+    if not token:
+        return None
+    return _json_key(
+        {
+            "artifact": "budget",
+            "k": 2,
+            "protocol": protocol_digest_hex,
+            "model": token,
+        }
+    )
+
+
+# -- SAT ----------------------------------------------------------------------
+
+
+def cnf_digest(cnf) -> str:
+    """Digest of a CNF formula (variable count + exact clause list)."""
+    hasher = hashlib.sha256()
+    hasher.update(f"v{cnf.num_vars}\n".encode("ascii"))
+    for clause in cnf.clauses:
+        hasher.update(",".join(map(str, clause)).encode("ascii"))
+        hasher.update(b"\n")
+    return hasher.hexdigest()

@@ -36,6 +36,7 @@ def synthesize_plus_protocol(
     prep_method: str = "heuristic",
     verification_method: str = "optimal",
     max_correction_measurements: int = 4,
+    store=None,
 ) -> DeterministicProtocol:
     """Deterministic FT protocol preparing ``|+...+>_L`` of ``code``.
 
@@ -49,6 +50,7 @@ def synthesize_plus_protocol(
         prep_method=prep_method,
         verification_method=verification_method,
         max_correction_measurements=max_correction_measurements,
+        store=store,
     )
 
 

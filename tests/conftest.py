@@ -7,6 +7,15 @@ shares one session-scoped instance per (code, prep, verification) triple.
 
 from __future__ import annotations
 
+import os
+
+# The suite must be hermetic: a developer's populated ~/.cache/repro-store
+# must not leak cached protocols/engines/certificates into test runs (and
+# test runs must not write there). Store-specific tests opt back in with
+# tmp-path stores. setdefault, so a deliberate REPRO_STORE=... on the
+# command line still wins.
+os.environ.setdefault("REPRO_STORE", "off")
+
 import pytest
 
 from repro.codes.catalog import CATALOG, get_code
