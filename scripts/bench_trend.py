@@ -24,6 +24,11 @@ never a red build::
 The updated ledger is then uploaded as the ``bench-history`` artifact
 for the next run. Run IDs/SHAs come from the standard GitHub Actions
 environment when present.
+
+``--html PATH`` additionally renders the whole ledger as a static,
+dependency-free HTML page (one inline-SVG sparkline card per metric,
+grouped by BENCH file) — published as the ``bench-trend-page`` CI
+artifact, and the page a future gh-pages hook would serve as-is.
 """
 
 from __future__ import annotations
@@ -39,7 +44,15 @@ import zipfile
 from pathlib import Path
 
 #: Keys worth a trend line (same story-telling metrics as bench_delta).
-_METRIC_SUFFIXES = ("_seconds", "_speedup", "shots_per_second", "speedup")
+_METRIC_SUFFIXES = (
+    "_seconds",
+    "_speedup",
+    "shots_per_second",
+    "speedup",
+    "_ratio",
+    "_vs_lockstep",
+    "bytes_on_wire",
+)
 
 #: Eight-level sparkline glyphs for the trend column.
 _SPARKS = "▁▂▃▄▅▆▇█"
@@ -160,6 +173,118 @@ def render_trend(history: list[dict], max_points: int) -> str:
             f"{_sparkline(series)} |"
         )
     return "\n".join(lines)
+
+
+# -- static HTML rendering -----------------------------------------------------
+
+
+_HTML_HEAD = """<!doctype html>
+<html lang="en"><head><meta charset="utf-8">
+<title>Benchmark trends</title>
+<style>
+  body { font: 14px/1.5 system-ui, sans-serif; margin: 2rem auto;
+         max-width: 64rem; padding: 0 1rem; color: #1f2328; }
+  h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
+  .meta { color: #57606a; }
+  .grid { display: grid; gap: .75rem;
+          grid-template-columns: repeat(auto-fill, minmax(19rem, 1fr)); }
+  .card { border: 1px solid #d0d7de; border-radius: 6px; padding: .6rem .8rem; }
+  .card .name { font-family: ui-monospace, monospace; font-size: .8rem;
+                color: #57606a; overflow-wrap: anywhere; }
+  .card .value { font-size: 1.3rem; font-weight: 600; }
+  .delta-up { color: #1a7f37; } .delta-down { color: #cf222e; }
+  .delta-flat { color: #57606a; }
+  svg { display: block; margin-top: .3rem; }
+  polyline { fill: none; stroke: #0969da; stroke-width: 1.5; }
+  circle { fill: #0969da; }
+  .range { color: #57606a; font-size: .75rem; }
+</style></head><body>
+"""
+
+
+def _svg_sparkline(values: list[float], width=272, height=48) -> str:
+    """One metric's trajectory as a self-contained inline SVG."""
+    finite = [v for v in values if v == v]
+    if len(finite) < 2:
+        return (
+            f'<svg width="{width}" height="{height}" role="img">'
+            '<text x="4" y="28" fill="#57606a">single datapoint</text></svg>'
+        )
+    low, high = min(finite), max(finite)
+    span = (high - low) or 1.0
+    pad = 5
+    step = (width - 2 * pad) / (len(finite) - 1)
+
+    def _xy(i: int, v: float) -> tuple[float, float]:
+        return (
+            pad + i * step,
+            height - pad - (v - low) / span * (height - 2 * pad),
+        )
+
+    points = " ".join(
+        f"{x:.1f},{y:.1f}" for x, y in (_xy(i, v) for i, v in enumerate(finite))
+    )
+    last_x, last_y = _xy(len(finite) - 1, finite[-1])
+    return (
+        f'<svg width="{width}" height="{height}" role="img">'
+        f'<polyline points="{points}"/>'
+        f'<circle cx="{last_x:.1f}" cy="{last_y:.1f}" r="2.5"/></svg>'
+    )
+
+
+def render_html(history: list[dict], max_points: int) -> str:
+    """The whole ledger as one static page: an inline-SVG sparkline card
+    per metric, grouped by BENCH file — no scripts, no external assets,
+    servable as-is (CI artifact today, the gh-pages hook tomorrow)."""
+    import html as _html
+
+    out = [_HTML_HEAD, "<h1>Benchmark trends</h1>"]
+    if not history:
+        out.append("<p class='meta'>no benchmark history yet</p>")
+        return "".join(out) + "</body></html>"
+    current = history[-1]
+    previous = history[-2] if len(history) > 1 else None
+    runs = history[-max_points:]
+    sha = _html.escape(str(current["run"].get("sha", "?")))
+    out.append(
+        f"<p class='meta'>{len(history)} tracked run(s); current "
+        f"<code>{sha}</code>, showing the last {len(runs)}.</p>"
+    )
+    by_file: dict[str, list[str]] = {}
+    for key in sorted(current["metrics"]):
+        file_name, _, metric = key.partition(":")
+        value = current["metrics"][key]
+        old = previous["metrics"].get(key) if previous else None
+        if isinstance(old, (int, float)) and old:
+            change = (value - old) / old * 100.0
+            css = (
+                "delta-flat"
+                if abs(change) < 0.05
+                else ("delta-up" if change > 0 else "delta-down")
+            )
+            delta = f"<span class='{css}'>{change:+.1f}%</span>"
+        else:
+            delta = "<span class='delta-flat'>new</span>"
+        series = [
+            run["metrics"][key]
+            for run in runs
+            if isinstance(run["metrics"].get(key), (int, float))
+        ]
+        low_high = (
+            f"min {min(series):g} · max {max(series):g}" if series else ""
+        )
+        by_file.setdefault(file_name, []).append(
+            "<div class='card'>"
+            f"<div class='name'>{_html.escape(metric)}</div>"
+            f"<div class='value'>{value:g} {delta}</div>"
+            f"{_svg_sparkline(series)}"
+            f"<div class='range'>{low_high}</div></div>"
+        )
+    for file_name, cards in sorted(by_file.items()):
+        out.append(f"<h2>{_html.escape(file_name)}</h2><div class='grid'>")
+        out.extend(cards)
+        out.append("</div>")
+    return "".join(out) + "</body></html>"
 
 
 # -- previous-artifact download (graceful best-effort) -------------------------
@@ -296,6 +421,12 @@ def main() -> int:
         default=30,
         help="runs shown in the trend sparkline",
     )
+    parser.add_argument(
+        "--html",
+        type=Path,
+        default=None,
+        help="also render the ledger as a static HTML trend page here",
+    )
     args = parser.parse_args()
 
     status = None
@@ -310,6 +441,9 @@ def main() -> int:
     append_run(history, metrics)
     save_history(args.history, history, args.keep)
     print(render_trend(history, args.max_points))
+    if args.html is not None:
+        args.html.parent.mkdir(parents=True, exist_ok=True)
+        args.html.write_text(render_html(history, args.max_points))
     if status:
         print(f"\n_previous ledger: {status}_")
     return 0

@@ -94,6 +94,18 @@ def _add_shard_flags(parser: argparse.ArgumentParser) -> None:
         ),
     )
     parser.add_argument(
+        "--pipeline-depth",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "outstanding chunks per cluster worker (credit window; only "
+            "meaningful with --cluster). Default: sized from --mem-budget "
+            "via AdaptiveSlabPolicy, else 4; 1 degenerates to strict "
+            "ack-per-chunk lockstep"
+        ),
+    )
+    parser.add_argument(
         "--noise",
         type=str,
         default=None,
@@ -200,7 +212,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ftcheck.add_argument(
         "--engine",
-        choices=["batched", "reference"],
+        choices=["batched", "kernel", "auto", "reference"],
         default="batched",
         help="evaluation engine (identical verdicts; batched is ~10x+ faster)",
     )
@@ -239,11 +251,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     simulate.add_argument(
         "--engine",
-        choices=["batched", "reference"],
+        choices=["batched", "kernel", "auto", "reference"],
         default="batched",
         help=(
-            "execution engine: bit-packed batched sampler (default) or the "
-            "per-shot reference runner (identical results, slower)"
+            "execution engine: bit-packed batched sampler (default), the "
+            "compiled kernel tier ('kernel', or 'auto' to pick it when "
+            "numba imports), or the per-shot reference runner (identical "
+            "results, slower)"
         ),
     )
     simulate.add_argument(
@@ -283,7 +297,7 @@ def build_parser() -> argparse.ArgumentParser:
     figure4.add_argument("--seed", type=int, default=2025)
     figure4.add_argument(
         "--engine",
-        choices=["batched", "reference"],
+        choices=["batched", "kernel", "auto", "reference"],
         default="batched",
         help="execution engine for the subset sampling",
     )
@@ -315,7 +329,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     budget.add_argument(
         "--engine",
-        choices=["batched", "reference"],
+        choices=["batched", "kernel", "auto", "reference"],
         default="batched",
         help="evaluation engine (bit-identical budgets; batched is faster)",
     )
@@ -401,16 +415,20 @@ def _shard_kwargs(args) -> dict:
     ``repro.sim.shard.resolve_evaluator`` seam; ``--mem-budget`` is
     parsed into bytes for adaptive slab sizing.
     """
-    executor = None
-    if getattr(args, "cluster", None):
-        from .sim.cluster import ClusterExecutorFactory, parse_hostports
-
-        executor = ClusterExecutorFactory(parse_hostports(args.cluster))
     mem_budget = None
     if getattr(args, "mem_budget", None):
         from .sim.shard import parse_mem_budget
 
         mem_budget = parse_mem_budget(args.mem_budget)
+    executor = None
+    if getattr(args, "cluster", None):
+        from .sim.cluster import ClusterExecutorFactory, parse_hostports
+
+        executor = ClusterExecutorFactory(
+            parse_hostports(args.cluster),
+            pipeline_depth=getattr(args, "pipeline_depth", None),
+            mem_budget=mem_budget,
+        )
     return {
         "workers": args.workers,
         "max_slab": args.max_slab,
@@ -531,10 +549,13 @@ def _cmd_ftcheck(args) -> int:
     if protocol is None:
         print("error: give a code key or --load", file=sys.stderr)
         return 2
+    from .sim.sampler import resolve_engine_name
+
+    engine = resolve_engine_name(args.engine)
     start = time.perf_counter()
     violations = check_fault_tolerance(
         protocol,
-        engine=args.engine,
+        engine=engine,
         max_violations=args.max_violations,
         model=_noise_model(args),
         **_shard_kwargs(args),
@@ -543,7 +564,7 @@ def _cmd_ftcheck(args) -> int:
     if violations:
         print(
             f"{protocol.code.name}: NOT fault tolerant — "
-            f"{len(violations)} violations ({args.engine} engine, "
+            f"{len(violations)} violations ({engine} engine, "
             f"{seconds:.3f}s):"
         )
         for violation in violations:
@@ -551,7 +572,7 @@ def _cmd_ftcheck(args) -> int:
     else:
         print(
             f"{protocol.code.name}: fault tolerant — every single fault "
-            f"leaves wt_S <= 1 ({args.engine} engine, {seconds:.3f}s)"
+            f"leaves wt_S <= 1 ({engine} engine, {seconds:.3f}s)"
         )
     if args.survey:
         survey = second_order_survey(
@@ -572,7 +593,10 @@ def _cmd_ftcheck(args) -> int:
 def _cmd_simulate(args) -> int:
     from .codes.catalog import get_code
     from .core.protocol import synthesize_protocol
+    from .sim.sampler import resolve_engine_name
     from .sim.subset import SubsetSampler
+
+    engine = resolve_engine_name(args.engine)
 
     protocol = synthesize_protocol(get_code(args.code))
     model = _noise_model(args)
@@ -580,7 +604,7 @@ def _cmd_simulate(args) -> int:
     # identical chunk plan inline), so --workers never changes results.
     with SubsetSampler.for_protocol(
         protocol,
-        engine=args.engine,
+        engine=engine,
         k_max=args.k_max,
         rng=np.random.default_rng(args.seed),
         model=model,
@@ -591,7 +615,7 @@ def _cmd_simulate(args) -> int:
         model_label = "" if model is None else f", {args.noise}"
         print(
             f"{protocol.code.name}: f_1 = {sampler.strata[1].rate} (exact, "
-            f"{args.engine} engine{model_label})"
+            f"{engine} engine{model_label})"
         )
         sweep = sorted(args.p)
         ceiling = sampler.p_ceiling

@@ -10,16 +10,28 @@ machines:
   handshake opens every connection: the coordinator sends the magic,
   the protocol version, and a *digest-first* session header — the
   SHA-256 of the pickled engine payload
-  (:func:`repro.sim.shard.engine_payload`), the slab bound, and the
-  noise model. A worker that already holds the compiled engine for
-  that digest (a previous coordinator session shipped it) replies
-  ``welcome`` immediately — **engine-cache reuse**: consecutive
-  sessions with the same (protocol, engine, judge) skip both the
-  payload transfer and the recompilation. On a cache miss the worker
-  answers ``need-payload`` and the coordinator ships the payload once
-  per worker, exactly as the spawn-pool fallback in ``shard.py`` does
-  — so only registered engines and picklable judges cross the wire,
-  loudly.
+  (:func:`repro.sim.shard.engine_payload`), the slab bound, the noise
+  model, and the frame codecs it can read. A worker that already holds
+  the compiled engine for that digest (a previous coordinator session
+  shipped it) replies ``welcome`` immediately — **engine-cache reuse**:
+  consecutive sessions with the same (protocol, engine, judge) skip
+  both the payload transfer and the recompilation. On a cache miss the
+  worker answers ``need-payload`` and the coordinator ships the payload
+  once per worker, exactly as the spawn-pool fallback in ``shard.py``
+  does — so only registered engines and picklable judges cross the
+  wire, loudly.
+
+* **Compressed frames** (protocol 3) — every frame after ``welcome``
+  carries a one-byte codec tag and a payload compressed with the codec
+  the worker picked from the coordinator's advertised preferences
+  (``repro.store``'s zstd-with-zlib-fallback layer; a frame the codec
+  cannot shrink ships raw under ``"none"``). The handshake itself keeps
+  the raw version-2 layout, so a version-mismatched peer is rejected
+  with a readable reason instead of a desync. Receives land in
+  preallocated buffers via ``recv_into`` (no per-recv copies), and the
+  frame layer counts raw/wire bytes per direction
+  (:meth:`ClusterEvaluator.wire_stats` — ``bench_cluster`` records
+  them).
 
 * :class:`ClusterWorker` — the server side (``repro cluster worker
   --listen HOST:PORT``). It accepts one coordinator at a time, rebuilds
@@ -31,14 +43,20 @@ machines:
   :class:`~repro.sim.shard.ShardedEvaluator`'s ``map``/``reduce``/
   ``close`` interface, so every routed consumer works on a cluster
   unchanged through the :func:`repro.sim.shard.resolve_evaluator` seam.
-  Scheduling is a **work-stealing shared queue**: one thread per worker
-  connection pulls the next chunk spec the moment its previous chunk is
-  acknowledged, so fast workers naturally take more chunks. Every chunk
-  is acknowledged individually; when a worker disconnects mid-chunk, its
-  unacknowledged chunk is **requeued** to the surviving workers, and a
+  Scheduling is a **work-stealing shared queue** with a **credit
+  window**: one thread per worker connection keeps up to
+  ``pipeline_depth`` chunks outstanding on its link (default 4, or
+  sized from the byte budget via
+  :meth:`~repro.sim.shard.AdaptiveSlabPolicy.pipeline_depth_for`), so
+  a worker always has the next chunk queued locally instead of idling
+  a round trip between chunks — and fast workers still naturally take
+  more chunks. Every chunk is acknowledged individually, in send
+  order; when a worker disconnects, *all* of its unacknowledged
+  in-flight chunks are **requeued** to the surviving workers, and a
   ``done``-index guard ensures a chunk's partial is merged exactly once
   no matter how many times delivery was attempted — partials are never
   double-counted before :func:`~repro.sim.shard.merge_partials`.
+  ``pipeline_depth=1`` degenerates to the old ack-per-chunk lockstep.
 
 **Bit-identity.** Results depend only on the chunk plan, never on which
 worker executed a chunk, in what order, or how many disconnect/retry
@@ -66,7 +84,12 @@ from collections import OrderedDict, deque
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
-from ..store import resolve_store
+from ..store import (
+    available_codecs,
+    compress_blob,
+    decompress_blob,
+    resolve_store,
+)
 from ..store.keys import payload_digest
 from .shard import (
     AdaptiveSlabPolicy,
@@ -94,14 +117,31 @@ __all__ = [
 #: Bumped whenever the frame vocabulary or handshake payload changes;
 #: mismatched peers refuse each other instead of desyncing. Version 2:
 #: digest-first handshake (engine-cache reuse across coordinator
-#: sessions) and the noise model in the session header.
-PROTOCOL_VERSION = 2
+#: sessions) and the noise model in the session header. Version 3:
+#: pipelined chunk streaming (a credit window of outstanding chunks per
+#: worker) and codec-tagged compressed frames after the handshake
+#: (negotiated via the ``codecs`` header field; the handshake itself
+#: keeps the version-2 raw layout so old peers reject cleanly).
+PROTOCOL_VERSION = 3
 
 _MAGIC = b"RPRO-CLUSTER"
 _LENGTH = struct.Struct(">Q")
 
 #: Compiled engines a worker keeps across coordinator sessions.
 _ENGINE_CACHE_SLOTS = 8
+
+#: Outstanding chunks per worker link when neither ``--pipeline-depth``
+#: nor a byte budget picks one; 1 degenerates to ack-per-chunk lockstep.
+_DEFAULT_PIPELINE_DEPTH = 4
+
+#: Ceiling on any derived pipeline depth (beyond ~32 outstanding chunks
+#: the window only buys memory pressure, not latency hiding).
+_MAX_PIPELINE_DEPTH = 32
+
+#: Wire ids of the codec names the frame layer can tag (repro.store's
+#: codec vocabulary). One byte leads every post-welcome frame.
+_CODEC_IDS = {"none": 0, "zlib": 1, "zstd": 2}
+_CODEC_NAMES = {wire_id: name for name, wire_id in _CODEC_IDS.items()}
 
 
 class ClusterProtocolError(RuntimeError):
@@ -143,19 +183,31 @@ def send_frame(sock: socket.socket, obj) -> None:
     sock.sendall(_LENGTH.pack(len(payload)) + payload)
 
 
-def _recv_exact(sock: socket.socket, size: int) -> bytes | None:
-    """``size`` bytes, ``None`` on clean EOF at a frame boundary."""
-    chunks = []
-    remaining = size
-    while remaining:
-        data = sock.recv(min(remaining, 1 << 20))
-        if not data:
-            if remaining == size:
-                return None
+def _recv_into_exact(sock: socket.socket, view: memoryview) -> bool:
+    """Fill ``view`` from the socket; False on clean EOF at offset 0."""
+    size = len(view)
+    received = 0
+    while received < size:
+        count = sock.recv_into(view[received:])
+        if count == 0:
+            if received == 0:
+                return False
             raise ConnectionError("peer closed mid-frame")
-        chunks.append(data)
-        remaining -= len(data)
-    return b"".join(chunks)
+        received += count
+    return True
+
+
+def _recv_exact(sock: socket.socket, size: int) -> bytes | None:
+    """``size`` bytes, ``None`` on clean EOF at a frame boundary.
+
+    One preallocated ``bytearray`` filled via ``recv_into`` — no
+    per-``recv`` slice copies (the old loop concatenated 1 MiB ``bytes``
+    chunks, doubling the transient footprint of big payload frames).
+    """
+    buffer = bytearray(size)
+    if not _recv_into_exact(sock, memoryview(buffer)):
+        return None
+    return bytes(buffer)
 
 
 def recv_frame(sock: socket.socket):
@@ -168,6 +220,91 @@ def recv_frame(sock: socket.socket):
     if payload is None:
         raise ConnectionError("peer closed between header and payload")
     return pickle.loads(payload)
+
+
+class _Framer:
+    """Codec-tagged frame transport of one protocol-3 session.
+
+    After ``welcome`` both peers switch from raw frames to
+    ``8-byte length | 1 codec byte | payload``: the payload is the
+    pickle compressed with the session's negotiated codec, each frame
+    tags itself (a frame the codec cannot shrink ships raw under
+    ``"none"``, so compression never inflates the wire), and receives
+    land in one grow-only reusable buffer via ``recv_into`` — zero
+    per-frame allocation churn on the hot path. Byte counters on both
+    directions feed :meth:`ClusterEvaluator.wire_stats` and the bench
+    ledger.
+    """
+
+    __slots__ = (
+        "sock",
+        "codec",
+        "raw_sent",
+        "wire_sent",
+        "raw_received",
+        "wire_received",
+        "frames_sent",
+        "frames_received",
+        "_header",
+        "_buffer",
+    )
+
+    def __init__(self, sock: socket.socket, codec: str = "none"):
+        if codec not in _CODEC_IDS:
+            raise ClusterProtocolError(f"unknown frame codec {codec!r}")
+        self.sock = sock
+        self.codec = codec
+        self.raw_sent = 0
+        self.wire_sent = 0
+        self.raw_received = 0
+        self.wire_received = 0
+        self.frames_sent = 0
+        self.frames_received = 0
+        self._header = bytearray(_LENGTH.size)
+        self._buffer = bytearray(1 << 16)
+
+    def send(self, obj) -> None:
+        raw = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        codec, payload = compress_blob(raw, self.codec)
+        frame = (
+            _LENGTH.pack(1 + len(payload))
+            + bytes((_CODEC_IDS[codec],))
+            + payload
+        )
+        self.sock.sendall(frame)
+        self.raw_sent += len(raw)
+        self.wire_sent += len(frame)
+        self.frames_sent += 1
+
+    def recv(self):
+        """One frame back as the unpickled object; ``None`` on clean EOF."""
+        if not _recv_into_exact(self.sock, memoryview(self._header)):
+            return None
+        (length,) = _LENGTH.unpack(self._header)
+        if length < 1:
+            raise ClusterProtocolError("empty frame (missing codec byte)")
+        if length > len(self._buffer):
+            self._buffer = bytearray(max(length, 2 * len(self._buffer)))
+        body = memoryview(self._buffer)[:length]
+        if not _recv_into_exact(self.sock, body):
+            raise ConnectionError("peer closed between header and payload")
+        codec = _CODEC_NAMES.get(body[0])
+        if codec is None:
+            raise ClusterProtocolError(f"unknown frame codec id {body[0]}")
+        raw = decompress_blob(codec, body[1:])
+        self.raw_received += len(raw)
+        self.wire_received += _LENGTH.size + length
+        self.frames_received += 1
+        return pickle.loads(raw)
+
+
+def _negotiate_codec(peer_codecs) -> str:
+    """First codec in the peer's preference list we can also speak."""
+    ours = set(available_codecs())
+    for codec in peer_codecs or ():
+        if codec in ours and codec in _CODEC_IDS:
+            return codec
+    return "none"
 
 
 # -- the worker (server) side --------------------------------------------------
@@ -248,6 +385,10 @@ class ClusterWorker:
                     conn, _ = self._server.accept()
                 except OSError:
                     break
+                # Chunk and partial frames are small; without NODELAY,
+                # Nagle batching against the peer's delayed ACKs stalls
+                # the pipelined window ~40ms per flight.
+                conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
                 threading.Thread(
                     target=self._serve_and_close,
                     args=(conn,),
@@ -385,6 +526,10 @@ class ClusterWorker:
         context = _EngineContext(
             engine, header["max_slab"], model=header.get("model")
         )
+        # Frame compression: pick the first codec in the coordinator's
+        # preference list we can also speak; every frame after the raw
+        # welcome is codec-tagged (see _Framer).
+        codec = _negotiate_codec(header.get("codecs"))
         send_frame(
             conn,
             (
@@ -398,33 +543,40 @@ class ClusterWorker:
                     # (shipped and compiled this session).
                     "engine_cached": source != "payload",
                     "engine_source": source,
+                    "codec": codec,
                 },
             ),
         )
+        framer = _Framer(conn, codec)
+        # The coordinator streams up to its credit window of chunk frames
+        # ahead of our replies; we execute and acknowledge strictly in
+        # arrival order (the socket buffers the rest), which is exactly
+        # the FIFO the coordinator's per-link pending queue assumes.
         while True:
-            message = recv_frame(conn)
+            message = framer.recv()
             if message is None or message[0] == "bye":
                 return
             if message[0] != "chunk":
-                send_frame(
-                    conn, ("reject", f"unexpected frame {message[0]!r}")
+                framer.send(
+                    ("reject", f"unexpected frame {message[0]!r}")
                 )
                 return
             if self.max_chunks is not None:
                 with self._served_lock:
                     if self._served >= self.max_chunks:
-                        # Drill: die mid-stream, this chunk unacknowledged.
+                        # Drill: die mid-stream — this chunk and every
+                        # later one already in the pipeline unacknowledged.
                         self.stop()
                         return
             spec = message[1]
             try:
                 partial = _run_chunk(context, spec)
             except Exception as exc:  # deterministic failure: report, don't retry
-                send_frame(conn, ("error", spec.index, repr(exc)))
+                framer.send(("error", spec.index, repr(exc)))
                 return
             with self._served_lock:
                 self._served += 1
-            send_frame(conn, ("partial", partial.index, partial))
+            framer.send(("partial", partial.index, partial))
 
 
 # -- the coordinator (client) side ---------------------------------------------
@@ -437,7 +589,9 @@ class _MapState:
         self.source = source
         self.exhausted = False
         self.requeue: deque = deque()  # chunks orphaned by dead workers
-        self.in_flight: dict[int, object] = {}  # link id -> chunk spec
+        #: link id -> that link's pending window (chunks sent, unacked,
+        #: oldest first — the worker acknowledges in FIFO order).
+        self.in_flight: dict[int, deque] = {}
         self.completed: dict[int, ShardPartial] = {}  # chunk index -> partial
         self.done: set[int] = set()  # acknowledged chunk indices (dedupe)
         self.live = 0
@@ -457,7 +611,11 @@ class _MapState:
 
     def finished(self) -> bool:
         """No result will ever arrive that has not already been recorded."""
-        return self.exhausted and not self.requeue and not self.in_flight
+        return (
+            self.exhausted
+            and not self.requeue
+            and not any(self.in_flight.values())
+        )
 
 
 class _WorkerLink:
@@ -476,6 +634,9 @@ class _WorkerLink:
         # a loaded worker compiling the engine payload.
         self.sock = socket.create_connection(address, timeout=timeout)
         self.sock.settimeout(None)
+        # See ClusterWorker.serve_forever: small frames + Nagle +
+        # delayed ACKs would stall the credit window.
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         try:
             send_frame(
                 self.sock, ("hello", _MAGIC, PROTOCOL_VERSION, header)
@@ -500,6 +661,9 @@ class _WorkerLink:
             self.close()
             raise ClusterProtocolError(f"worker {address}: {reason}")
         self.info = reply[2]
+        # Everything after welcome is codec-tagged and compressed with
+        # the codec the worker picked from our advertised preferences.
+        self.framer = _Framer(self.sock, self.info.get("codec", "none"))
 
     def close(self) -> None:
         try:
@@ -553,6 +717,7 @@ class ClusterEvaluator:
         mem_budget: int | None = None,
         connect_timeout: float = 10.0,
         model=None,
+        pipeline_depth: int | None = None,
     ):
         if mem_budget is not None:
             max_slab = AdaptiveSlabPolicy(mem_budget).slab_for(engine)
@@ -561,6 +726,16 @@ class ClusterEvaluator:
         self.max_slab = int(max_slab)
         self.model = model
         self.connect_timeout = connect_timeout
+        if pipeline_depth is None:
+            if mem_budget is not None:
+                pipeline_depth = AdaptiveSlabPolicy(
+                    mem_budget
+                ).pipeline_depth_for(engine, self.max_slab)
+            else:
+                pipeline_depth = _DEFAULT_PIPELINE_DEPTH
+        #: Outstanding chunks per worker link (credit window); 1 is the
+        #: old ack-per-chunk lockstep, bit-identical either way.
+        self.pipeline_depth = max(1, min(_MAX_PIPELINE_DEPTH, int(pipeline_depth)))
         self.planner = StratumPlanner(
             engine.locations, max_slab=self.max_slab, model=model
         )
@@ -578,6 +753,19 @@ class ClusterEvaluator:
             "digest": self.payload_digest,
             "max_slab": self.max_slab,
             "model": model,
+            # Frame codecs we can read, best first; the worker replies
+            # with its pick in welcome info["codec"].
+            "codecs": available_codecs(),
+        }
+        #: Cumulative frame-layer byte counters of retired connections;
+        #: live links are folded in by :meth:`wire_stats`.
+        self._wire_totals = {
+            "raw_sent": 0,
+            "wire_sent": 0,
+            "raw_received": 0,
+            "wire_received": 0,
+            "frames_sent": 0,
+            "frames_received": 0,
         }
         self._links: list[_WorkerLink] | None = None
         #: True while a map() generator is live; close() must then drop
@@ -617,6 +805,38 @@ class ClusterEvaluator:
             self.failed_addresses = failed
         return self._links
 
+    def _absorb_wire_counters(self, link: _WorkerLink) -> None:
+        framer = getattr(link, "framer", None)
+        if framer is None:
+            return
+        for key in self._wire_totals:
+            self._wire_totals[key] += getattr(framer, key)
+
+    def wire_stats(self) -> dict:
+        """Frame-layer transport counters of this evaluator's sessions.
+
+        ``raw_*`` are pickle bytes before/after compression, ``wire_*``
+        the bytes actually on the wire (length prefix + codec tag +
+        payload); ``compression_ratio`` is raw/wire across both
+        directions (1.0 = incompressible or ``codec == "none"``).
+        """
+        stats = dict(self._wire_totals)
+        codecs = set()
+        if self._links is not None:
+            for link in self._links:
+                framer = getattr(link, "framer", None)
+                if framer is None:
+                    continue
+                codecs.add(framer.codec)
+                for key in stats:
+                    stats[key] += getattr(framer, key)
+        raw = stats["raw_sent"] + stats["raw_received"]
+        wire = stats["wire_sent"] + stats["wire_received"]
+        stats["compression_ratio"] = (raw / wire) if wire else 1.0
+        stats["codec"] = sorted(codecs)[0] if codecs else None
+        stats["pipeline_depth"] = self.pipeline_depth
+        return stats
+
     def close(self) -> None:
         if self._active:
             # A map() generator was abandoned without being finalized;
@@ -627,9 +847,10 @@ class ClusterEvaluator:
         if self._links is not None:
             for link in self._links:
                 try:
-                    send_frame(link.sock, ("bye",))
+                    link.framer.send(("bye",))
                 except (OSError, ConnectionError):
                     pass
+                self._absorb_wire_counters(link)
                 link.close()
             self._links = None
 
@@ -637,6 +858,7 @@ class ClusterEvaluator:
         """Abandon the session: connections may hold in-flight frames."""
         if self._links is not None:
             for link in self._links:
+                self._absorb_wire_counters(link)
                 link.close()
             self._links = None
 
@@ -661,27 +883,42 @@ class ClusterEvaluator:
         state: _MapState,
         cond: threading.Condition,
     ) -> None:
+        # Credit-window pipelining: keep up to `pipeline_depth` chunks
+        # outstanding on this link. `pending` is the send-ordered window
+        # (shared with the scheduler via state.in_flight so finished()
+        # and requeue-on-disconnect see it); the worker executes and
+        # acknowledges strictly in order, so each reply acks the head.
+        depth = self.pipeline_depth
+        pending: deque = deque()
+        with cond:
+            state.in_flight[link_id] = pending
         while True:
+            to_send = []
             with cond:
-                chunk = None
-                while True:
-                    if state.stop or state.failure is not None:
-                        state.live -= 1
-                        cond.notify_all()
-                        return
+                if state.stop or state.failure is not None:
+                    state.in_flight.pop(link_id, None)
+                    state.live -= 1
+                    cond.notify_all()
+                    return
+                while len(pending) < depth:
                     chunk = state.next_chunk()
-                    if chunk is not None:
+                    if chunk is None:
                         break
+                    pending.append(chunk)
+                    to_send.append(chunk)
+                if not pending:
                     if state.finished():
+                        state.in_flight.pop(link_id, None)
                         state.live -= 1
                         cond.notify_all()
                         return
-                    # Another link's in-flight chunk may yet be requeued.
+                    # Another link's in-flight chunks may yet be requeued.
                     cond.wait()
-                state.in_flight[link_id] = chunk
+                    continue
             try:
-                send_frame(link.sock, ("chunk", chunk))
-                reply = recv_frame(link.sock)
+                for chunk in to_send:
+                    link.framer.send(("chunk", chunk))
+                reply = link.framer.recv()
                 if reply is None:
                     raise ConnectionError("worker closed the connection")
             except (OSError, ConnectionError) as exc:
@@ -690,10 +927,12 @@ class ClusterEvaluator:
                     state.in_flight.pop(link_id, None)
                     state.live -= 1
                     if not state.stop:
-                        # Requeue the unacknowledged chunk — exactly-once
+                        # Requeue *every* unacknowledged chunk in this
+                        # link's window, oldest first — exactly-once
                         # merging is preserved because only unacked work
                         # is ever retried (and `done` guards the merge).
-                        state.requeue.append(chunk)
+                        state.requeue.extend(pending)
+                        pending.clear()
                         if state.live == 0 and not state.finished():
                             state.failure = ClusterError(
                                 "all cluster workers disconnected with "
@@ -714,12 +953,13 @@ class ClusterEvaluator:
                     if state.failure is None and not state.stop:
                         state.failure = ClusterError(
                             f"worker {link.address}: reply for chunk "
-                            f"{chunk.index} could not be read: {exc!r}"
+                            f"{pending[0].index if pending else '?'} "
+                            f"could not be read: {exc!r}"
                         )
                     cond.notify_all()
                 return
             with cond:
-                state.in_flight.pop(link_id, None)
+                chunk = pending.popleft()
                 try:
                     if reply[0] == "partial":
                         index, partial = reply[1], reply[2]
@@ -743,6 +983,7 @@ class ClusterEvaluator:
                     )
                 cond.notify_all()
                 if state.failure is not None:
+                    state.in_flight.pop(link_id, None)
                     state.live -= 1
                     return
 
@@ -821,12 +1062,24 @@ class ClusterExecutorFactory:
 
     addresses: tuple[tuple[str, int], ...]
     connect_timeout: float = 10.0
+    #: Outstanding chunks per worker (None = derive from ``mem_budget``
+    #: via AdaptiveSlabPolicy when given, else the module default of 4).
+    pipeline_depth: int | None = None
+    #: Byte budget that sizes the default pipeline depth (the CLI's
+    #: ``--mem-budget``; the slab bound itself arrives pre-resolved).
+    mem_budget: int | None = None
 
     def __call__(self, engine, max_slab: int, model=None) -> ClusterEvaluator:
+        depth = self.pipeline_depth
+        if depth is None and self.mem_budget is not None:
+            depth = AdaptiveSlabPolicy(self.mem_budget).pipeline_depth_for(
+                engine, max_slab
+            )
         return ClusterEvaluator(
             engine,
             self.addresses,
             max_slab=max_slab,
             connect_timeout=self.connect_timeout,
             model=model,
+            pipeline_depth=depth,
         )

@@ -31,7 +31,11 @@ reference runner **bit-for-bit**: same data frame, same recorded flips,
 same branches, same termination — the cross-validation suite asserts this
 on enumerated and random fault sets. :class:`ReferenceSampler` wraps the
 per-shot runner behind the same interface so every consumer can switch
-engines with one argument (``engine="batched" | "reference"``).
+engines with one argument (``engine="batched" | "kernel" | "reference" |
+"auto"``). :class:`KernelSampler` is the raw-speed tier: the same
+compiled form executed through the fused bit-plane kernels of
+:mod:`repro.sim.kernels` (numba when importable, NumPy twins otherwise),
+bit-identical to the batched engine on every consumer.
 
 Packing convention: bit ``s`` of word ``s // 64`` (little bit order), so
 byte-level views match ``np.packbits(..., bitorder="little")`` on
@@ -67,8 +71,10 @@ __all__ = [
     "CompiledProtocol",
     "BatchResult",
     "BatchedSampler",
+    "KernelSampler",
     "ReferenceSampler",
     "make_sampler",
+    "resolve_engine_name",
 ]
 
 _WORD = np.uint64
@@ -497,6 +503,20 @@ class BatchedSampler:
             self._pair_columns[pair] = columns
         return columns
 
+    @staticmethod
+    def _build_group_masks(
+        num_groups: int,
+        words: int,
+        group_of: np.ndarray,
+        sorted_shots: np.ndarray,
+    ) -> np.ndarray:
+        """All per-group shot masks in one scatter (kernel-overridable)."""
+        masks = np.zeros((num_groups, words), dtype=_WORD)
+        shot_words = (sorted_shots >> 6).astype(np.intp)
+        shot_bits = _ONE << (sorted_shots.astype(np.uint64) & np.uint64(63))
+        np.bitwise_or.at(masks, (group_of, shot_words), shot_bits)
+        return masks
+
     def _group_indexed(
         self, loc_idx: np.ndarray, draw_idx: np.ndarray, words: int
     ) -> dict[tuple, _SegmentFaults]:
@@ -536,10 +556,7 @@ class BatchedSampler:
         group_of = np.zeros(sorted_pairs.size, dtype=np.intp)
         group_of[boundaries] = 1
         np.cumsum(group_of, out=group_of)
-        masks = np.zeros((num_groups, words), dtype=_WORD)
-        shot_words = (sorted_shots >> 6).astype(np.intp)
-        shot_bits = _ONE << (sorted_shots.astype(np.uint64) & np.uint64(63))
-        np.bitwise_or.at(masks, (group_of, shot_words), shot_bits)
+        masks = self._build_group_masks(num_groups, words, group_of, sorted_shots)
         # Locations (and hence sorted pair ids) are contiguous per segment,
         # so the per-segment runs fall out of one more diff.
         pairs_at = sorted_pairs[starts]
@@ -721,6 +738,141 @@ class BatchedSampler:
             state.bits[bit] = values & mask
 
 
+# -- compiled kernel tier -----------------------------------------------------
+
+
+class KernelSampler(BatchedSampler):
+    """The batched engine with its hot loops routed through
+    :mod:`repro.sim.kernels` (``engine="kernel"``).
+
+    Semantically this *is* :class:`BatchedSampler` — same compilation,
+    same grouping, same judge — but the three dispatch-bound inner loops
+    (segment application, residual coset popcounts, grouped-mask
+    scatter) run as fused kernels: numba-compiled when numba is
+    importable (:func:`repro.sim.kernels.available`), else their
+    pure-NumPy twins. Either way the results are **bit-identical** to
+    the NumPy batched engine — pinned across every catalog code and
+    every routed consumer in ``tests/sim/test_kernels.py``, exactly as
+    ``BatchedSampler`` is pinned against ``ReferenceSampler``.
+
+    Use ``engine="auto"`` to get this tier opportunistically: it
+    resolves to ``"kernel"`` when numba is importable and to
+    ``"batched"`` otherwise, and never errors on a numba-free
+    interpreter.
+    """
+
+    name = "kernel"
+
+    def __init__(self, protocol: DeterministicProtocol, judge: LogicalJudge | None = None):
+        super().__init__(protocol, judge=judge)
+        self._segment_csr: dict[tuple, tuple[np.ndarray, np.ndarray]] = {}
+
+    @property
+    def backend(self) -> str:
+        """``"numba"`` or ``"numpy"`` — resolved per process, never
+        pickled, so a cached engine moving between environments always
+        uses whatever tier its interpreter actually has."""
+        from . import kernels
+
+        return kernels.backend_name()
+
+    def _csr_of(self, segment: CompiledSegment) -> tuple[np.ndarray, np.ndarray]:
+        """Segment linear map as one CSR over frame + bit components.
+
+        Row ``c`` lists the incoming components whose XOR produces
+        outgoing component ``c``; rows ``2 * num_wires + slot`` are the
+        measured bits in ``bit_rows`` order — the same component ids
+        :meth:`CompiledSegment.signature_columns` emits, so the fault
+        scatter lands in the same rows.
+        """
+        cached = self._segment_csr.get(segment.key)
+        if cached is None:
+            row_lists = list(segment.out_rows) + [
+                rows for _, rows in segment.bit_rows
+            ]
+            counts = np.asarray([rows.size for rows in row_lists], dtype=np.int64)
+            indptr = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
+            indices = (
+                np.concatenate(row_lists).astype(np.int64)
+                if len(row_lists)
+                else np.zeros(0, dtype=np.int64)
+            )
+            cached = (indptr, indices)
+            self._segment_csr[segment.key] = cached
+        return cached
+
+    def _build_group_masks(
+        self,
+        num_groups: int,
+        words: int,
+        group_of: np.ndarray,
+        sorted_shots: np.ndarray,
+    ) -> np.ndarray:
+        from . import kernels
+
+        masks = np.zeros((num_groups, words), dtype=_WORD)
+        shot_words = (sorted_shots >> 6).astype(np.intp)
+        shot_bits = _ONE << (sorted_shots.astype(np.uint64) & np.uint64(63))
+        kernels.scatter_masks(masks, group_of, shot_words, shot_bits)
+        return masks
+
+    def _state_residual_weights(
+        self, state: "_PackedState", x_reducer, z_reducer
+    ) -> tuple[np.ndarray, np.ndarray]:
+        from . import kernels
+
+        if state.num_shots == 0:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty.copy()
+        data_x = self._unpack_data(state.x, state.num_shots)
+        data_z = self._unpack_data(state.z, state.num_shots)
+        return (
+            kernels.coset_weights(data_x, x_reducer._span),
+            kernels.coset_weights(data_z, z_reducer._span),
+        )
+
+    def _apply_segment(
+        self,
+        state: _PackedState,
+        segment_key: tuple,
+        mask: np.ndarray,
+        faults: dict,
+    ) -> None:
+        from . import kernels
+
+        segment = self.compiled.segments[segment_key]
+        num_wires = self.compiled.num_wires
+        indptr, indices = self._csr_of(segment)
+        incoming = np.concatenate([state.x, state.z], axis=0)
+        out = np.zeros((indptr.size - 1, state.words), dtype=_WORD)
+        entry = faults.get(segment_key)
+        if entry is not None and entry.columns.size:
+            fault_rows = np.repeat(
+                np.arange(entry.counts.size, dtype=np.int64), entry.counts
+            )
+            fault_cols = entry.columns.astype(np.int64)
+            fault_masks = entry.masks
+        else:
+            fault_rows = np.zeros(0, dtype=np.int64)
+            fault_cols = np.zeros(0, dtype=np.int64)
+            fault_masks = np.zeros((0, state.words), dtype=_WORD)
+        kernels.apply_segment(
+            incoming,
+            indptr,
+            indices,
+            2 * num_wires,
+            fault_rows,
+            fault_cols,
+            fault_masks,
+            mask,
+            out,
+        )
+        state.x = out[:num_wires]
+        state.z = out[num_wires : 2 * num_wires]
+        for slot, bit in enumerate(segment.bit_names):
+            state.bits[bit] = out[2 * num_wires + slot]
+
+
 # -- reference wrapper --------------------------------------------------------
 
 
@@ -809,7 +961,25 @@ class ReferenceSampler:
         )
 
 
-_ENGINES = {"batched": BatchedSampler, "reference": ReferenceSampler}
+_ENGINES = {
+    "batched": BatchedSampler,
+    "kernel": KernelSampler,
+    "reference": ReferenceSampler,
+}
+
+#: Engines whose construction compiles something worth caching on disk.
+_CACHED_ENGINES = frozenset({"batched", "kernel"})
+
+
+def resolve_engine_name(engine: str) -> str:
+    """Resolve the ``"auto"`` tier: ``"kernel"`` when numba is
+    importable, ``"batched"`` otherwise — never an error on a numba-free
+    interpreter. Concrete names pass through unchanged."""
+    if engine == "auto":
+        from . import kernels
+
+        return "kernel" if kernels.available() else "batched"
+    return engine
 
 
 def make_sampler(
@@ -819,24 +989,29 @@ def make_sampler(
     judge: LogicalJudge | None = None,
     store=None,
 ):
-    """Engine factory: ``engine`` is ``"batched"`` or ``"reference"``.
+    """Engine factory: ``engine`` is ``"batched"``, ``"kernel"``,
+    ``"reference"``, or ``"auto"`` (kernel tier when numba is
+    importable, else batched — see :func:`resolve_engine_name`).
 
     With the artifact store enabled (``repro.store``), compiled batched
-    engines are cached on disk under a content key derived from the
-    canonical protocol JSON digest (:func:`repro.store.keys.engine_key`),
-    so a fresh process — a spawn-pool worker, a restarted cluster
-    worker, the next CLI invocation — loads the compiled segment maps
-    instead of recompiling them. Cache hits and misses return
-    functionally identical engines (the compilation is deterministic);
-    the reference engine is never cached (it compiles nothing).
+    and kernel engines are cached on disk under a content key derived
+    from the canonical protocol JSON digest
+    (:func:`repro.store.keys.engine_key`), so a fresh process — a
+    spawn-pool worker, a restarted cluster worker, the next CLI
+    invocation — loads the compiled segment maps instead of recompiling
+    them. Cache hits and misses return functionally identical engines
+    (the compilation is deterministic); the reference engine is never
+    cached (it compiles nothing).
     """
+    engine = resolve_engine_name(engine)
     try:
         cls = _ENGINES[engine]
     except KeyError:
         raise ValueError(
-            f"unknown engine {engine!r} (expected one of {sorted(_ENGINES)})"
+            f"unknown engine {engine!r} (expected one of "
+            f"{sorted(_ENGINES)} or 'auto')"
         ) from None
-    if engine != "batched":
+    if engine not in _CACHED_ENGINES:
         return cls(protocol, judge=judge)
     from ..store import keys as store_keys
     from ..store import resolve_store
@@ -848,7 +1023,7 @@ def make_sampler(
     if key is None:  # unpicklable inputs can't be named stably
         return cls(protocol, judge=judge)
     cached = store.get_object("engine", key)
-    if isinstance(cached, cls):
+    if type(cached) is cls:  # exact: KernelSampler subclasses BatchedSampler
         return cached
     sampler = cls(protocol, judge=judge)
     store.put_object("engine", key, sampler)

@@ -158,6 +158,20 @@ class AdaptiveSlabPolicy:
         per_config = self.bytes_per_config(engine)
         return max(1, min(self.ceiling, self.mem_budget // per_config))
 
+    def pipeline_depth_for(self, engine, max_slab: int) -> int:
+        """Cluster credit window sized so the whole in-flight pipeline
+        stays inside the byte budget.
+
+        A worker with ``depth`` unacknowledged chunks may materialize
+        (at worst, back to back) ``depth`` slabs' worth of
+        configurations, so the window is ``mem_budget`` divided by one
+        slab's estimated footprint — floored at 2 (pipelining stays on;
+        a budget-derived slab already fills the budget by itself) and
+        capped at 32 (past that the window hides no more latency).
+        """
+        slab_bytes = max(1, int(max_slab)) * self.bytes_per_config(engine)
+        return max(2, min(32, self.mem_budget // max(1, slab_bytes)))
+
 
 # -- chunk specs ---------------------------------------------------------------
 #

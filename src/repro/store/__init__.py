@@ -14,19 +14,29 @@ Results are bit-identical with the store enabled or disabled.
 from . import keys
 from .store import (
     ArtifactStore,
+    CodecUnavailable,
     StoreEntry,
     StoreStats,
     active_store,
+    available_codecs,
+    compress_blob,
+    decompress_blob,
     default_store_root,
+    preferred_codec,
     resolve_store,
 )
 
 __all__ = [
     "ArtifactStore",
+    "CodecUnavailable",
     "StoreEntry",
     "StoreStats",
     "active_store",
+    "available_codecs",
+    "compress_blob",
+    "decompress_blob",
     "default_store_root",
     "keys",
+    "preferred_codec",
     "resolve_store",
 ]

@@ -53,10 +53,15 @@ from typing import Iterator
 
 __all__ = [
     "ArtifactStore",
+    "CodecUnavailable",
     "StoreEntry",
     "StoreStats",
     "active_store",
+    "available_codecs",
+    "compress_blob",
+    "decompress_blob",
     "default_store_root",
+    "preferred_codec",
     "resolve_store",
 ]
 
@@ -85,21 +90,70 @@ def _compress(codec: str, raw: bytes) -> bytes:
 def _decompress(codec: str, payload: bytes) -> bytes:
     if codec == "zstd":
         if _zstd is None:
-            raise _CodecUnavailable("zstd")
+            raise CodecUnavailable("zstd")
         return _zstd.ZstdDecompressor().decompress(payload)
     if codec == "zlib":
         return zlib.decompress(payload)
     if codec == "none":
         return payload
-    raise _CodecUnavailable(codec)
+    raise CodecUnavailable(codec)
 
 
 def _preferred_codec() -> str:
     return "zstd" if _zstd is not None else "zlib"
 
 
-class _CodecUnavailable(Exception):
-    """Entry written with a codec this environment cannot read."""
+class CodecUnavailable(Exception):
+    """A payload written with a codec this environment cannot read."""
+
+
+# Store internals predate the public name; both refer to one class.
+_CodecUnavailable = CodecUnavailable
+
+
+# -- the codec layer, public ---------------------------------------------------
+#
+# The same zstd-with-zlib-fallback compression the store applies to disk
+# entries, exposed for other transports (the cluster wire protocol tags
+# each frame with one of these codec names — see repro.sim.cluster).
+
+
+def available_codecs() -> tuple[str, ...]:
+    """Codecs this environment can read and write, best first.
+
+    ``"none"`` (identity) is always last, so the tuple doubles as a
+    negotiation preference list that can never be empty.
+    """
+    if _zstd is not None:
+        return ("zstd", "zlib", "none")
+    return ("zlib", "none")
+
+
+def preferred_codec() -> str:
+    """The best compressing codec this environment can write."""
+    return _preferred_codec()
+
+
+def compress_blob(raw: bytes, codec: str | None = None) -> tuple[str, bytes]:
+    """Compress ``raw`` with ``codec`` (default: :func:`preferred_codec`).
+
+    Returns ``(codec, payload)`` — with ``("none", raw)`` whenever the
+    compressed payload would not be smaller than the input, so callers
+    can tag and ship the result without a size check of their own.
+    """
+    if codec is None:
+        codec = _preferred_codec()
+    payload = _compress(codec, raw)
+    if len(payload) >= len(raw):
+        return "none", raw
+    return codec, payload
+
+
+def decompress_blob(codec: str, payload) -> bytes:
+    """Invert :func:`compress_blob`; raises :class:`CodecUnavailable`
+    when this environment lacks ``codec`` (e.g. a zstd payload on a
+    zstandard-free interpreter)."""
+    return _decompress(codec, payload)
 
 
 class _Corrupt(Exception):

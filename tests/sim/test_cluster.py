@@ -656,6 +656,226 @@ class TestHeterogeneousModelOnCluster:
         assert inline  # crosstalk events do defeat a d=3 protocol
 
 
+class TestPipelinedFabric:
+    """Protocol-3 credit window + compressed frames: scheduling and the
+    wire codec may change throughput, never results."""
+
+    def test_old_version_peer_rejected_cleanly(
+        self, steane_engine, spin_workers
+    ):
+        """A protocol-2 coordinator gets a readable reject, not a hung
+        socket or a codec-byte desync (handshake frames stayed raw for
+        exactly this reason)."""
+        import repro.sim.cluster as cluster_module
+
+        (address,) = spin_workers(1)
+        sock = socket.create_connection(address, timeout=5)
+        try:
+            send_frame(
+                sock,
+                ("hello", cluster_module._MAGIC, PROTOCOL_VERSION - 1, None),
+            )
+            reply = recv_frame(sock)
+        finally:
+            sock.close()
+        assert reply[0] == "reject"
+        assert "version mismatch" in reply[1]
+
+    def test_codec_negotiation_prefers_coordinator_order(self):
+        from repro.sim.cluster import _negotiate_codec
+        from repro.store import available_codecs
+
+        ours = available_codecs()
+        # The coordinator's preference list is walked in order; the
+        # first mutually-speakable codec wins.
+        assert _negotiate_codec(ours) == ours[0]
+        assert _negotiate_codec(("none", "zlib")) == "none"
+        # No overlap (or no list at all) falls back to raw frames.
+        assert _negotiate_codec(("martian",)) == "none"
+        assert _negotiate_codec(()) == "none"
+        assert _negotiate_codec(None) == "none"
+
+    def test_welcome_announces_codec_framer_uses_it(
+        self, steane_engine, spin_workers
+    ):
+        from repro.store import available_codecs
+
+        (address,) = spin_workers(1)
+        with ClusterEvaluator(
+            steane_engine, [address], max_slab=64
+        ) as evaluator:
+            (link,) = evaluator._ensure_links()
+            assert link.info["codec"] == available_codecs()[0]
+            assert link.framer.codec == link.info["codec"]
+
+    def test_multi_chunk_in_flight_requeue_bit_identical(
+        self, steane_engine, spin_workers
+    ):
+        """The acceptance drill: a worker killed with a *window* of
+        unacknowledged chunks in flight (depth 6, dies after 2) must
+        have the entire window requeued — nothing lost, nothing
+        double-counted."""
+        (survivor,) = spin_workers(1)
+        (dying,) = spin_workers(1, max_chunks=2)
+        inline = ShardedEvaluator(steane_engine, max_slab=8)
+        baseline = inline.reduce(
+            inline.planner.plan_rows(checkable_only=True, threshold=1)
+        )
+        with ClusterEvaluator(
+            steane_engine, [dying, survivor], max_slab=8, pipeline_depth=6
+        ) as evaluator:
+            assert evaluator.pipeline_depth == 6
+            merged = evaluator.reduce(
+                evaluator.planner.plan_rows(checkable_only=True, threshold=1)
+            )
+        assert merged.trials == baseline.trials
+        assert merged.heavy == baseline.heavy
+        np.testing.assert_array_equal(merged.rows, baseline.rows)
+        np.testing.assert_array_equal(merged.x_hist, baseline.x_hist)
+        np.testing.assert_array_equal(merged.z_hist, baseline.z_hist)
+
+    def test_depth_one_degenerates_to_lockstep(
+        self, steane_engine, spin_workers
+    ):
+        """pipeline_depth=1 is the old ack-per-chunk protocol: at most
+        one outstanding chunk, same merged results."""
+        addresses = spin_workers(2)
+        inline = ShardedEvaluator(steane_engine, max_slab=16)
+        baseline = inline.reduce(inline.planner.plan_stratum(2, 1500, 42))
+        with ClusterEvaluator(
+            steane_engine, addresses, max_slab=16, pipeline_depth=1
+        ) as evaluator:
+            merged = evaluator.reduce(
+                evaluator.planner.plan_stratum(2, 1500, 42)
+            )
+            assert evaluator.wire_stats()["pipeline_depth"] == 1
+        assert (merged.trials, merged.failures) == (
+            baseline.trials,
+            baseline.failures,
+        )
+
+    def test_depth_resolution_and_clamping(self, steane_engine):
+        addresses = [("127.0.0.1", 1)]
+        assert (
+            ClusterEvaluator(steane_engine, addresses).pipeline_depth == 4
+        )
+        assert (
+            ClusterEvaluator(
+                steane_engine, addresses, pipeline_depth=1000
+            ).pipeline_depth
+            == 32
+        )
+        assert (
+            ClusterEvaluator(
+                steane_engine, addresses, pipeline_depth=0
+            ).pipeline_depth
+            == 1
+        )
+        # mem_budget sizes the window so depth x slab footprint fits.
+        budget = 1 << 22
+        sized = ClusterEvaluator(
+            steane_engine, addresses, mem_budget=budget
+        )
+        policy = AdaptiveSlabPolicy(budget)
+        assert sized.pipeline_depth == policy.pipeline_depth_for(
+            steane_engine, sized.max_slab
+        )
+
+    def test_pipeline_depth_for_fits_budget(self, steane_engine):
+        policy = AdaptiveSlabPolicy(mem_budget=1 << 24)
+        slab = policy.slab_for(steane_engine)
+        depth = policy.pipeline_depth_for(steane_engine, slab)
+        per_config = policy.bytes_per_config(steane_engine)
+        assert 2 <= depth <= 32
+        # The floor is 2 (a window of 1 is lockstep, allowed only by
+        # explicit request); above the floor the window fits the budget.
+        if depth > 2:
+            assert depth * slab * per_config <= policy.mem_budget
+
+    def test_executor_factory_forwards_depth(self, steane_engine):
+        explicit = ClusterExecutorFactory(
+            (("127.0.0.1", 1),), pipeline_depth=7
+        )
+        assert explicit(steane_engine, 64).pipeline_depth == 7
+        budget = 1 << 22
+        derived = ClusterExecutorFactory(
+            (("127.0.0.1", 1),), mem_budget=budget
+        )
+        expected = AdaptiveSlabPolicy(budget).pipeline_depth_for(
+            steane_engine, 64
+        )
+        assert derived(steane_engine, 64).pipeline_depth == expected
+
+    def test_wire_stats_counts_and_survives_close(
+        self, steane_engine, spin_workers
+    ):
+        from repro.store import available_codecs
+
+        (address,) = spin_workers(1)
+        evaluator = ClusterEvaluator(steane_engine, [address], max_slab=64)
+        merged = evaluator.reduce(evaluator.planner.plan_stratum(1, 500, 9))
+        assert merged.trials == 500
+        live = evaluator.wire_stats()
+        assert live["frames_sent"] > 0
+        assert live["frames_received"] > 0
+        assert live["raw_sent"] > 0 and live["wire_sent"] > 0
+        assert live["compression_ratio"] > 0
+        assert live["codec"] == available_codecs()[0]
+        evaluator.close()
+        # Retired-link counters are absorbed, not dropped, at close()
+        # (the bye frame itself is one more sent frame).
+        closed = evaluator.wire_stats()
+        assert closed["frames_sent"] >= live["frames_sent"]
+        assert closed["raw_received"] >= live["raw_received"]
+
+    def test_framer_round_trip_and_counters(self):
+        from repro.sim.cluster import _Framer
+        from repro.store import preferred_codec
+
+        left, right = socket.socketpair()
+        sender = _Framer(left, preferred_codec())
+        receiver = _Framer(right, preferred_codec())
+        try:
+            compressible = ("chunk", {"rows": list(range(2000))})
+            sender.send(compressible)
+            assert receiver.recv() == compressible
+            # 2000 small ints pickle highly redundantly: the codec must
+            # have shrunk the wire below the raw pickle size.
+            assert sender.wire_sent < sender.raw_sent
+            assert receiver.raw_received == sender.raw_sent
+            # An incompressible payload ships raw under the "none" tag
+            # instead of inflating the wire (9 bytes framing overhead).
+            import os as _os
+
+            noise = ("blob", _os.urandom(1 << 14))
+            sender.send(noise)
+            kind, blob = receiver.recv()
+            assert kind == "blob" and blob == noise[1]
+            assert receiver.frames_received == 2
+        finally:
+            left.close()
+            right.close()
+
+    def test_framer_rejects_unknown_codec(self):
+        from repro.sim.cluster import _Framer
+
+        left, right = socket.socketpair()
+        try:
+            with pytest.raises(ClusterProtocolError, match="unknown frame codec"):
+                _Framer(left, "martian")
+            # An unknown codec id on the wire is a protocol error, not
+            # a silent mis-decode.
+            framer = _Framer(right, "none")
+            import struct as _struct
+
+            left.sendall(_struct.pack(">Q", 2) + bytes((250, 0)))
+            with pytest.raises(ClusterProtocolError, match="codec id"):
+                framer.recv()
+        finally:
+            left.close()
+            right.close()
+
+
 def _free_port() -> int:
     """A port that was just free (nothing listens on it afterwards)."""
     probe = socket.socket()

@@ -277,3 +277,48 @@ class TestResolution:
         assert resolve_store(None).root == tmp_path
         with pytest.raises(TypeError):
             resolve_store("/a/path")
+
+
+class TestPublicCodecLayer:
+    """The store's codec stack as a public API (the cluster wire
+    protocol compresses its frames through exactly these calls)."""
+
+    def test_available_codecs_ordered_best_first(self):
+        from repro.store import available_codecs, preferred_codec
+
+        codecs = available_codecs()
+        assert codecs[0] == preferred_codec()
+        assert codecs[-1] == "none"
+        assert "zlib" in codecs  # stdlib: always speakable
+
+    def test_compress_round_trip(self):
+        from repro.store import compress_blob, decompress_blob
+
+        raw = b"repetition " * 4096
+        codec, payload = compress_blob(raw)
+        assert codec != "none"
+        assert len(payload) < len(raw)
+        assert decompress_blob(codec, payload) == raw
+
+    def test_incompressible_falls_back_to_none(self):
+        import os as _os
+
+        from repro.store import compress_blob, decompress_blob
+
+        raw = _os.urandom(4096)
+        codec, payload = compress_blob(raw)
+        assert codec == "none"
+        assert payload == raw
+        assert decompress_blob(codec, payload) == raw
+
+    def test_explicit_none_is_identity(self):
+        from repro.store import compress_blob
+
+        raw = b"y" * 1000
+        assert compress_blob(raw, "none") == ("none", raw)
+
+    def test_unknown_codec_raises(self):
+        from repro.store import CodecUnavailable, decompress_blob
+
+        with pytest.raises(CodecUnavailable):
+            decompress_blob("lz-imaginary", b"payload")

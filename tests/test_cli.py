@@ -48,6 +48,37 @@ class TestParser:
             assert args.cluster == "127.0.0.1:7781,127.0.0.1:7782"
             assert args.mem_budget == "64M"
 
+    def test_pipeline_depth_on_every_engine_backed_subcommand(self):
+        for command in (
+            ["check", "steane"],
+            ["ftcheck", "steane"],
+            ["simulate", "steane"],
+            ["table1"],
+            ["figure4"],
+            ["budget", "steane"],
+        ):
+            args = build_parser().parse_args(command)
+            assert args.pipeline_depth is None, command
+            args = build_parser().parse_args(command + ["--pipeline-depth", "8"])
+            assert args.pipeline_depth == 8
+
+    def test_engine_choices_include_kernel_and_auto(self):
+        for command in (
+            ["ftcheck", "steane"],
+            ["simulate", "steane"],
+            ["figure4"],
+            ["budget", "steane"],
+        ):
+            for engine in ("batched", "kernel", "auto", "reference"):
+                args = build_parser().parse_args(
+                    command + ["--engine", engine]
+                )
+                assert args.engine == engine
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["budget", "steane", "--engine", "warp"]
+            )
+
     def test_figure4_shard_axis(self):
         args = build_parser().parse_args(["figure4"])
         assert args.shard == "auto"
@@ -157,6 +188,40 @@ class TestCommands:
         batched = capsys.readouterr().out
         assert main(["budget", "steane", "--engine", "reference"]) == 0
         assert capsys.readouterr().out == batched
+
+    def test_budget_kernel_and_auto_engines_identical(self, capsys):
+        """The raw-speed tier and its auto resolution reproduce the
+        batched output byte-for-byte — on any interpreter, numba or not."""
+        assert main(["budget", "steane"]) == 0
+        batched = capsys.readouterr().out
+        assert main(["budget", "steane", "--engine", "kernel"]) == 0
+        assert capsys.readouterr().out == batched
+        assert main(["budget", "steane", "--engine", "auto"]) == 0
+        assert capsys.readouterr().out == batched
+
+    def test_budget_cluster_pipeline_depth_identical(self, capsys):
+        """--pipeline-depth only changes scheduling, never results."""
+        import threading
+
+        from repro.sim.cluster import ClusterWorker
+
+        assert main(["budget", "steane"]) == 0
+        serial = capsys.readouterr().out
+        worker = ClusterWorker("127.0.0.1", 0)
+        threading.Thread(target=worker.serve_forever, daemon=True).start()
+        spec = f"{worker.host}:{worker.port}"
+        try:
+            for depth in ("1", "8"):
+                assert (
+                    main(
+                        ["budget", "steane", "--cluster", spec,
+                         "--pipeline-depth", depth]
+                    )
+                    == 0
+                )
+                assert capsys.readouterr().out == serial
+        finally:
+            worker.stop()
 
     def test_budget_sharded_identical(self, capsys):
         assert main(["budget", "steane"]) == 0
