@@ -31,6 +31,17 @@ the content-addressed artifact store (``repro.store``, default
 PATH`` to point at a different root and ``--no-store`` to bypass caching
 entirely — results are bit-identical either way. ``python -m repro store
 ls|verify|gc`` inspects and maintains the store itself.
+
+Computed *results* (sweep tallies, FT certificates, error budgets,
+direct-MC estimates) are deduplicated through a second cache, the
+append-only results ledger (``repro.serve.ledger``, default
+``~/.cache/repro-ledger``): ``simulate``/``figure4`` consult it before
+dispatching engine work, ``--ledger PATH`` / ``--no-ledger`` mirror the
+store flags, and ``python -m repro ledger ls|show|verify|gc`` maintains
+it. ``python -m repro serve --listen HOST:PORT`` runs the resident
+simulation daemon on top of both caches; ``python -m repro query
+--connect HOST:PORT sweep|ftcheck|budget|direct|stats|ping|shutdown``
+talks to it (see ``docs/serve.md``).
 """
 
 from __future__ import annotations
@@ -157,6 +168,38 @@ def _apply_store_flags(args) -> None:
         os.environ["REPRO_STORE"] = str(args.store)
 
 
+def _add_ledger_flags(parser: argparse.ArgumentParser) -> None:
+    """The results-ledger knobs (``repro.serve.ledger``)."""
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument(
+        "--ledger",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=(
+            "results-ledger root for this invocation (default: the "
+            "REPRO_LEDGER environment variable, else ~/.cache/repro-ledger)"
+        ),
+    )
+    group.add_argument(
+        "--no-ledger",
+        action="store_true",
+        help=(
+            "bypass the results ledger: recompute every tally, record "
+            "nothing (results are bit-identical with or without it)"
+        ),
+    )
+
+
+def _apply_ledger_flags(args) -> None:
+    """Fold ``--ledger`` / ``--no-ledger`` into ``REPRO_LEDGER``
+    (mirrors :func:`_apply_store_flags` — children inherit it too)."""
+    if getattr(args, "no_ledger", False):
+        os.environ["REPRO_LEDGER"] = "off"
+    elif getattr(args, "ledger", None):
+        os.environ["REPRO_LEDGER"] = str(args.ledger)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -270,6 +313,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_shard_flags(simulate)
     _add_store_flags(simulate)
+    _add_ledger_flags(simulate)
 
     table1 = sub.add_parser("table1", help="regenerate the paper's Table I")
     table1.add_argument(
@@ -315,6 +359,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_shard_flags(figure4)
     _add_store_flags(figure4)
+    _add_ledger_flags(figure4)
 
     budget = sub.add_parser(
         "budget",
@@ -402,6 +447,177 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "target total payload size (accepts K/M/G suffixes, e.g. "
             "512M); least-recently-read entries are removed first"
+        ),
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help=(
+            "resident simulation daemon: keeps compiled engines warm and "
+            "dedups repeated queries through the results ledger "
+            "(repro.serve; query it with 'repro query')"
+        ),
+    )
+    serve.add_argument(
+        "--listen",
+        required=True,
+        metavar="HOST:PORT",
+        help="listen address (PORT 0 binds an ephemeral port and prints it)",
+    )
+    serve.add_argument(
+        "--engine-slots",
+        type=int,
+        default=8,
+        metavar="N",
+        help="resident compiled-engine LRU capacity (per engine name)",
+    )
+    serve.add_argument(
+        "--compute-threads",
+        type=int,
+        default=4,
+        metavar="N",
+        help=(
+            "concurrent computations (>= 2 so a long compute never "
+            "blocks protocol resolution for other clients)"
+        ),
+    )
+    _add_shard_flags(serve)
+    _add_store_flags(serve)
+    _add_ledger_flags(serve)
+
+    query = sub.add_parser(
+        "query",
+        help="send one request to a running 'repro serve' daemon",
+    )
+    query.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="daemon address (as printed by 'repro serve')",
+    )
+    query.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        metavar="SECONDS",
+        help="socket timeout waiting for the result",
+    )
+    query.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="print the raw result line as JSON instead of rendering it",
+    )
+    query_sub = query.add_subparsers(dest="query_command", required=True)
+
+    def _add_query_protocol_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("code", help="catalog code key")
+        p.add_argument(
+            "--prep", choices=["heuristic", "optimal"], default="heuristic"
+        )
+        p.add_argument(
+            "--verification",
+            choices=["optimal", "greedy", "global"],
+            default="optimal",
+        )
+        p.add_argument(
+            "--engine",
+            choices=["batched", "kernel", "auto", "reference"],
+            default="batched",
+            help="server-side execution engine (identical results)",
+        )
+        p.add_argument(
+            "--noise",
+            type=str,
+            default=None,
+            metavar="SPEC",
+            help="noise model spec (see 'repro simulate --help')",
+        )
+
+    q_sweep = query_sub.add_parser(
+        "sweep", help="subset-sampled logical error curve (simulate/figure4)"
+    )
+    _add_query_protocol_flags(q_sweep)
+    q_sweep.add_argument("--shots", type=int, default=4000)
+    q_sweep.add_argument("--k-max", type=int, default=3)
+    q_sweep.add_argument("--seed", type=int, default=2025)
+    q_sweep.add_argument(
+        "--p",
+        type=float,
+        nargs="+",
+        default=None,
+        help="physical error rates to report (default: the Fig. 4 grid)",
+    )
+    q_sweep.add_argument(
+        "--direct-at",
+        type=float,
+        default=None,
+        metavar="P",
+        help="also run a direct-MC consistency check at this rate",
+    )
+    q_sweep.add_argument("--direct-shots", type=int, default=4000)
+    q_ftcheck = query_sub.add_parser(
+        "ftcheck", help="exhaustive single-fault FT certificate"
+    )
+    _add_query_protocol_flags(q_ftcheck)
+    q_ftcheck.add_argument("--max-violations", type=int, default=10)
+    q_budget = query_sub.add_parser(
+        "budget", help="exact two-fault error budget"
+    )
+    _add_query_protocol_flags(q_budget)
+    q_budget.add_argument("--max-runs", type=int, default=2_000_000)
+    q_direct = query_sub.add_parser(
+        "direct", help="plain Bernoulli Monte-Carlo at one rate"
+    )
+    _add_query_protocol_flags(q_direct)
+    q_direct.add_argument("p", type=float, help="physical error rate")
+    q_direct.add_argument("--shots", type=int, default=4000)
+    q_direct.add_argument("--seed", type=int, default=2025)
+    query_sub.add_parser("ping", help="liveness + protocol version check")
+    query_sub.add_parser("stats", help="daemon counters and resident state")
+    query_sub.add_parser("shutdown", help="ask the daemon to exit")
+
+    ledger_cmd = sub.add_parser(
+        "ledger",
+        help="inspect and maintain the results ledger (repro.serve.ledger)",
+    )
+    ledger_cmd.add_argument(
+        "--ledger",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=(
+            "ledger root to operate on (default: REPRO_LEDGER, else "
+            "~/.cache/repro-ledger)"
+        ),
+    )
+    ledger_sub = ledger_cmd.add_subparsers(dest="ledger_command", required=True)
+    ledger_sub.add_parser(
+        "ls", help="list every record: kind, key, size, age"
+    )
+    show = ledger_sub.add_parser(
+        "show", help="print one record's JSON payload"
+    )
+    show.add_argument("kind", help="record kind (see 'ls')")
+    show.add_argument("key", help="record key (see 'ls')")
+    ledger_sub.add_parser(
+        "verify",
+        help=(
+            "re-hash every line against its recorded digest; corrupt "
+            "lines are quarantined (never deleted, never served)"
+        ),
+    )
+    ledger_gc = ledger_sub.add_parser(
+        "gc", help="compact segments and evict oldest records to a budget"
+    )
+    ledger_gc.add_argument(
+        "--max-bytes",
+        type=str,
+        required=True,
+        metavar="BYTES",
+        help=(
+            "target total segment size (accepts K/M/G suffixes, e.g. "
+            "64M); oldest records are evicted first after compaction"
         ),
     )
 
@@ -785,6 +1001,224 @@ def _cmd_store(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from .serve.server import ReproServer
+
+    host, _, port_text = args.listen.rpartition(":")
+    if not port_text.isdigit():
+        print(
+            f"error: --listen expects HOST:PORT, got {args.listen!r}",
+            file=sys.stderr,
+        )
+        return 2
+    if getattr(args, "noise", None):
+        # Noise is a per-request parameter on the wire; a daemon-wide
+        # default would silently change what clients asked for.
+        print(
+            "error: 'repro serve' takes no --noise; pass it per query "
+            "('repro query sweep CODE --noise SPEC')",
+            file=sys.stderr,
+        )
+        return 2
+    kwargs = _shard_kwargs(args)
+    server = ReproServer(
+        host or "0.0.0.0",
+        int(port_text),
+        engine_slots=args.engine_slots,
+        compute_threads=args.compute_threads,
+        workers=kwargs["workers"],
+        max_slab=kwargs["max_slab"],
+        mem_budget=kwargs["mem_budget"],
+        executor=kwargs["executor"],
+    )
+    # Background start so the bound address is printed (and flushed)
+    # before any request is served; PORT 0 reports the ephemeral port.
+    bound_host, bound_port = server.start_background()
+    ledger_label = "off" if server.ledger is None else str(server.ledger.root)
+    print(
+        f"repro serve listening on {bound_host}:{bound_port} "
+        f"(ledger: {ledger_label})",
+        flush=True,
+    )
+    thread = server._thread
+    try:
+        while thread is not None and thread.is_alive():
+            thread.join(timeout=1.0)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    return 0
+
+
+def _render_query_result(op: str, line: dict) -> None:
+    """Human rendering of one daemon result line (CLI-shaped output)."""
+    result = line["result"]
+    source = line.get("source")
+    if op == "sweep":
+        print(
+            f"{result['code']}: f_1 = {result['f1_exact']} (exact, "
+            f"{result['shots']} shots, source={source})"
+        )
+        if result["skipped"]:
+            low = min(result["skipped"])
+            print(
+                f"  (skipping p >= {low:.3g}: a site rate of the model "
+                "would reach 1 there)"
+            )
+        for e in result["estimates"]:
+            print(
+                f"  p={e['p']:.6g}: p_L = {e['mean']:.6g} "
+                f"[{e['lower']:.6g}, {e['upper']:.6g}] "
+                f"(tail <= {e['tail']:.3g})"
+            )
+        if result.get("direct"):
+            d = result["direct"]
+            print(
+                f"  direct p={d['p']:.6g}: {d['failures']}/{d['trials']} "
+                "failures"
+            )
+    elif op == "ftcheck":
+        if result["fault_tolerant"]:
+            print(
+                f"{result['code']}: fault tolerant — every single fault "
+                f"leaves wt_S <= 1 (source={source})"
+            )
+        else:
+            print(
+                f"{result['code']}: NOT fault tolerant — "
+                f"{len(result['violations'])} violations (source={source}):"
+            )
+            for violation in result["violations"]:
+                print(f"  {violation['rendered']}")
+    elif op == "budget":
+        print(
+            f"{result['code']}: f_2 = {result['f2_exact']:.6g}, "
+            f"c_2 = {result['c2_exact']:.6g} "
+            f"({result['num_locations']} locations, source={source})"
+        )
+        for a, b, mass in result["segment_pairs"]:
+            print(f"  {a} x {b}: {mass:.6g}")
+    elif op == "direct":
+        print(
+            f"{result['code']}: direct p={result['p']:.6g}: "
+            f"{result['failures']}/{result['trials']} failures "
+            f"(source={source})"
+        )
+    else:  # ping / stats / shutdown
+        import json
+
+        print(json.dumps(result, indent=2, sort_keys=True))
+
+
+def _cmd_query(args) -> int:
+    import json
+
+    from .serve.client import ServeClient, ServeError, parse_hostport
+
+    host, port = parse_hostport(args.connect)
+    op = args.query_command
+    params: dict = {}
+    if op in ("sweep", "ftcheck", "budget", "direct"):
+        params.update(
+            code=args.code,
+            prep=args.prep,
+            verification=args.verification,
+            engine=args.engine,
+            noise=args.noise,
+        )
+    if op == "sweep":
+        params.update(shots=args.shots, k_max=args.k_max, seed=args.seed)
+        if args.p is not None:
+            params["sweep"] = args.p
+        if args.direct_at is not None:
+            params.update(
+                direct_check_at=args.direct_at, direct_shots=args.direct_shots
+            )
+    elif op == "ftcheck":
+        params["max_violations"] = args.max_violations
+    elif op == "budget":
+        params["max_runs"] = args.max_runs
+    elif op == "direct":
+        params.update(p=args.p, shots=args.shots, seed=args.seed)
+
+    def on_progress(event: dict) -> None:
+        detail = {k: v for k, v in event.items() if k not in ("id", "event")}
+        print(f"  .. {detail}", file=sys.stderr, flush=True)
+
+    try:
+        with ServeClient(host, port, timeout=args.timeout) as client:
+            if op == "ping":
+                client.ping()  # raises on a protocol-version mismatch
+            line = client.request(op, on_progress=on_progress, **params)
+    except (ServeError, ConnectionError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.as_json:
+        print(json.dumps(line, indent=2, sort_keys=True))
+    else:
+        _render_query_result(op, line)
+    if op == "ftcheck" and not line["result"]["fault_tolerant"]:
+        return 1
+    return 0
+
+
+def _cmd_ledger(args) -> int:
+    import json
+    import time
+
+    from .serve.ledger import resolve_ledger
+
+    ledger = resolve_ledger(args.ledger if args.ledger else None)
+    if ledger is None:
+        print(
+            "error: the results ledger is disabled (REPRO_LEDGER is set to "
+            "'off'); pass --ledger PATH or unset REPRO_LEDGER",
+            file=sys.stderr,
+        )
+        return 2
+    if args.ledger_command == "ls":
+        now = time.time()
+        entries = list(ledger.entries())
+        if entries:
+            print(f"{'kind':<9} {'key':<64} {'bytes':>12} {'age':>6}")
+            for entry in entries:
+                print(
+                    f"{entry.kind:<9} {entry.key:<64} {entry.size:>12} "
+                    f"{_format_age(now - entry.ts):>6}"
+                )
+        total = sum(entry.size for entry in entries)
+        print(f"{len(entries)} records, {total} bytes in {ledger.root}")
+        return 0
+    if args.ledger_command == "show":
+        record = ledger.get(args.kind, args.key)
+        if record is None:
+            print(
+                f"error: no {args.kind!r} record under that key",
+                file=sys.stderr,
+            )
+            return 1
+        print(json.dumps(record, indent=2, sort_keys=True))
+        return 0
+    if args.ledger_command == "verify":
+        report = ledger.verify()
+        print(
+            f"{report['records']} records ok across {report['kinds']} kinds "
+            f"({report['bytes']} bytes), {report['quarantined']} bad lines "
+            f"quarantined under {ledger.root / 'quarantine'}"
+        )
+        return 1 if report["quarantined"] else 0
+    # gc
+    from .sim.shard import parse_mem_budget
+
+    result = ledger.gc(parse_mem_budget(args.max_bytes))
+    print(
+        f"evicted {result['evicted']} records; {result['records']} records "
+        f"({result['bytes']} bytes) remain"
+    )
+    return 0
+
+
 _COMMANDS = {
     "codes": _cmd_codes,
     "synthesize": _cmd_synthesize,
@@ -796,12 +1230,16 @@ _COMMANDS = {
     "budget": _cmd_budget,
     "cluster": _cmd_cluster,
     "store": _cmd_store,
+    "serve": _cmd_serve,
+    "query": _cmd_query,
+    "ledger": _cmd_ledger,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     _apply_store_flags(args)
+    _apply_ledger_flags(args)
     return _COMMANDS[args.command](args)
 
 

@@ -111,6 +111,7 @@ def run_series(
     executor=None,
     mem_budget: int | None = None,
     model=None,
+    ledger=None,
 ) -> Figure4Series:
     """Simulate one code's curve (paper defaults: 8000 shots, k_max keeps
     the truncation tail well under the statistical error at p <= 0.1).
@@ -139,6 +140,16 @@ def run_series(
     ``None`` keeps the historical E1_1 streams bit-for-bit; any other
     model reweights strata, draws, and the direct check accordingly
     (the direct check then runs ``model.with_p(direct_check_at)``).
+
+    ``ledger`` selects the results ledger (``repro.serve.ledger``;
+    ``None`` = ambient ``REPRO_LEDGER``, ``False`` = the ``--no-ledger``
+    escape hatch). A series whose (protocol, model, seed/shot plan) key
+    has a stored tally record is *replayed* — the recorded strata feed
+    the same estimator arithmetic a cold run uses, bit-identically,
+    without building an engine at all — and a cold series records its
+    tallies on the way out. The sweep grid is deliberately not part of
+    the key: estimates are derived per-point from the tallies, so a hit
+    serves any sweep.
     """
     sweep = FIGURE4_SWEEP if sweep is None else sorted(sweep)
     if protocol is None:
@@ -148,6 +159,35 @@ def run_series(
             verification_method="optimal",
         )
     start = time.monotonic()
+    from ..serve.ledger import resolve_ledger
+    from ..store import keys as store_keys
+
+    ledger_obj = resolve_ledger(ledger)
+    series_key = None
+    if ledger_obj is not None:
+        scheme = (
+            "sharded"
+            if (workers is not None or executor is not None or mem_budget is not None)
+            else "serial"
+        )
+        series_key = store_keys.series_key(
+            store_keys.protocol_digest(protocol),
+            model,
+            shots=shots,
+            k_max=k_max,
+            seed=seed,
+            exact_k1=exact_k1,
+            scheme=scheme,
+            max_slab=max_slab,
+            mem_budget=mem_budget,
+            direct_check_at=direct_check_at,
+            direct_shots=direct_shots,
+        )
+        record = ledger_obj.get("series", series_key)
+        if record is not None:
+            return _series_from_record(
+                code_key, record, protocol, model, sweep, start
+            )
     with SubsetSampler.for_protocol(
         protocol,
         engine=engine,
@@ -158,6 +198,7 @@ def run_series(
         executor=executor,
         mem_budget=mem_budget,
         model=model,
+        ledger=ledger,
     ) as sampler:
         if exact_k1:
             sampler.enumerate_k1_exact()
@@ -201,7 +242,7 @@ def run_series(
                 mem_budget=mem_budget,
                 evaluator=sampler.evaluator if sampler._sharded else None,
             )
-    return Figure4Series(
+    series = Figure4Series(
         code=code_key,
         estimates=estimates,
         f1_exact=sampler.strata[1].rate if exact_k1 else math.nan,
@@ -209,6 +250,72 @@ def run_series(
         seconds=time.monotonic() - start,
         locations=len(sampler.locations),
         engine=engine,
+        direct=direct,
+    )
+    if series_key is not None:
+        ledger_obj.put(
+            "series",
+            series_key,
+            {
+                "code": code_key,
+                "k_max": int(sampler.k_max),
+                "strata": {
+                    str(k): {
+                        "trials": int(s.trials),
+                        "failures": int(s.failures),
+                        "exact": bool(s.exact),
+                    }
+                    for k, s in sampler.strata.items()
+                },
+                "f1_exact": None if math.isnan(series.f1_exact) else series.f1_exact,
+                "shots": int(series.shots),
+                "engine": engine,
+                "direct": None
+                if direct is None
+                else {
+                    "p": float(direct.p),
+                    "trials": int(direct.trials),
+                    "failures": int(direct.failures),
+                },
+            },
+        )
+    return series
+
+
+def _series_from_record(
+    code_key: str,
+    record: dict,
+    protocol: DeterministicProtocol,
+    model,
+    sweep: list[float],
+    start: float,
+) -> Figure4Series:
+    """Replay a ledger series record through the live estimator."""
+    from ..sim.frame import protocol_locations
+
+    locations = protocol_locations(protocol)
+    sampler = SubsetSampler.from_tallies(
+        locations, record["strata"], model=model, k_max=record["k_max"]
+    )
+    ceiling = sampler.p_ceiling
+    if ceiling is not None:
+        sweep = [p for p in sweep if p < ceiling]
+    estimates = sampler.curve(sweep)
+    direct = None
+    if record.get("direct"):
+        d = record["direct"]
+        direct = DirectEstimate(
+            p=float(d["p"]), trials=int(d["trials"]), failures=int(d["failures"])
+        )
+    f1 = record.get("f1_exact")
+    return Figure4Series(
+        code=code_key,
+        estimates=estimates,
+        f1_exact=math.nan if f1 is None else float(f1),
+        shots=int(record["shots"]),
+        seconds=time.monotonic() - start,
+        locations=len(locations),
+        engine=record.get("engine", "batched"),
         direct=direct,
     )
 
@@ -227,6 +334,7 @@ def _series_task(args: tuple) -> Figure4Series:
         executor,
         mem_budget,
         model,
+        ledger,
     ) = args
     return run_series(
         code,
@@ -240,6 +348,7 @@ def _series_task(args: tuple) -> Figure4Series:
         executor=executor,
         mem_budget=mem_budget,
         model=model,
+        ledger=ledger,
     )
 
 
@@ -257,6 +366,7 @@ def run_figure4(
     executor=None,
     mem_budget: int | None = None,
     model=None,
+    ledger=None,
 ) -> list[Figure4Series]:
     """Regenerate all Fig. 4 series.
 
@@ -282,6 +392,13 @@ def run_figure4(
     ``shard="intra", workers=1``, not against the legacy stream.
     ``max_slab`` bounds the configurations materialized per chunk on
     the intra path.
+
+    ``ledger`` threads the results ledger through every series (see
+    :func:`run_series`): covered (code, p) points replay from recorded
+    tallies — inside a pool worker that is a millisecond task, no
+    engine, no sampling — and partially-covered series reuse stored
+    chunk partials; ``False`` is the ``--no-ledger`` escape hatch. The
+    ledger instance itself crosses the spawn-pool boundary as a path.
     """
     codes = FIGURE4_CODES if codes is None else codes
     if shard not in ("auto", "codes", "intra"):
@@ -315,6 +432,7 @@ def run_figure4(
             executor,
             mem_budget,
             model,
+            ledger,
         )
         for code in codes
     ]

@@ -1,0 +1,34 @@
+"""repro.serve — resident simulation daemon + deduplicating results ledger.
+
+Three pieces, importable independently:
+
+* :mod:`repro.serve.ledger` — :class:`ResultsLedger`, an append-only
+  content-addressed results ledger (JSONL segments, per-read digest
+  verification, quarantine-not-crash), plus :class:`LedgerEvaluator`,
+  the partial-reuse seam that subtracts ledger-covered chunks from any
+  shard plan before dispatching to an inner evaluator.
+* :mod:`repro.serve.server` — :class:`ReproServer`, the asyncio
+  TCP/JSON-lines daemon behind ``repro serve``.
+* :mod:`repro.serve.client` — :class:`ServeClient`, the blocking
+  client library behind ``repro query``.
+
+The wire protocol and ledger schema are documented in ``docs/serve.md``.
+"""
+
+from .ledger import (
+    ENV_VAR,
+    LedgerEvaluator,
+    ResultsLedger,
+    active_ledger,
+    default_ledger_root,
+    resolve_ledger,
+)
+
+__all__ = [
+    "ENV_VAR",
+    "LedgerEvaluator",
+    "ResultsLedger",
+    "active_ledger",
+    "default_ledger_root",
+    "resolve_ledger",
+]

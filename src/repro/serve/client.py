@@ -1,0 +1,145 @@
+"""``repro.serve.client`` — blocking client for the ``repro serve`` daemon.
+
+Socket + JSON-lines, no dependencies beyond the stdlib. One connection
+can multiplex many requests: :meth:`ServeClient.submit` returns a
+request id immediately, :meth:`ServeClient.collect` blocks until that
+id's result (buffering any interleaved responses for other ids), and
+:meth:`ServeClient.request` is the submit+collect convenience. Progress
+events are handed to an optional callback; the returned value is the
+full ``result`` response line (``result["result"]`` is the payload,
+``result["source"]`` says whether it was computed, ledger-served, or
+coalesced onto a concurrent identical request).
+
+The ``repro query`` CLI is a thin wrapper over this class.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from collections import deque
+
+from .schema import SERVE_PROTOCOL_VERSION
+
+__all__ = ["ServeClient", "ServeError", "parse_hostport"]
+
+
+class ServeError(RuntimeError):
+    """An error event returned by the daemon for one request."""
+
+
+def parse_hostport(text: str, default_port: int = 7790) -> tuple[str, int]:
+    """``HOST:PORT`` (or bare ``HOST``) -> (host, port)."""
+    host, sep, port = text.rpartition(":")
+    if not sep:
+        return text, default_port
+    return host or "127.0.0.1", int(port)
+
+
+class ServeClient:
+    """Blocking JSON-lines client; use as a context manager.
+
+    Not thread-safe: multiplex by interleaving ``submit``/``collect``
+    from one thread, or open one client per thread.
+    """
+
+    def __init__(self, host: str, port: int, *, timeout: float | None = 120.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rb")
+        self._next_id = 0
+        # request id -> buffered response lines not yet collected.
+        self._pending: dict[int, deque] = {}
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- core ------------------------------------------------------------------
+
+    def submit(self, op: str, **params) -> int:
+        """Send one request line; returns its correlation id."""
+        self._next_id += 1
+        rid = self._next_id
+        line = json.dumps(
+            {"id": rid, "op": op, "params": params}, separators=(",", ":")
+        )
+        self._sock.sendall(line.encode("utf-8") + b"\n")
+        self._pending[rid] = deque()
+        return rid
+
+    def collect(self, rid: int, *, on_progress=None) -> dict:
+        """Block until request ``rid`` resolves; returns its result line.
+
+        Out-of-order responses for other in-flight ids are buffered, so
+        any collect order is valid. Raises :class:`ServeError` on an
+        error event and ``ConnectionError`` if the daemon goes away.
+        """
+        buffered = self._pending.get(rid)
+        while True:
+            if buffered:
+                event = buffered.popleft()
+            else:
+                raw = self._file.readline()
+                if not raw:
+                    raise ConnectionError("server closed the connection")
+                event = json.loads(raw)
+                if event.get("id") != rid:
+                    other = self._pending.get(event.get("id"))
+                    if other is not None:
+                        other.append(event)
+                    continue
+            kind = event.get("event")
+            if kind == "result":
+                self._pending.pop(rid, None)
+                return event
+            if kind == "error":
+                self._pending.pop(rid, None)
+                raise ServeError(event.get("error", "unknown server error"))
+            if on_progress is not None:
+                on_progress(event)
+
+    def request(self, op: str, *, on_progress=None, **params) -> dict:
+        """Submit one request and block for its result line."""
+        return self.collect(self.submit(op, **params), on_progress=on_progress)
+
+    # -- op helpers ------------------------------------------------------------
+
+    def ping(self) -> dict:
+        result = self.request("ping")["result"]
+        version = result.get("protocol_version")
+        if version != SERVE_PROTOCOL_VERSION:
+            raise ServeError(
+                f"server speaks protocol v{version}, "
+                f"client expects v{SERVE_PROTOCOL_VERSION}"
+            )
+        return result
+
+    def stats(self) -> dict:
+        return self.request("stats")["result"]
+
+    def shutdown(self) -> dict:
+        return self.request("shutdown")["result"]
+
+    def sweep(self, code: str, *, on_progress=None, **params) -> dict:
+        return self.request("sweep", code=code, on_progress=on_progress, **params)
+
+    def ftcheck(self, code: str, *, on_progress=None, **params) -> dict:
+        return self.request("ftcheck", code=code, on_progress=on_progress, **params)
+
+    def budget(self, code: str, *, on_progress=None, **params) -> dict:
+        return self.request("budget", code=code, on_progress=on_progress, **params)
+
+    def direct(self, code: str, p: float, *, on_progress=None, **params) -> dict:
+        return self.request(
+            "direct", code=code, p=p, on_progress=on_progress, **params
+        )

@@ -73,6 +73,9 @@ __all__ = [
     "DictChunk",
     "ShardPartial",
     "merge_partials",
+    "chunk_token",
+    "partial_to_jsonable",
+    "partial_from_jsonable",
     "StratumPlanner",
     "ShardedEvaluator",
     "AdaptiveSlabPolicy",
@@ -326,6 +329,116 @@ def merge_partials(partials: Iterable[ShardPartial]) -> ShardPartial:
         merged.pair_ids = unique
         merged.pair_counts = counts
     return merged
+
+
+# -- ledger serialization ------------------------------------------------------
+#
+# The results ledger (``repro.serve.ledger``) persists chunk partials as
+# JSON. Python floats round-trip exactly through JSON (repr-based), so a
+# partial restored from its JSON form merges bit-identically with live
+# computes; the per-array dtype is recorded so integer/float planes come
+# back with the exact types ``merge_partials`` produced them with.
+
+_PARTIAL_ARRAYS = (
+    "x_hist",
+    "z_hist",
+    "rows",
+    "row_x",
+    "row_z",
+    "pair_ids",
+    "pair_counts",
+    "pair_mass",
+)
+
+
+def chunk_token(chunk) -> dict | None:
+    """Canonical JSON-able description of a chunk spec (for ledger keys).
+
+    ``index`` is deliberately excluded — it orders the merge within one
+    plan but does not change the chunk's content (the entropy tuple and
+    row/pair ranges already pin the draws), so the same chunk reached at
+    a different position in a different plan still dedups. Returns None
+    for chunks that cannot be named stably (an unpicklable model).
+    """
+    if isinstance(chunk, StratumChunk):
+        return {
+            "type": "stratum",
+            "k": int(chunk.k),
+            "shots": int(chunk.shots),
+            "entropy": [int(e) for e in chunk.entropy],
+        }
+    if isinstance(chunk, BernoulliChunk):
+        from ..store.keys import model_token
+
+        token = model_token(chunk.model)
+        if not token:
+            return None
+        return {
+            "type": "bernoulli",
+            "shots": int(chunk.shots),
+            "entropy": [int(e) for e in chunk.entropy],
+            "model": token,
+        }
+    if isinstance(chunk, RowChunk):
+        return {
+            "type": "rows",
+            "lo": int(chunk.lo),
+            "hi": int(chunk.hi),
+            "checkable_only": bool(chunk.checkable_only),
+            "threshold": int(chunk.threshold),
+        }
+    if isinstance(chunk, PairChunk):
+        return {"type": "pairs", "lo": int(chunk.lo), "hi": int(chunk.hi)}
+    if isinstance(chunk, DictChunk):
+        from ..store.keys import model_token
+
+        token = model_token(chunk.dicts)
+        if not token:
+            return None
+        return {"type": "dicts", "dicts": token, "threshold": int(chunk.threshold)}
+    return None
+
+
+def partial_to_jsonable(partial: ShardPartial) -> dict:
+    """Lossless JSON form of a partial (dtype-recorded arrays)."""
+    out = {
+        "trials": int(partial.trials),
+        "failures": int(partial.failures),
+        "heavy": int(partial.heavy),
+        "weighted_mass": float(partial.weighted_mass),
+    }
+    for name in _PARTIAL_ARRAYS:
+        value = getattr(partial, name)
+        if value is None:
+            out[name] = None
+        else:
+            arr = np.asarray(value)
+            out[name] = {"dtype": str(arr.dtype), "data": arr.tolist()}
+    return out
+
+
+def partial_from_jsonable(data: dict, index: int = 0) -> ShardPartial:
+    """Rebuild a partial from :func:`partial_to_jsonable` output.
+
+    ``index`` is assigned by the caller (the position of the chunk in
+    *this* plan), since stored partials are position-independent.
+    """
+    partial = ShardPartial(
+        index=index,
+        trials=int(data["trials"]),
+        failures=int(data["failures"]),
+        heavy=int(data["heavy"]),
+        weighted_mass=float(data["weighted_mass"]),
+    )
+    for name in _PARTIAL_ARRAYS:
+        value = data.get(name)
+        if value is not None:
+            setattr(
+                partial,
+                name,
+                np.asarray(value["data"], dtype=np.dtype(value["dtype"])),
+            )
+    return partial
 
 
 # -- planning ------------------------------------------------------------------

@@ -385,6 +385,7 @@ class SubsetSampler:
         executor=None,
         mem_budget: int | None = None,
         model=None,
+        ledger=None,
     ):
         if k_max < 1:
             raise ValueError("k_max must be at least 1")
@@ -420,6 +421,10 @@ class SubsetSampler:
         self.executor = executor
         self.mem_budget = mem_budget
         self.max_slab = max_slab
+        #: Results-ledger selection for chunk-partial reuse on the
+        #: sharded path: ``None`` = ambient (``REPRO_LEDGER``), ``False``
+        #: = off, or a :class:`repro.serve.ledger.ResultsLedger`.
+        self.ledger = ledger
         self._evaluator = None
         self.strata: dict[int, StratumStats] = {
             k: StratumStats(k) for k in range(k_max + 1)
@@ -442,6 +447,7 @@ class SubsetSampler:
         mem_budget: int | None = None,
         model=None,
         store=None,
+        ledger=None,
     ) -> "SubsetSampler":
         """Build a sampler over a protocol's full location universe.
 
@@ -471,7 +477,68 @@ class SubsetSampler:
             executor=executor,
             mem_budget=mem_budget,
             model=model,
+            ledger=ledger,
         )
+
+    @classmethod
+    def from_tallies(
+        cls,
+        locations,
+        strata,
+        *,
+        model=None,
+        k_max: int | None = None,
+    ) -> "SubsetSampler":
+        """Estimator-only replay sampler over recorded stratum tallies.
+
+        Rebuilds the :meth:`estimate`/:meth:`curve` arithmetic from
+        previously recorded tallies — no engine, no failure function, no
+        RNG — so a ledger hit (``repro.serve``, ``run_series``) replays
+        sweep points through the *same* estimator code path a cold run
+        uses, which is what makes replay bit-identical. ``strata`` maps
+        ``k`` (int or str — JSON round-trips stringify keys) to a
+        :class:`StratumStats`, a ``{"trials", "failures", "exact"}``
+        dict, or a ``(trials, failures, exact)`` tuple.
+        """
+        self = object.__new__(cls)
+        self.model = model
+        self._universe = None
+        if model is not None:
+            from .noisemodels import site_universe
+
+            universe = site_universe(list(locations), model)
+            if not universe.uniform:
+                self._universe = universe
+        self.failure_fn = None
+        self.locations = list(locations)
+        self.rng = None
+        self.engine = None
+        self.batch_size = 8192
+        self.workers = None
+        self.executor = None
+        self.mem_budget = None
+        self.max_slab = None
+        self.ledger = False
+        self._evaluator = None
+        rebuilt: dict[int, StratumStats] = {}
+        for k, spec in strata.items():
+            k = int(k)
+            if isinstance(spec, StratumStats):
+                stats = StratumStats(k, spec.trials, spec.failures, spec.exact)
+            elif isinstance(spec, dict):
+                stats = StratumStats(
+                    k,
+                    int(spec["trials"]),
+                    int(spec["failures"]),
+                    bool(spec["exact"]),
+                )
+            else:
+                trials, failures, exact = spec
+                stats = StratumStats(k, int(trials), int(failures), bool(exact))
+            rebuilt[k] = stats
+        self.strata = dict(sorted(rebuilt.items()))
+        self.k_max = int(k_max) if k_max is not None else max(self.strata)
+        return self
 
     # -- sharded execution -----------------------------------------------------
 
@@ -507,6 +574,16 @@ class SubsetSampler:
                 default_slab=self.batch_size,
                 model=self.model,
             )
+            # Chunk-partial reuse: wrap the backend so ledger-covered
+            # chunks are subtracted from every plan before dispatch.
+            # Pass-through (and bit-identical) when the ledger is off.
+            from ..serve.ledger import LedgerEvaluator, resolve_ledger
+
+            ledger = resolve_ledger(self.ledger)
+            if ledger is not None:
+                self._evaluator = LedgerEvaluator(
+                    self._evaluator, ledger, model=self.model
+                )
         return self._evaluator
 
     def close(self) -> None:

@@ -47,13 +47,17 @@ import pickle
 
 __all__ = [
     "budget_key",
+    "chunk_key",
     "cnf_digest",
+    "direct_key",
     "engine_key",
     "ftcert_key",
     "model_token",
     "payload_digest",
     "protocol_digest",
     "protocol_key",
+    "result_key",
+    "series_key",
     "sha256_hex",
 ]
 
@@ -178,6 +182,122 @@ def budget_key(protocol_digest_hex: str, model) -> str | None:
             "k": 2,
             "protocol": protocol_digest_hex,
             "model": token,
+        }
+    )
+
+
+# -- results ledger -----------------------------------------------------------
+#
+# Result keys name *what a computation is about*, never how it was run:
+# the engine name is deliberately absent (results are engine-invariant —
+# batched, kernel, and reference produce bit-identical tallies), while
+# anything that perturbs the random stream (seed, shot plan, slab size,
+# scheme) is included. Built on :func:`protocol_digest`, so the same key
+# comes out of the CLI, the daemon, fork/spawn pool workers, and a fresh
+# interpreter (property-tested in ``tests/serve/test_keys.py``).
+
+
+def result_key(kind: str, protocol_digest_hex: str, model, plan: dict) -> str | None:
+    """Generic ledger key: (kind, protocol digest, noise model, plan).
+
+    ``plan`` must be a JSON-serializable description of the seed/shot
+    plan. Returns None when the model cannot be tokenized (unpicklable
+    models disable ledger dedup for that call, mirroring the store).
+    """
+    token = model_token(model)
+    if not token:
+        return None
+    return _json_key(
+        {
+            "artifact": "result",
+            "kind": kind,
+            "protocol": protocol_digest_hex,
+            "model": token,
+            "plan": plan,
+        }
+    )
+
+
+def series_key(
+    protocol_digest_hex: str,
+    model,
+    *,
+    shots: int,
+    k_max: int,
+    seed: int,
+    exact_k1: bool = True,
+    scheme: str = "sharded",
+    max_slab: int | None = None,
+    mem_budget: int | None = None,
+    direct_check_at: float | None = None,
+    direct_shots: int = 0,
+) -> str | None:
+    """Key of one sampled stratum-tally series (a ``run_series`` point).
+
+    ``scheme`` is ``"sharded"`` (StratumPlanner chunks; identical for
+    any worker count, so the worker count is *not* part of the key) or
+    ``"serial"`` (the legacy single-stream sampler, a different draw
+    stream). ``max_slab`` re-seeds sampled strata chunk-by-chunk, so it
+    is part of the plan; None means the scheme default.
+    """
+    plan = {
+        "shots": int(shots),
+        "k_max": int(k_max),
+        "seed": int(seed),
+        "exact_k1": bool(exact_k1),
+        "scheme": scheme,
+        "max_slab": None if max_slab is None else int(max_slab),
+        "mem_budget": None if mem_budget is None else int(mem_budget),
+        "direct_check_at": direct_check_at,
+        "direct_shots": int(direct_shots) if direct_check_at is not None else 0,
+    }
+    return result_key("series", protocol_digest_hex, model, plan)
+
+
+def direct_key(
+    protocol_digest_hex: str,
+    model,
+    *,
+    shots: int,
+    seed: int,
+    max_slab: int | None = None,
+) -> str | None:
+    """Key of a direct Monte-Carlo tally (``direct_mc``).
+
+    ``model`` is the *effective* model the Bernoulli draws use (i.e.
+    after any ``with_p`` rescaling), so the physical rate is inside the
+    token and needs no separate plan field.
+    """
+    plan = {
+        "shots": int(shots),
+        "seed": int(seed),
+        "max_slab": None if max_slab is None else int(max_slab),
+    }
+    return result_key("direct", protocol_digest_hex, model, plan)
+
+
+def chunk_key(protocol_digest_hex: str, model, chunk) -> str | None:
+    """Key of one shard-chunk partial (the fine-grained ledger grain).
+
+    Delegates the chunk description to ``repro.sim.shard.chunk_token``;
+    chunks that cannot be named (e.g. a BernoulliChunk carrying an
+    unpicklable model) return None and are always computed.
+    """
+    from ..sim.shard import chunk_token
+
+    token = model_token(model)
+    if not token:
+        return None
+    chunk_desc = chunk_token(chunk)
+    if chunk_desc is None:
+        return None
+    return _json_key(
+        {
+            "artifact": "result",
+            "kind": "chunk",
+            "protocol": protocol_digest_hex,
+            "model": token,
+            "plan": chunk_desc,
         }
     )
 

@@ -15,6 +15,11 @@ import os
 # tmp-path stores. setdefault, so a deliberate REPRO_STORE=... on the
 # command line still wins.
 os.environ.setdefault("REPRO_STORE", "off")
+# Same hermeticity for the results ledger (repro.serve.ledger): cached
+# tallies from a developer's ~/.cache/repro-ledger must never satisfy a
+# test's sweep, and tests must not write there. Ledger tests opt back in
+# with tmp-path ledgers.
+os.environ.setdefault("REPRO_LEDGER", "off")
 
 import pytest
 

@@ -1,0 +1,270 @@
+"""Fault-injection and contract tests for the results ledger.
+
+The ledger's one inviolable promise: **corruption never surfaces as a
+wrong tally**. A truncated segment, a flipped bit, or a torn mid-append
+line must quarantine the damaged record (never crash, never serve it)
+while every intact record keeps verifying. The other contracts pinned
+here: append-only last-put-wins semantics, canonical-JSON dedup,
+compact-then-evict gc, pickling (the root travels, the index does not),
+and the ``REPRO_LEDGER`` / ``resolve_ledger`` selection convention
+shared with ``repro.store``.
+"""
+
+import json
+import pickle
+
+import pytest
+
+from repro.serve.ledger import (
+    ENV_VAR,
+    LedgerEvaluator,
+    ResultsLedger,
+    active_ledger,
+    default_ledger_root,
+    resolve_ledger,
+)
+
+
+@pytest.fixture
+def ledger(tmp_path):
+    return ResultsLedger(tmp_path / "ledger")
+
+
+def _segment_lines(ledger, kind):
+    return ledger.segment_path(kind).read_bytes().splitlines(keepends=True)
+
+
+def _quarantine_files(ledger):
+    qdir = ledger.root / "quarantine"
+    return sorted(qdir.glob("*.jsonl")) if qdir.exists() else []
+
+
+class TestRoundTrip:
+    def test_get_put_round_trip(self, ledger):
+        record = {"trials": 4000, "failures": 3, "rate": 0.00075}
+        assert ledger.get("series", "k1") is None
+        assert ledger.put("series", "k1", record) is True
+        assert ledger.get("series", "k1") == record
+        # A fresh instance over the same root re-reads from disk.
+        again = ResultsLedger(ledger.root)
+        assert again.get("series", "k1") == record
+
+    def test_floats_round_trip_bit_exactly(self, ledger):
+        # repr-based JSON floats: the stored value IS the computed value.
+        values = [0.1 + 0.2, 1e-323, 5.50447e-07, 3.141592653589793]
+        ledger.put("series", "floats", {"values": values})
+        stored = ResultsLedger(ledger.root).get("series", "floats")["values"]
+        assert all(a == b for a, b in zip(stored, values))
+
+    def test_none_key_is_inert(self, ledger):
+        assert ledger.put("series", None, {"x": 1}) is False
+        assert ledger.get("series", None) is None
+
+    def test_last_put_wins(self, ledger):
+        ledger.put("series", "k", {"v": 1})
+        ledger.put("series", "k", {"v": 2})
+        assert ledger.get("series", "k") == {"v": 2}
+        # Append-only: both lines are on disk, the latest is live.
+        assert len(_segment_lines(ledger, "series")) == 2
+        assert ResultsLedger(ledger.root).get("series", "k") == {"v": 2}
+
+    def test_dedup_put(self, ledger):
+        assert ledger.put("series", "k", {"v": [1.5, 2]}) is True
+        # Equal record (post JSON round-trip) -> no second line.
+        assert ledger.put("series", "k", {"v": [1.5, 2]}) is False
+        assert len(_segment_lines(ledger, "series")) == 1
+        assert ledger.stats.dedup_puts == 1
+
+    def test_kinds_are_validated(self, ledger):
+        with pytest.raises(ValueError):
+            ledger.put("../escape", "k", {})
+        with pytest.raises(ValueError):
+            ledger.get("UPPER", "k")
+
+    def test_entries_newest_first(self, ledger):
+        ledger.put("series", "a", {"v": 1})
+        ledger.put("series", "b", {"v": 2})
+        ledger.put("chunk", "c", {"v": 3})
+        entries = list(ledger.entries())
+        assert [(e.kind, e.key) for e in entries] == [
+            ("chunk", "c"),
+            ("series", "b"),
+            ("series", "a"),
+        ]
+        assert [e.key for e in ledger.entries("series")] == ["b", "a"]
+
+
+class TestFaultInjection:
+    """Damage a segment every way a crash or disk can; never a wrong tally."""
+
+    def _seed(self, ledger):
+        ledger.put("series", "good1", {"trials": 100, "failures": 1})
+        ledger.put("series", "good2", {"trials": 200, "failures": 2})
+        ledger.put("series", "victim", {"trials": 300, "failures": 3})
+
+    def test_truncated_segment_tail(self, ledger):
+        """A segment cut mid-line (torn final write) quarantines only the
+        torn line; intact records keep serving."""
+        self._seed(ledger)
+        path = ledger.segment_path("series")
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) - 17])  # cut into the last line
+        fresh = ResultsLedger(ledger.root)
+        assert fresh.get("series", "victim") is None  # never a wrong tally
+        assert fresh.get("series", "good1") == {"trials": 100, "failures": 1}
+        assert fresh.get("series", "good2") == {"trials": 200, "failures": 2}
+        assert fresh.stats.quarantined == 1
+        assert len(_quarantine_files(fresh)) == 1
+
+    def test_bit_flip_quarantined_not_served(self, ledger):
+        """A flipped payload bit fails digest verification: the record is
+        quarantined, never returned with the altered value."""
+        self._seed(ledger)
+        path = ledger.segment_path("series")
+        lines = path.read_bytes().splitlines(keepends=True)
+        # Flip '300' -> '700' inside the victim's payload.
+        assert b"300" in lines[2]
+        lines[2] = lines[2].replace(b"300", b"700")
+        path.write_bytes(b"".join(lines))
+        fresh = ResultsLedger(ledger.root)
+        assert fresh.get("series", "victim") is None
+        assert fresh.get("series", "good1") == {"trials": 100, "failures": 1}
+        assert fresh.stats.quarantined == 1
+
+    def test_mid_append_crash_then_append(self, ledger):
+        """A torn half-written line (no newline, invalid JSON) is swept to
+        quarantine and the segment rewritten clean, so the *next* append
+        cannot extend the torn tail into a franken-line."""
+        self._seed(ledger)
+        path = ledger.segment_path("series")
+        with open(path, "ab") as fh:
+            fh.write(b'{"kind": "series", "key": "torn", "ts": 1.0, "rec')
+        fresh = ResultsLedger(ledger.root)
+        assert fresh.get("series", "good1") == {"trials": 100, "failures": 1}
+        assert fresh.stats.quarantined == 1
+        # The segment was rewritten without the torn tail...
+        assert all(
+            raw.endswith(b"\n") for raw in _segment_lines(fresh, "series")
+        )
+        # ...so appending works and every line still verifies.
+        assert fresh.put("series", "after", {"trials": 1, "failures": 0}) is True
+        reread = ResultsLedger(ledger.root)
+        assert reread.get("series", "after") == {"trials": 1, "failures": 0}
+        assert reread.stats.quarantined == 0
+
+    def test_garbage_segment_never_crashes(self, ledger):
+        path = ledger.segment_path("series")
+        path.parent.mkdir(parents=True)
+        path.write_bytes(b"\x00\xff not json at all\n\n{}\n")
+        fresh = ResultsLedger(ledger.root)
+        assert fresh.get("series", "anything") is None
+        assert fresh.stats.quarantined == 2  # blank line skipped, 2 bad
+        assert fresh.put("series", "k", {"v": 1}) is True
+        assert ResultsLedger(ledger.root).get("series", "k") == {"v": 1}
+
+    def test_wrong_kind_field_rejected(self, ledger):
+        """A verified line replayed into the wrong segment is rejected
+        (key collisions across kinds cannot cross-contaminate)."""
+        ledger.put("chunk", "k", {"v": 1})
+        chunk_line = _segment_lines(ledger, "chunk")[0]
+        path = ledger.segment_path("series")
+        path.write_bytes(chunk_line)
+        fresh = ResultsLedger(ledger.root)
+        assert fresh.get("series", "k") is None
+        assert fresh.stats.quarantined == 1
+
+    def test_verify_reports_and_cleans(self, ledger):
+        self._seed(ledger)
+        path = ledger.segment_path("series")
+        path.write_bytes(path.read_bytes() + b"garbage\n")
+        report = ledger.verify()
+        assert report == {
+            "kinds": 1,
+            "records": 3,
+            "bytes": report["bytes"],
+            "quarantined": 1,
+        }
+        # Second verify over the rewritten segment is clean.
+        assert ledger.verify()["quarantined"] == 0
+
+
+class TestGc:
+    def test_gc_compacts_superseded_lines(self, ledger):
+        for v in range(5):
+            ledger.put("series", "k", {"v": v})
+        assert len(_segment_lines(ledger, "series")) == 5
+        result = ledger.gc(10**9)
+        assert result == {"evicted": 0, "bytes": result["bytes"], "records": 1}
+        assert len(_segment_lines(ledger, "series")) == 1
+        assert ResultsLedger(ledger.root).get("series", "k") == {"v": 4}
+
+    def test_gc_evicts_oldest_first(self, ledger):
+        ledger.put("series", "old", {"v": 1})
+        ledger.put("series", "new", {"v": 2})
+        keep = next(iter(ledger.entries("series"))).size  # newest entry
+        result = ledger.gc(keep)
+        assert result["evicted"] == 1
+        fresh = ResultsLedger(ledger.root)
+        assert fresh.get("series", "old") is None
+        assert fresh.get("series", "new") == {"v": 2}
+
+    def test_gc_to_zero_unlinks_segments(self, ledger):
+        ledger.put("series", "k", {"v": 1})
+        result = ledger.gc(0)
+        assert result == {"evicted": 1, "bytes": 0, "records": 0}
+        assert not ledger.segment_path("series").exists()
+
+
+class TestSelection:
+    def test_pickle_round_trip(self, ledger):
+        ledger.put("series", "k", {"v": 7})
+        clone = pickle.loads(pickle.dumps(ledger))
+        assert clone.root == ledger.root
+        assert clone.get("series", "k") == {"v": 7}
+        # Stats/index do not travel: the clone starts fresh.
+        assert clone.stats.hits == 1
+
+    def test_env_selection(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, str(tmp_path / "from-env"))
+        ledger = active_ledger()
+        assert ledger is not None and ledger.root == tmp_path / "from-env"
+        for value in ("off", "0", "none", "false", "", "  OFF  "):
+            monkeypatch.setenv(ENV_VAR, value)
+            assert active_ledger() is None
+        monkeypatch.delenv(ENV_VAR)
+        assert active_ledger().root == default_ledger_root()
+
+    def test_resolve_ledger_convention(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "off")
+        assert resolve_ledger(None) is None  # ambient off
+        assert resolve_ledger(False) is None
+        instance = ResultsLedger(tmp_path / "inst")
+        assert resolve_ledger(instance) is instance
+        assert resolve_ledger(tmp_path / "path").root == tmp_path / "path"
+        monkeypatch.setenv(ENV_VAR, str(tmp_path / "amb"))
+        assert resolve_ledger(None).root == tmp_path / "amb"
+
+    def test_ledger_evaluator_without_ledger_is_passthrough(self):
+        class FakeInner:
+            def __init__(self):
+                self.engine = None
+                self.mapped = []
+
+            def map(self, chunks):
+                self.mapped.extend(chunks)
+                for chunk in chunks:
+                    yield chunk
+
+            def close(self):
+                pass
+
+        inner = FakeInner()
+        wrapper = LedgerEvaluator(inner, None)
+
+        class C:
+            index = 0
+            trials = 0
+
+        out = list(wrapper.map([C(), C()]))
+        assert len(out) == 2 and len(inner.mapped) == 2
+        assert wrapper.chunk_hits == 0 and wrapper.chunk_computes == 2

@@ -1,0 +1,260 @@
+"""Ledger-backed reuse is invisible in the numbers.
+
+Three layers of the same promise, bottom-up:
+
+* :class:`LedgerEvaluator` — a warm ``map()`` dispatches **zero**
+  chunks to the wrapped evaluator and merges to the bit-identical
+  partial a cold run produces; a corrupted chunk record is recomputed,
+  never served;
+* :meth:`SubsetSampler.from_tallies` — the estimator-only replay
+  sampler reproduces ``estimate``/``curve``/``p_ceiling`` bit-exactly
+  from recorded tallies (no engine, no RNG);
+* :func:`run_series` / :func:`run_figure4` — a ledger hit returns the
+  bit-identical series without ever building an engine, and
+  ``ledger=False`` (the ``--no-ledger`` hatch) bypasses it entirely.
+"""
+
+import numpy as np
+import pytest
+
+import repro.sim.sampler as sampler_mod
+from repro.experiments.figure4 import run_figure4, run_series
+from repro.serve.ledger import LedgerEvaluator, ResultsLedger
+from repro.sim.sampler import make_sampler
+from repro.sim.shard import ShardedEvaluator, merge_partials
+from repro.sim.subset import SubsetSampler
+
+from ..conftest import cached_protocol
+
+
+@pytest.fixture(scope="module")
+def steane_engine():
+    return make_sampler(cached_protocol("steane"))
+
+
+@pytest.fixture
+def ledger(tmp_path):
+    return ResultsLedger(tmp_path / "ledger")
+
+
+def _plan(evaluator):
+    return evaluator.planner.plan_rows(checkable_only=True, threshold=1)
+
+
+def assert_partials_equal(a, b):
+    assert a.trials == b.trials and a.failures == b.failures
+    assert a.heavy == b.heavy
+    np.testing.assert_array_equal(a.x_hist, b.x_hist)
+    np.testing.assert_array_equal(a.z_hist, b.z_hist)
+    np.testing.assert_array_equal(a.rows, b.rows)
+
+
+class TestLedgerEvaluator:
+    def test_warm_map_dispatches_zero_chunks(self, steane_engine, ledger):
+        inline = ShardedEvaluator(steane_engine, max_slab=16)
+        baseline = inline.reduce(_plan(inline))
+
+        cold = LedgerEvaluator(ShardedEvaluator(steane_engine, max_slab=16), ledger)
+        merged_cold = merge_partials(cold.map(_plan(cold)))
+        assert cold.chunk_hits == 0 and cold.chunk_computes > 0
+        assert_partials_equal(merged_cold, baseline)
+
+        class Exploding(ShardedEvaluator):
+            def map(self, chunks):
+                chunks = list(chunks)
+                if chunks:
+                    raise AssertionError("warm run dispatched chunks")
+                return iter(())
+
+        warm = LedgerEvaluator(Exploding(steane_engine, max_slab=16), ledger)
+        merged_warm = merge_partials(warm.map(_plan(warm)))
+        assert warm.chunk_hits == cold.chunk_computes
+        assert warm.chunk_computes == 0
+        assert_partials_equal(merged_warm, baseline)
+
+    def test_partial_misses_compute_only_the_gap(self, steane_engine, ledger):
+        cold = LedgerEvaluator(ShardedEvaluator(steane_engine, max_slab=16), ledger)
+        chunks = list(_plan(cold))
+        # Prime the ledger with a prefix of the plan only.
+        list(cold.map(chunks[: len(chunks) // 2]))
+        warm = LedgerEvaluator(ShardedEvaluator(steane_engine, max_slab=16), ledger)
+        merged = merge_partials(warm.map(chunks))
+        assert warm.chunk_hits == len(chunks) // 2
+        assert warm.chunk_computes == len(chunks) - len(chunks) // 2
+        inline = ShardedEvaluator(steane_engine, max_slab=16)
+        assert_partials_equal(merged, inline.reduce(chunks))
+
+    def test_corrupt_chunk_record_recomputed_not_served(
+        self, steane_engine, ledger
+    ):
+        cold = LedgerEvaluator(ShardedEvaluator(steane_engine, max_slab=16), ledger)
+        baseline = merge_partials(cold.map(_plan(cold)))
+        # Flip bits across the whole chunk segment.
+        path = ledger.segment_path("chunk")
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        path.write_bytes(bytes(data))
+        fresh = ResultsLedger(ledger.root)
+        warm = LedgerEvaluator(
+            ShardedEvaluator(steane_engine, max_slab=16), fresh
+        )
+        merged = merge_partials(warm.map(_plan(warm)))
+        assert warm.chunk_computes >= 1  # the damaged record was re-run
+        assert fresh.stats.quarantined >= 1
+        assert_partials_equal(merged, baseline)
+
+    def test_on_partial_progress_stream(self, steane_engine, ledger):
+        events = []
+        evaluator = LedgerEvaluator(
+            ShardedEvaluator(steane_engine, max_slab=16),
+            ledger,
+            on_partial=events.append,
+        )
+        merged = merge_partials(evaluator.map(_plan(evaluator)))
+        assert len(events) == evaluator.chunk_computes
+        assert {e["source"] for e in events} == {"computed"}
+        assert sum(e["trials"] for e in events) == merged.trials
+
+
+class TestFromTallies:
+    def test_replay_estimates_bit_identical(self, steane_engine, ledger):
+        protocol = cached_protocol("steane")
+        grid = [1e-4, 1e-3, 1e-2, 1e-1]
+        with SubsetSampler.for_protocol(
+            protocol,
+            engine="batched",
+            k_max=2,
+            rng=np.random.default_rng(7),
+            ledger=False,
+        ) as sampler:
+            sampler.enumerate_k1_exact()
+            sampler.sample(1500)
+            live = sampler.curve(grid)
+            strata = {
+                k: {
+                    "trials": s.trials,
+                    "failures": s.failures,
+                    "exact": s.exact,
+                }
+                for k, s in sampler.strata.items()
+            }
+            locations = sampler.locations
+
+        replay = SubsetSampler.from_tallies(locations, strata, k_max=2)
+        replayed = replay.curve(grid)
+        assert replay.p_ceiling == sampler.p_ceiling
+        for a, b in zip(live, replayed):
+            assert (a.p, a.mean, a.lower, a.upper, a.tail) == (
+                b.p,
+                b.mean,
+                b.lower,
+                b.upper,
+                b.tail,
+            )
+
+    def test_accepts_string_keys_and_tuple_specs(self):
+        locations = cached_protocol("steane")
+        from repro.sim.frame import protocol_locations
+
+        locs = protocol_locations(locations)
+        a = SubsetSampler.from_tallies(
+            locs,
+            {
+                0: {"trials": 1, "failures": 0, "exact": True},
+                1: {"trials": 10, "failures": 1, "exact": False},
+            },
+        )
+        b = SubsetSampler.from_tallies(
+            locs, {"0": (1, 0, True), "1": (10, 1, False)}
+        )
+        ea, eb = a.estimate(1e-3), b.estimate(1e-3)
+        assert (ea.mean, ea.lower, ea.upper) == (eb.mean, eb.lower, eb.upper)
+
+
+class TestRunSeriesLedger:
+    GRID = [1e-4, 1e-3, 1e-2]
+
+    def _run(self, ledger, **kwargs):
+        return run_series(
+            "steane",
+            protocol=cached_protocol("steane"),
+            shots=1200,
+            k_max=2,
+            sweep=self.GRID,
+            seed=11,
+            ledger=ledger,
+            **kwargs,
+        )
+
+    @staticmethod
+    def assert_series_equal(a, b):
+        assert a.code == b.code and a.f1_exact == b.f1_exact
+        assert len(a.estimates) == len(b.estimates)
+        for ea, eb in zip(a.estimates, b.estimates):
+            assert (ea.p, ea.mean, ea.lower, ea.upper, ea.tail) == (
+                eb.p,
+                eb.mean,
+                eb.lower,
+                eb.upper,
+                eb.tail,
+            )
+
+    def test_replay_is_bit_identical_with_zero_engine_builds(
+        self, ledger, monkeypatch
+    ):
+        cold = self._run(ledger)
+        # A warm run must not even construct an engine.
+        monkeypatch.setattr(
+            sampler_mod,
+            "make_sampler",
+            lambda *a, **k: pytest.fail("ledger hit built an engine"),
+        )
+        warm = self._run(ledger)
+        self.assert_series_equal(cold, warm)
+
+    def test_one_record_serves_any_grid(self, ledger, monkeypatch):
+        self._run(ledger)
+        monkeypatch.setattr(
+            sampler_mod,
+            "make_sampler",
+            lambda *a, **k: pytest.fail("ledger hit built an engine"),
+        )
+        other = run_series(
+            "steane",
+            protocol=cached_protocol("steane"),
+            shots=1200,
+            k_max=2,
+            sweep=[3e-4, 2e-3],  # a grid never computed
+            seed=11,
+            ledger=ledger,
+        )
+        assert [e.p for e in other.estimates] == [3e-4, 2e-3]
+
+    def test_no_ledger_hatch_is_bit_identical(self, ledger):
+        cold = self._run(ledger)
+        off = self._run(False)
+        self.assert_series_equal(cold, off)
+
+    def test_different_plan_misses(self, ledger):
+        self._run(ledger)
+        before = len(list(ledger.entries("series")))
+        run_series(
+            "steane",
+            protocol=cached_protocol("steane"),
+            shots=1200,
+            k_max=2,
+            sweep=self.GRID,
+            seed=12,  # different seed -> different key -> recompute
+            ledger=ledger,
+        )
+        assert len(list(ledger.entries("series"))) == before + 1
+
+    def test_run_figure4_threads_the_ledger(self, ledger):
+        series = run_figure4(
+            ["steane"], shots=1000, sweep=self.GRID, ledger=ledger
+        )
+        assert len(list(ledger.entries("series"))) == 1
+        warm = run_figure4(
+            ["steane"], shots=1000, sweep=self.GRID, ledger=ledger
+        )
+        self.assert_series_equal(series[0], warm[0])
