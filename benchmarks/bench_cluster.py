@@ -23,7 +23,12 @@ The record now also carries the protocol-3 fabric datapoints: the
 effective ``pipeline_depth``, a depth-1 lockstep rerun of the stratum
 (``pipeline_vs_lockstep`` is what the credit window buys), and the frame
 codec, compression ratio, and bytes-on-wire from
-:meth:`ClusterEvaluator.wire_stats`.
+:meth:`ClusterEvaluator.wire_stats` — plus the ``repro.net`` security
+posture (``transport: plaintext|tls`` and ``auth``). ``--tls-cert``/
+``--tls-key`` spawn the workers behind TLS (CI generates an ephemeral
+self-signed pair), and an ambient ``REPRO_NET_TOKEN`` arms the token
+handshake on both sides; the identity gates hold regardless, because
+results never depend on the transport.
 
 Cluster speedup on a single-core container is physical nonsense (same
 box, extra sockets), so like ``bench_shard`` there is no hard speedup
@@ -49,13 +54,15 @@ from repro.codes.catalog import get_code
 from repro.core.analysis import two_fault_error_budget
 from repro.core.ftcheck import check_fault_tolerance
 from repro.core.protocol import synthesize_protocol
-from repro.sim.cluster import ClusterEvaluator, parse_hostports
+from repro.net import Endpoint, parse_endpoints
+from repro.sim.cluster import ClusterEvaluator
 from repro.sim.sampler import make_sampler
 from repro.sim.shard import ShardedEvaluator, parse_mem_budget
 
 
-def _wait_for_port(address: tuple[str, int], timeout: float = 30.0) -> None:
+def _wait_for_port(endpoint: Endpoint, timeout: float = 30.0) -> None:
     deadline = time.monotonic() + timeout
+    address = (endpoint.connect_host, endpoint.port)
     while True:
         try:
             socket.create_connection(address, timeout=1.0).close()
@@ -66,11 +73,28 @@ def _wait_for_port(address: tuple[str, int], timeout: float = 30.0) -> None:
             time.sleep(0.2)
 
 
-def _spawn_workers(count: int, max_chunks: int | None = None):
-    """Launch ``repro cluster worker`` subprocesses on ephemeral ports."""
+def _spawn_workers(
+    count: int,
+    max_chunks: int | None = None,
+    tls: tuple[str, str] | None = None,
+):
+    """Launch ``repro cluster worker`` subprocesses on ephemeral ports.
+
+    With ``tls=(certfile, keyfile)`` the workers listen over TLS and the
+    returned connect endpoints pin the server cert as the CA. A token, if
+    wanted, rides in ambient ``REPRO_NET_TOKEN`` — the spawned workers
+    inherit the environment, so both sides pick it up without any flag.
+    """
     processes = []
-    addresses = []
+    endpoints = []
     for _ in range(count):
+        listen = Endpoint(
+            "127.0.0.1",
+            0,
+            tls=tls is not None,
+            certfile=tls[0] if tls else None,
+            keyfile=tls[1] if tls else None,
+        )
         process = subprocess.Popen(
             [
                 sys.executable,
@@ -79,7 +103,7 @@ def _spawn_workers(count: int, max_chunks: int | None = None):
                 "cluster",
                 "worker",
                 "--listen",
-                "127.0.0.1:0",
+                listen.render(),
             ]
             + (["--max-chunks", str(max_chunks)] if max_chunks else []),
             stdout=subprocess.PIPE,
@@ -98,8 +122,15 @@ def _spawn_workers(count: int, max_chunks: int | None = None):
             process.kill()
             raise RuntimeError(f"worker failed to report its port: {line!r}")
         processes.append(process)
-        addresses.append((match.group(1), int(match.group(2))))
-    return processes, addresses
+        endpoints.append(
+            Endpoint(
+                match.group(1),
+                int(match.group(2)),
+                tls=tls is not None,
+                cafile=tls[0] if tls else None,
+            )
+        )
+    return processes, endpoints
 
 
 def _stratum(evaluator, k: int, shots: int, seed: int):
@@ -190,7 +221,7 @@ def run_recorder(
     from repro.sim.cluster import ClusterExecutorFactory
 
     factory = ClusterExecutorFactory(
-        tuple(parse_hostports(addresses)), pipeline_depth=pipeline_depth
+        tuple(addresses), pipeline_depth=pipeline_depth
     )
     budget_cluster = two_fault_error_budget(
         protocol, executor=factory, **slab_kwargs
@@ -227,7 +258,7 @@ def run_recorder(
         "shots": shots,
         "stratum_k": k,
         "seed": seed,
-        "cluster_workers": len(parse_hostports(addresses)),
+        "cluster_workers": len(parse_endpoints(addresses)),
         "max_slab": effective_slab,
         "mem_budget": mem_budget,
         "synthesis_seconds": round(synth_seconds, 4),
@@ -240,6 +271,8 @@ def run_recorder(
             lockstep_seconds / cluster_stratum_seconds, 2
         ),
         "frame_codec": wire["codec"],
+        "transport": wire["transport"],
+        "auth": wire["auth"],
         "compression_ratio": round(wire["compression_ratio"], 3),
         "bytes_on_wire": wire["wire_sent"] + wire["wire_received"],
         "bytes_raw": wire["raw_sent"] + wire["raw_received"],
@@ -260,14 +293,34 @@ def main() -> int:
     parser.add_argument(
         "--cluster",
         default=None,
-        metavar="HOST:PORT[,HOST:PORT...]",
-        help="use these already-running workers instead of spawning",
+        metavar="ENDPOINT[,ENDPOINT...]",
+        help=(
+            "use these already-running workers instead of spawning "
+            "(full repro.net endpoint grammar: "
+            "HOST:PORT[?tls=1&cafile=...&token=...])"
+        ),
     )
     parser.add_argument(
         "--spawn",
         type=int,
         default=2,
         help="self-spawn this many worker subprocesses (ignored with --cluster)",
+    )
+    parser.add_argument(
+        "--tls-cert",
+        default=None,
+        metavar="PEM",
+        help=(
+            "spawn the workers behind TLS with this certificate (needs "
+            "--tls-key; the cert doubles as the client-side pinned CA). "
+            "Set REPRO_NET_TOKEN to add the token handshake on top."
+        ),
+    )
+    parser.add_argument(
+        "--tls-key",
+        default=None,
+        metavar="PEM",
+        help="private key for --tls-cert",
     )
     parser.add_argument("--max-slab", type=int, default=2048)
     parser.add_argument(
@@ -294,17 +347,21 @@ def main() -> int:
     )
     args = parser.parse_args()
 
+    if bool(args.tls_cert) != bool(args.tls_key):
+        parser.error("--tls-cert and --tls-key go together")
+    tls = (args.tls_cert, args.tls_key) if args.tls_cert else None
+
     processes = []
     try:
         if args.cluster:
-            addresses = list(parse_hostports(args.cluster))
-            for address in addresses:
-                _wait_for_port(address)
+            addresses = list(parse_endpoints(args.cluster))
+            for endpoint in addresses:
+                _wait_for_port(endpoint)
         else:
-            processes, addresses = _spawn_workers(max(2, args.spawn))
+            processes, addresses = _spawn_workers(max(2, args.spawn), tls=tls)
         drill_addresses = None
         if not args.skip_drill:
-            drill_processes, dying = _spawn_workers(1, max_chunks=3)
+            drill_processes, dying = _spawn_workers(1, max_chunks=3, tls=tls)
             processes += drill_processes
             drill_addresses = dying + addresses
         record = run_recorder(

@@ -18,8 +18,14 @@ Record fields follow the other ``BENCH_*.json`` datapoints so
 Usage::
 
     PYTHONPATH=src python -m benchmarks.bench_serve [--code steane]
-        [--shots 4000] [--connect HOST:PORT] [--warm-ceiling 1.0]
-        [--out BENCH_serve.json]
+        [--shots 4000] [--connect ENDPOINT] [--warm-ceiling 1.0]
+        [--tls-cert cert.pem --tls-key key.pem] [--out BENCH_serve.json]
+
+``--tls-cert``/``--tls-key`` spawn the daemon behind TLS (CI passes an
+ephemeral self-signed pair) and an ambient ``REPRO_NET_TOKEN`` arms the
+token handshake; the record's ``transport``/``auth`` fields say which
+posture produced the datapoint. Every gate holds regardless — results
+never depend on the transport.
 """
 
 from __future__ import annotations
@@ -36,8 +42,21 @@ from datetime import datetime, timezone
 from pathlib import Path
 
 
-def _spawn_daemon(ledger_root: Path, store_root: Path):
-    """Start ``repro serve`` on an ephemeral port; returns (proc, host, port)."""
+def _spawn_daemon(
+    ledger_root: Path,
+    store_root: Path,
+    tls: tuple[str, str] | None = None,
+):
+    """Start ``repro serve`` on an ephemeral port; returns the process
+    plus the client-side connect :class:`~repro.net.Endpoint`.
+
+    With ``tls=(certfile, keyfile)`` the daemon listens over TLS and the
+    connect endpoint pins the server cert as the CA; an ambient
+    ``REPRO_NET_TOKEN`` (inherited by the subprocess) arms the token
+    handshake on both sides without any flag.
+    """
+    from repro.net import Endpoint
+
     env = dict(
         os.environ,
         REPRO_LEDGER=str(ledger_root),
@@ -47,8 +66,15 @@ def _spawn_daemon(ledger_root: Path, store_root: Path):
     env["PYTHONPATH"] = os.pathsep.join(
         filter(None, [str(src), env.get("PYTHONPATH")])
     )
+    listen = Endpoint(
+        "127.0.0.1",
+        0,
+        tls=tls is not None,
+        certfile=tls[0] if tls else None,
+        keyfile=tls[1] if tls else None,
+    )
     proc = subprocess.Popen(
-        [sys.executable, "-m", "repro", "serve", "--listen", "127.0.0.1:0"],
+        [sys.executable, "-m", "repro", "serve", "--listen", listen.render()],
         stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT,
         text=True,
@@ -59,7 +85,10 @@ def _spawn_daemon(ledger_root: Path, store_root: Path):
         proc.kill()
         raise RuntimeError(f"daemon failed to start: {line!r}")
     host, _, port = line.split("listening on ")[1].split(" ")[0].rpartition(":")
-    return proc, host, int(port)
+    endpoint = Endpoint(
+        host, int(port), tls=tls is not None, cafile=tls[0] if tls else None
+    )
+    return proc, endpoint
 
 
 def _timed(fn):
@@ -81,7 +110,7 @@ def _sweep_equals_series(line: dict, series) -> bool:
     )
 
 
-def run_recorder(args, host: str, port: int) -> dict:
+def run_recorder(args, endpoint) -> dict:
     from repro.experiments.figure4 import run_series
     from repro.serve.client import ServeClient
 
@@ -97,7 +126,7 @@ def run_recorder(args, host: str, port: int) -> dict:
     ]
     cold: dict[str, tuple] = {}
     warm: dict[str, tuple] = {}
-    with ServeClient(host, port, timeout=600.0) as client:
+    with ServeClient(endpoint, timeout=600.0) as client:
         client.ping()
         for name, op, params in ops:
             cold[name] = _timed(
@@ -154,6 +183,8 @@ def run_recorder(args, host: str, port: int) -> dict:
         "computes": stats["computes"],
         "ledger_hits": stats["ledger_hits"],
         "engine_compiles": stats["engine_compiles"],
+        "transport": stats.get("transport", "plaintext"),
+        "auth": stats.get("auth", False),
         "dedup_clean": dedup_clean,
         "bit_identical_warm": bit_identical_warm,
         "bit_identical_library": bit_identical_library,
@@ -170,11 +201,29 @@ def main() -> int:
     parser.add_argument(
         "--connect",
         default=None,
-        metavar="HOST:PORT",
+        metavar="ENDPOINT",
         help=(
             "benchmark an already-running daemon instead of spawning one "
-            "(the spawned daemon gets a fresh ledger, so cold is cold)"
+            "(the spawned daemon gets a fresh ledger, so cold is cold); "
+            "full repro.net endpoint grammar: "
+            "HOST:PORT[?tls=1&cafile=...&token=...]"
         ),
+    )
+    parser.add_argument(
+        "--tls-cert",
+        default=None,
+        metavar="PEM",
+        help=(
+            "spawn the daemon behind TLS with this certificate (needs "
+            "--tls-key; the cert doubles as the client-side pinned CA). "
+            "Set REPRO_NET_TOKEN to add the token handshake on top."
+        ),
+    )
+    parser.add_argument(
+        "--tls-key",
+        default=None,
+        metavar="PEM",
+        help="private key for --tls-cert",
     )
     parser.add_argument(
         "--warm-ceiling",
@@ -192,16 +241,22 @@ def main() -> int:
     )
     args = parser.parse_args()
 
+    if bool(args.tls_cert) != bool(args.tls_key):
+        parser.error("--tls-cert and --tls-key go together")
+    tls = (args.tls_cert, args.tls_key) if args.tls_cert else None
+
     proc = None
     if args.connect:
-        from repro.serve.client import parse_hostport
+        from repro.net import parse_endpoint
 
-        host, port = parse_hostport(args.connect)
+        endpoint = parse_endpoint(args.connect, default_port=7790)
     else:
         scratch = Path(tempfile.mkdtemp(prefix="repro-bench-serve-"))
-        proc, host, port = _spawn_daemon(scratch / "ledger", scratch / "store")
+        proc, endpoint = _spawn_daemon(
+            scratch / "ledger", scratch / "store", tls=tls
+        )
     try:
-        record = run_recorder(args, host, port)
+        record = run_recorder(args, endpoint)
     finally:
         if proc is not None:
             proc.terminate()

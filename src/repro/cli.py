@@ -94,11 +94,14 @@ def _add_shard_flags(parser: argparse.ArgumentParser) -> None:
         "--cluster",
         type=str,
         default=None,
-        metavar="HOST:PORT[,HOST:PORT...]",
+        metavar="ENDPOINT[,ENDPOINT...]",
         help=(
             "execute chunks on remote cluster workers (start them with "
             "'repro cluster worker --listen HOST:PORT') instead of local "
-            "processes; results are bit-identical to the same command "
+            "processes; each endpoint is "
+            "HOST:PORT[?tls=1&cafile=...&token=...] (see docs/net.md; "
+            "REPRO_NET_TOKEN/REPRO_NET_TLS supply ambient defaults); "
+            "results are bit-identical to the same command "
             "with --workers 1 for any worker set, including under "
             "worker disconnects (figure4: --cluster implies the intra "
             "shard axis, so compare against --shard intra --workers 1)"
@@ -396,8 +399,24 @@ def build_parser() -> argparse.ArgumentParser:
     worker.add_argument(
         "--listen",
         required=True,
-        metavar="HOST:PORT",
-        help="listen address (PORT 0 binds an ephemeral port and prints it)",
+        metavar="ENDPOINT",
+        help=(
+            "listen endpoint: HOST:PORT[?tls=1&certfile=...&keyfile=..."
+            "&token=...] (PORT 0 binds an ephemeral port and prints it; "
+            "':PORT' binds all interfaces; REPRO_NET_TOKEN supplies an "
+            "ambient token — see docs/net.md)"
+        ),
+    )
+    worker.add_argument(
+        "--allow",
+        action="append",
+        default=None,
+        metavar="CIDR|HOST",
+        help=(
+            "allowlist of peer addresses (repeatable; CIDR blocks, IPs, "
+            "or hostnames); connections from anywhere else are dropped "
+            "before any handshake byte"
+        ),
     )
     _add_store_flags(worker)
     worker.add_argument(
@@ -461,8 +480,24 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--listen",
         required=True,
-        metavar="HOST:PORT",
-        help="listen address (PORT 0 binds an ephemeral port and prints it)",
+        metavar="ENDPOINT",
+        help=(
+            "listen endpoint: HOST:PORT[?tls=1&certfile=...&keyfile=..."
+            "&token=...] (PORT 0 binds an ephemeral port and prints it; "
+            "':PORT' binds all interfaces; REPRO_NET_TOKEN supplies an "
+            "ambient token — see docs/net.md)"
+        ),
+    )
+    serve.add_argument(
+        "--allow",
+        action="append",
+        default=None,
+        metavar="CIDR|HOST",
+        help=(
+            "allowlist of client addresses (repeatable; CIDR blocks, "
+            "IPs, or hostnames); connections from anywhere else are "
+            "dropped before the greeting"
+        ),
     )
     serve.add_argument(
         "--engine-slots",
@@ -492,8 +527,11 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument(
         "--connect",
         required=True,
-        metavar="HOST:PORT",
-        help="daemon address (as printed by 'repro serve')",
+        metavar="ENDPOINT",
+        help=(
+            "daemon endpoint (as printed by 'repro serve'): "
+            "HOST:PORT[?tls=1&cafile=...&token=...] — see docs/net.md"
+        ),
     )
     query.add_argument(
         "--timeout",
@@ -501,6 +539,17 @@ def build_parser() -> argparse.ArgumentParser:
         default=600.0,
         metavar="SECONDS",
         help="socket timeout waiting for the result",
+    )
+    query.add_argument(
+        "--connect-timeout",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help=(
+            "timeout for establishing the connection (TCP connect, TLS "
+            "handshake, greeting, and token handshake); --timeout only "
+            "governs waiting on results"
+        ),
     )
     query.add_argument(
         "--json",
@@ -638,10 +687,12 @@ def _shard_kwargs(args) -> dict:
         mem_budget = parse_mem_budget(args.mem_budget)
     executor = None
     if getattr(args, "cluster", None):
-        from .sim.cluster import ClusterExecutorFactory, parse_hostports
+        from .sim.cluster import ClusterExecutorFactory
 
+        # The factory parses the endpoint grammar itself, so TLS/token
+        # fields on each --cluster endpoint survive into worker links.
         executor = ClusterExecutorFactory(
-            parse_hostports(args.cluster),
+            args.cluster,
             pipeline_depth=getattr(args, "pipeline_depth", None),
             mem_budget=mem_budget,
         )
@@ -920,19 +971,21 @@ def _cmd_budget(args) -> int:
 
 
 def _cmd_cluster(args) -> int:
+    from .net.tls import NetTLSError
     from .sim.cluster import ClusterWorker
 
-    # ":0" / ":7781" bind all interfaces, the conventional listen form.
-    host, _, port_text = args.listen.rpartition(":")
-    if not port_text.isdigit():
-        print(
-            f"error: --listen expects HOST:PORT, got {args.listen!r}",
-            file=sys.stderr,
+    # ":0" / ":7781" bind all interfaces, the conventional listen form
+    # (parse_endpoint alone would read a bare ":PORT" as loopback).
+    spec = args.listen
+    if isinstance(spec, str) and spec.startswith(":"):
+        spec = "0.0.0.0" + spec
+    try:
+        worker = ClusterWorker.from_endpoint(
+            spec, max_chunks=args.max_chunks, allow=args.allow
         )
+    except (ValueError, NetTLSError, OSError) as exc:
+        print(f"error: --listen {args.listen!r}: {exc}", file=sys.stderr)
         return 2
-    worker = ClusterWorker(
-        host or "0.0.0.0", int(port_text), max_chunks=args.max_chunks
-    )
     # The bound address is printed (and flushed) before serving so a
     # launcher script can wait for readiness; PORT 0 reports the
     # ephemeral port the OS picked.
@@ -1002,15 +1055,10 @@ def _cmd_store(args) -> int:
 
 
 def _cmd_serve(args) -> int:
+    from .net.endpoint import parse_endpoint
+    from .net.tls import NetTLSError
     from .serve.server import ReproServer
 
-    host, _, port_text = args.listen.rpartition(":")
-    if not port_text.isdigit():
-        print(
-            f"error: --listen expects HOST:PORT, got {args.listen!r}",
-            file=sys.stderr,
-        )
-        return 2
     if getattr(args, "noise", None):
         # Noise is a per-request parameter on the wire; a daemon-wide
         # default would silently change what clients asked for.
@@ -1021,16 +1069,28 @@ def _cmd_serve(args) -> int:
         )
         return 2
     kwargs = _shard_kwargs(args)
-    server = ReproServer(
-        host or "0.0.0.0",
-        int(port_text),
-        engine_slots=args.engine_slots,
-        compute_threads=args.compute_threads,
-        workers=kwargs["workers"],
-        max_slab=kwargs["max_slab"],
-        mem_budget=kwargs["mem_budget"],
-        executor=kwargs["executor"],
-    )
+    # ":0" / ":7790" bind all interfaces, the conventional listen form
+    # (parse_endpoint alone would read a bare ":PORT" as loopback).
+    spec = args.listen
+    if isinstance(spec, str) and spec.startswith(":"):
+        spec = "0.0.0.0" + spec
+    try:
+        # A listen flag must name its port explicitly — from_endpoint's
+        # client-side default (7790) would let 'nonsense' bind later
+        # instead of failing loudly here.
+        server = ReproServer.from_endpoint(
+            parse_endpoint(spec),
+            engine_slots=args.engine_slots,
+            compute_threads=args.compute_threads,
+            workers=kwargs["workers"],
+            max_slab=kwargs["max_slab"],
+            mem_budget=kwargs["mem_budget"],
+            executor=kwargs["executor"],
+            allow=args.allow,
+        )
+    except (ValueError, NetTLSError, OSError) as exc:
+        print(f"error: --listen {args.listen!r}: {exc}", file=sys.stderr)
+        return 2
     # Background start so the bound address is printed (and flushed)
     # before any request is served; PORT 0 reports the ephemeral port.
     bound_host, bound_port = server.start_background()
@@ -1114,9 +1174,9 @@ def _render_query_result(op: str, line: dict) -> None:
 def _cmd_query(args) -> int:
     import json
 
-    from .serve.client import ServeClient, ServeError, parse_hostport
+    from .net.tls import NetTLSError
+    from .serve.client import ServeClient, ServeError
 
-    host, port = parse_hostport(args.connect)
     op = args.query_command
     params: dict = {}
     if op in ("sweep", "ftcheck", "budget", "direct"):
@@ -1147,11 +1207,15 @@ def _cmd_query(args) -> int:
         print(f"  .. {detail}", file=sys.stderr, flush=True)
 
     try:
-        with ServeClient(host, port, timeout=args.timeout) as client:
+        with ServeClient(
+            args.connect,
+            timeout=args.timeout,
+            connect_timeout=args.connect_timeout,
+        ) as client:
             if op == "ping":
                 client.ping()  # raises on a protocol-version mismatch
             line = client.request(op, on_progress=on_progress, **params)
-    except (ServeError, ConnectionError, OSError) as exc:
+    except (ServeError, NetTLSError, ConnectionError, ValueError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     if args.as_json:

@@ -1,0 +1,85 @@
+"""``ssl.SSLContext`` construction from :class:`~repro.net.endpoint.Endpoint`.
+
+Servers always need ``certfile``/``keyfile``. Clients verify the server
+against ``cafile`` when given (the self-signed quickstart pins the
+server's own cert as the CA); without one the client still encrypts but
+skips authentication — fine on a trusted LAN, spelled out in
+``docs/net.md``. A server with a ``cafile`` flips into **mutual** mode:
+client certificates are required and verified, on top of the token
+handshake.
+
+Both stacks (sync cluster sockets, asyncio serve streams) consume these
+contexts unchanged — TLS sits entirely below the application framing,
+which is why the handshake/auth logic never branches on it.
+"""
+
+from __future__ import annotations
+
+import ssl
+
+from .endpoint import Endpoint
+
+__all__ = ["NetTLSError", "client_ssl_context", "server_ssl_context"]
+
+
+class NetTLSError(RuntimeError):
+    """The endpoint's TLS configuration cannot produce a context."""
+
+
+def server_ssl_context(endpoint: Endpoint) -> ssl.SSLContext | None:
+    """A server-side context, or ``None`` for a plaintext endpoint."""
+    if not endpoint.tls:
+        return None
+    if not endpoint.certfile:
+        raise NetTLSError(
+            f"endpoint {endpoint.host}:{endpoint.port} asks for tls=1 but "
+            "names no certfile= (servers need certfile= and keyfile=; see "
+            "docs/net.md for the self-signed quickstart)"
+        )
+    context = ssl.SSLContext(ssl.PROTOCOL_TLS_SERVER)
+    context.minimum_version = ssl.TLSVersion.TLSv1_2
+    try:
+        context.load_cert_chain(endpoint.certfile, endpoint.keyfile)
+    except (OSError, ssl.SSLError) as exc:
+        raise NetTLSError(
+            f"cannot load server certificate {endpoint.certfile!r}: {exc}"
+        ) from exc
+    if endpoint.cafile:
+        # Mutual mode: the client must present a certificate this CA
+        # bundle signs, in addition to (not instead of) any token.
+        try:
+            context.load_verify_locations(cafile=endpoint.cafile)
+        except (OSError, ssl.SSLError) as exc:
+            raise NetTLSError(
+                f"cannot load CA bundle {endpoint.cafile!r}: {exc}"
+            ) from exc
+        context.verify_mode = ssl.CERT_REQUIRED
+    return context
+
+
+def client_ssl_context(endpoint: Endpoint) -> ssl.SSLContext | None:
+    """A client-side context, or ``None`` for a plaintext endpoint."""
+    if not endpoint.tls:
+        return None
+    context = ssl.SSLContext(ssl.PROTOCOL_TLS_CLIENT)
+    context.minimum_version = ssl.TLSVersion.TLSv1_2
+    if endpoint.cafile:
+        try:
+            context.load_verify_locations(cafile=endpoint.cafile)
+        except (OSError, ssl.SSLError) as exc:
+            raise NetTLSError(
+                f"cannot load CA bundle {endpoint.cafile!r}: {exc}"
+            ) from exc
+    else:
+        # Encrypt-only: no CA to pin means no server authentication.
+        # The token handshake still authenticates both applications.
+        context.check_hostname = False
+        context.verify_mode = ssl.CERT_NONE
+    if endpoint.certfile:
+        try:
+            context.load_cert_chain(endpoint.certfile, endpoint.keyfile)
+        except (OSError, ssl.SSLError) as exc:
+            raise NetTLSError(
+                f"cannot load client certificate {endpoint.certfile!r}: {exc}"
+            ) from exc
+    return context

@@ -10,18 +10,36 @@ full ``result`` response line (``result["result"]`` is the payload,
 ``result["source"]`` says whether it was computed, ledger-served, or
 coalesced onto a concurrent identical request).
 
+Addresses are :mod:`repro.net` endpoint specs
+(``HOST:PORT[?tls=1&cafile=...&token=...]``), so TLS and the token
+handshake configure exactly like the cluster fabric's ``--cluster``
+flag. Two timeouts, with cluster semantics: ``connect_timeout`` covers
+establishing the connection — TCP connect, TLS handshake, the server
+greeting, and the token challenge–response — while ``timeout`` governs
+each read while waiting on a request (a slow *compute* keeps the
+connection alive through its progress events; a silent *daemon* times
+out readably instead of hanging ``collect`` forever).
+
 The ``repro query`` CLI is a thin wrapper over this class.
 """
 
 from __future__ import annotations
 
-import json
 import socket
+import ssl
 from collections import deque
 
+from ..net.auth import NONCE_BYTES, client_proof, make_nonce, verify_proof
+from ..net.auth import server_proof as _server_proof
+from ..net.endpoint import Endpoint, _env_tls_default, parse_endpoint
+from ..net.framing import JsonLinesTransport, WireProtocolError
+from ..net.tls import client_ssl_context
 from .schema import SERVE_PROTOCOL_VERSION
 
-__all__ = ["ServeClient", "ServeError", "parse_hostport"]
+__all__ = ["DEFAULT_SERVE_PORT", "ServeClient", "ServeError", "parse_hostport"]
+
+#: ``repro serve``'s conventional port, filled in for bare-HOST specs.
+DEFAULT_SERVE_PORT = 7790
 
 
 class ServeError(RuntimeError):
@@ -29,34 +47,170 @@ class ServeError(RuntimeError):
 
 
 def parse_hostport(text: str, default_port: int = 7790) -> tuple[str, int]:
-    """``HOST:PORT`` (or bare ``HOST``) -> (host, port)."""
-    host, sep, port = text.rpartition(":")
-    if not sep:
-        return text, default_port
-    return host or "127.0.0.1", int(port)
+    """Deprecated: ``HOST:PORT`` (or bare ``HOST``) -> (host, port).
+
+    Superseded by :func:`repro.net.parse_endpoint`, which understands
+    the full endpoint grammar (TLS, tokens); this shim drops any
+    security fields a spec may carry.
+    """
+    from ..net.endpoint import _warn_legacy_address
+
+    _warn_legacy_address("parse_hostport()")
+    return parse_endpoint(text, default_port=default_port, use_env=False).address
 
 
 class ServeClient:
     """Blocking JSON-lines client; use as a context manager.
 
+    Accepts an endpoint spec (``ServeClient("host:7790?tls=1&token=s")``)
+    or the classic positional pair (``ServeClient(host, port)``). The
+    constructor performs the protocol-2 connection opening — greeting,
+    version check, and (when a token is in play on either side) the
+    mutual :mod:`repro.net.auth` handshake — so a misconfigured
+    connection fails here, readably, never mid-request.
+
     Not thread-safe: multiplex by interleaving ``submit``/``collect``
     from one thread, or open one client per thread.
     """
 
-    def __init__(self, host: str, port: int, *, timeout: float | None = 120.0):
-        self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._file = self._sock.makefile("rb")
+    def __init__(
+        self,
+        host,
+        port: int | None = None,
+        *,
+        timeout: float | None = 120.0,
+        connect_timeout: float | None = 10.0,
+        token: str | None = None,
+    ):
+        if port is None:
+            endpoint = parse_endpoint(host, default_port=DEFAULT_SERVE_PORT)
+        else:
+            # The classic (host, port) call shape — an endpoint with
+            # ambient defaults, no deprecation noise.
+            endpoint = Endpoint(str(host), int(port), tls=_env_tls_default())
+        self.endpoint = endpoint
+        if endpoint.token is None and endpoint.token_file is None and token:
+            self._token = token
+        else:
+            self._token = endpoint.resolve_token()
+        self._timeout = timeout
+        sock = socket.create_connection(
+            (endpoint.connect_host, endpoint.port), timeout=connect_timeout
+        )
+        context = client_ssl_context(endpoint)
+        if context is not None:
+            try:
+                sock = context.wrap_socket(
+                    sock, server_hostname=endpoint.connect_host
+                )
+            except (ssl.SSLError, ConnectionError) as exc:
+                sock.close()
+                raise ServeError(
+                    f"TLS handshake with {endpoint.host}:{endpoint.port} "
+                    f"failed: {exc} (tls=1 against a plaintext daemon?)"
+                ) from exc
+        # The greeting and auth exchange run under the connect timeout;
+        # request reads switch to the (longer) request timeout after.
+        sock.settimeout(connect_timeout)
+        self._transport = JsonLinesTransport(sock)
+        self._sock = sock
+        self._file = self._transport._file
         self._next_id = 0
         # request id -> buffered response lines not yet collected.
         self._pending: dict[int, deque] = {}
+        try:
+            self._open_protocol()
+        except BaseException:
+            self.close()
+            raise
+        sock.settimeout(timeout)
+
+    def _open_protocol(self) -> None:
+        """Consume the server greeting; run the token handshake."""
+        try:
+            greeting = self._transport.recv_obj()
+        except (TimeoutError, socket.timeout) as exc:
+            hint = (
+                "an older repro serve, or not a repro daemon?"
+                if self.endpoint.tls
+                else "a tls=1 daemon, an older repro serve, or not a "
+                "repro daemon?"
+            )
+            raise ServeError(
+                f"daemon at {self.endpoint.host}:{self.endpoint.port} sent "
+                f"no greeting ({hint})"
+            ) from exc
+        if greeting is None:
+            raise ConnectionError(
+                "server closed the connection during the greeting"
+                + ("" if self.endpoint.tls else " (does it require tls=1?)")
+            )
+        if greeting.get("event") == "error":
+            # e.g. an allowlist/paranoia reject raced ahead of the hello
+            raise ServeError(greeting.get("error", "server refused"))
+        version = greeting.get("protocol_version")
+        if greeting.get("event") != "hello" or version != SERVE_PROTOCOL_VERSION:
+            raise ServeError(
+                f"server speaks protocol v{version}, "
+                f"client expects v{SERVE_PROTOCOL_VERSION}"
+            )
+        if not greeting.get("auth"):
+            if self._token is not None:
+                # Never talk to a peer that cannot prove token knowledge
+                # when a token is configured on this side.
+                raise ServeError(
+                    f"daemon at {self.endpoint.host}:{self.endpoint.port} "
+                    "runs without a token but one is configured here; "
+                    "refusing to send requests to an unauthenticated server"
+                )
+            return
+        if self._token is None:
+            raise ServeError(
+                "daemon requires a token: connect with ?token=... / "
+                "?token-file=... on the endpoint or set REPRO_NET_TOKEN"
+            )
+        try:
+            server_nonce = bytes.fromhex(greeting.get("nonce") or "")
+        except ValueError:
+            server_nonce = b""
+        if len(server_nonce) != NONCE_BYTES:
+            raise ServeError("daemon sent a malformed auth challenge")
+        client_nonce = make_nonce()
+        self._transport.send_obj(
+            {
+                "op": "auth",
+                "nonce": client_nonce.hex(),
+                "proof": client_proof(
+                    self._token, server_nonce, client_nonce
+                ).hex(),
+            }
+        )
+        reply = self._transport.recv_obj()
+        if reply is None:
+            raise ConnectionError(
+                "server closed the connection during the token handshake"
+            )
+        if reply.get("event") == "error":
+            raise ServeError(reply.get("error", "token handshake refused"))
+        try:
+            answering_proof = bytes.fromhex(reply.get("proof") or "")
+        except ValueError:
+            answering_proof = b""
+        if reply.get("event") != "auth-ok" or not verify_proof(
+            _server_proof(self._token, server_nonce, client_nonce),
+            answering_proof,
+        ):
+            # Mutual auth: the daemon accepted *us* but cannot prove it
+            # holds the token itself — an impostor that let us in.
+            raise ServeError(
+                "daemon accepted the connection but its answering proof "
+                "does not verify; refusing to trust an impostor"
+            )
 
     # -- lifecycle -------------------------------------------------------------
 
     def close(self) -> None:
-        try:
-            self._file.close()
-        finally:
-            self._sock.close()
+        self._transport.close()
 
     def __enter__(self) -> "ServeClient":
         return self
@@ -64,16 +218,19 @@ class ServeClient:
     def __exit__(self, *exc) -> None:
         self.close()
 
+    def wire_stats(self) -> dict:
+        """This connection's line-layer byte/frame counters — the same
+        vocabulary :meth:`repro.sim.cluster.ClusterEvaluator.wire_stats`
+        reports (``raw == wire``: JSON lines carry no codec)."""
+        return self._transport.wire_stats()
+
     # -- core ------------------------------------------------------------------
 
     def submit(self, op: str, **params) -> int:
         """Send one request line; returns its correlation id."""
         self._next_id += 1
         rid = self._next_id
-        line = json.dumps(
-            {"id": rid, "op": op, "params": params}, separators=(",", ":")
-        )
-        self._sock.sendall(line.encode("utf-8") + b"\n")
+        self._transport.send_obj({"id": rid, "op": op, "params": params})
         self._pending[rid] = deque()
         return rid
 
@@ -89,10 +246,12 @@ class ServeClient:
             if buffered:
                 event = buffered.popleft()
             else:
-                raw = self._file.readline()
-                if not raw:
+                try:
+                    event = self._transport.recv_obj()
+                except WireProtocolError as exc:
+                    raise ServeError(str(exc)) from exc
+                if event is None:
                     raise ConnectionError("server closed the connection")
-                event = json.loads(raw)
                 if event.get("id") != rid:
                     other = self._pending.get(event.get("id"))
                     if other is not None:

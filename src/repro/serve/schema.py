@@ -1,6 +1,17 @@
 """Wire schema of the ``repro serve`` JSON-lines protocol.
 
-One request per line, one or more response lines per request::
+Protocol 2 opens every connection with a server greeting (before any
+request), carrying the version and — when the daemon holds a token —
+the :mod:`repro.net.auth` challenge nonce::
+
+    <- {"event": "hello", "protocol_version": 2, "auth": true,
+        "nonce": "<hex>"}
+    -> {"op": "auth", "nonce": "<hex>", "proof": "<hex>"}
+    <- {"event": "auth-ok", "proof": "<hex>"}
+
+(an open daemon sends ``"auth": false`` and skips straight to
+requests). Then one request per line, one or more response lines per
+request::
 
     -> {"id": 7, "op": "sweep", "params": {"code": "steane", ...}}
     <- {"id": 7, "event": "progress", ...}          (zero or more)
@@ -35,7 +46,11 @@ __all__ = [
     "request_key",
 ]
 
-SERVE_PROTOCOL_VERSION = 1
+#: Version 2: the ``repro.net`` security layer — a hello greeting opens
+#: every connection, the token challenge–response (when configured)
+#: must complete before the first request is dispatched, and the
+#: listener may sit behind TLS (transparent at this layer).
+SERVE_PROTOCOL_VERSION = 2
 
 #: Every operation the daemon understands. ``ping``/``stats``/
 #: ``shutdown`` are control ops (no ledger key); the other four are the

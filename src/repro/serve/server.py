@@ -31,12 +31,22 @@ plans compute only their missing chunks.
 A client that disconnects mid-stream does not abort its computation:
 the result is still computed and persisted (the next query is a hit),
 only the undeliverable events are dropped.
+
+**Transport security** (:mod:`repro.net`, protocol 2): the listener can
+sit behind TLS (``--listen 'HOST:PORT?tls=1&certfile=...'``), require
+the HMAC token handshake (``?token=...`` / ``REPRO_NET_TOKEN``;
+completed before *any* request line is read, so an unauthenticated peer
+never reaches ``normalize_request``, the ledger, or a compute thread),
+and drop peers outside an ``--allow`` CIDR/host allowlist at accept
+time. Results are bit-identical across plaintext and TLS+token
+transports — security sits entirely below the request flow.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import ssl
 import threading
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
@@ -44,6 +54,16 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..net.auth import (
+    NONCE_BYTES,
+    client_proof,
+    make_nonce,
+    server_proof,
+    verify_proof,
+)
+from ..net.endpoint import AddressAllowlist, ambient_token, parse_endpoint
+from ..net.framing import FrameCounters
+from ..net.tls import server_ssl_context
 from ..store import keys as store_keys
 from .ledger import LedgerEvaluator, ResultsLedger, resolve_ledger
 from .schema import (
@@ -74,6 +94,9 @@ class ServeStats:
     engine_hits: int = 0
     errors: int = 0
     disconnects: int = 0
+    #: Connections refused by the token handshake (wrong/missing proof)
+    #: or the --allow allowlist — none of them reached a request.
+    auth_failures: int = 0
 
     def snapshot(self) -> dict:
         return dict(vars(self))
@@ -98,6 +121,12 @@ class ReproServer:
     the resident-engine LRU, and ``compute_threads`` bounds concurrent
     computations (keep it >= 2 so a long compute never blocks protocol
     resolution for other clients).
+
+    Transport security (:mod:`repro.net`): ``token`` arms the handshake
+    (``None`` falls back to ambient ``REPRO_NET_TOKEN``; ``""`` runs
+    open explicitly), ``ssl_context`` wraps the listener in TLS, and
+    ``allow`` drops out-of-range peers at accept time. Prefer
+    :meth:`from_endpoint` to derive all three from one endpoint spec.
     """
 
     def __init__(
@@ -112,11 +141,25 @@ class ReproServer:
         mem_budget: int | None = None,
         executor=None,
         compute_threads: int = 4,
+        token: str | None = None,
+        ssl_context: ssl.SSLContext | None = None,
+        allow=None,
     ):
         if engine_slots < 1:
             raise ValueError("engine_slots must be positive")
         self.host = host
         self.port = int(port)
+        self._token = ambient_token() if token is None else (token or None)
+        self._ssl_context = ssl_context
+        self.allow = (
+            allow
+            if isinstance(allow, AddressAllowlist)
+            else AddressAllowlist(allow)
+        )
+        #: Line-layer byte/frame counters (both directions, every
+        #: connection) — same vocabulary as the cluster framer, surfaced
+        #: by the ``stats`` op. Touched only on the event loop.
+        self._wire = FrameCounters()
         self.ledger: ResultsLedger | None = resolve_ledger(ledger)
         self.engine_slots = int(engine_slots)
         self.workers = int(workers)
@@ -143,13 +186,32 @@ class ReproServer:
         self._stop_event: asyncio.Event | None = None
         self._thread: threading.Thread | None = None
 
+    @classmethod
+    def from_endpoint(cls, endpoint, **kwargs) -> "ReproServer":
+        """Build a daemon from a ``--listen`` endpoint spec: the bind
+        address plus every security field (``tls``/``certfile``/
+        ``keyfile``/``cafile`` and the resolved token) in one string.
+        Remaining keyword arguments go to the constructor unchanged."""
+        endpoint = parse_endpoint(endpoint, default_port=7790)
+        server = cls(
+            endpoint.connect_host,
+            endpoint.port,
+            # resolve_token already consulted the environment; "" keeps
+            # the constructor from consulting it a second time.
+            token=endpoint.resolve_token() or "",
+            ssl_context=server_ssl_context(endpoint),
+            **kwargs,
+        )
+        server.endpoint = endpoint
+        return server
+
     # -- lifecycle -------------------------------------------------------------
 
     async def _main(self, ready: threading.Event | None = None) -> None:
         self._loop = asyncio.get_running_loop()
         self._stop_event = asyncio.Event()
         self._server = await asyncio.start_server(
-            self._handle_client, self.host, self.port
+            self._handle_client, self.host, self.port, ssl=self._ssl_context
         )
         self.port = self._server.sockets[0].getsockname()[1]
         if ready is not None:
@@ -483,20 +545,133 @@ class ReproServer:
 
     async def _send(self, writer, lock: asyncio.Lock, payload: dict) -> bool:
         """One response line; False (never an exception) on a dead peer."""
-        line = json.dumps(payload, separators=(",", ":")) + "\n"
+        data = (
+            json.dumps(payload, separators=(",", ":")) + "\n"
+        ).encode("utf-8")
         try:
             async with lock:
-                writer.write(line.encode("utf-8"))
+                writer.write(data)
                 await writer.drain()
+            self._wire.raw_sent += len(data)
+            self._wire.wire_sent += len(data)
+            self._wire.frames_sent += 1
             return True
         except (ConnectionError, RuntimeError, OSError):
             self.stats.disconnects += 1
             return False
 
+    async def _greet_and_authenticate(self, reader, writer, write_lock) -> bool:
+        """Protocol-2 connection opening: the hello greeting, then — when
+        a token is configured — the :mod:`repro.net.auth` challenge–
+        response over hex-encoded JSON fields. Returns False (connection
+        must close) unless the peer may start sending requests; no
+        request line is ever read, let alone dispatched, before this
+        returns True."""
+        greeting = {
+            "event": "hello",
+            "protocol_version": SERVE_PROTOCOL_VERSION,
+            "auth": self._token is not None,
+        }
+        server_nonce = None
+        if self._token is not None:
+            server_nonce = make_nonce()
+            greeting["nonce"] = server_nonce.hex()
+        if not await self._send(writer, write_lock, greeting):
+            return False
+        if self._token is None:
+            return True
+
+        async def refuse(reason: str, rid=None) -> bool:
+            self.stats.auth_failures += 1
+            await self._send(
+                writer, write_lock, {"id": rid, "event": "error", "error": reason}
+            )
+            return False
+
+        try:
+            line = await asyncio.wait_for(reader.readline(), timeout=30)
+        except (asyncio.TimeoutError, ConnectionError, OSError):
+            self.stats.auth_failures += 1
+            return False
+        if not line:
+            self.stats.auth_failures += 1
+            return False
+        self._count_request_line(line)
+        try:
+            request = json.loads(line)
+            assert isinstance(request, dict)
+        except Exception:
+            return await refuse(
+                "daemon requires a token: the first line must be an auth op "
+                "(connect with ?token=... or set REPRO_NET_TOKEN)"
+            )
+        rid = request.get("id")
+        if request.get("op") != "auth":
+            return await refuse(
+                "daemon requires a token: got a request before the auth "
+                "handshake (connect with ?token=... or set REPRO_NET_TOKEN)",
+                rid,
+            )
+        try:
+            client_nonce = bytes.fromhex(request.get("nonce") or "")
+            proof = bytes.fromhex(request.get("proof") or "")
+        except ValueError:
+            return await refuse(
+                "token handshake failed: nonce/proof are not valid hex", rid
+            )
+        if len(client_nonce) != NONCE_BYTES:
+            return await refuse(
+                f"token handshake failed: auth nonce must be {NONCE_BYTES} "
+                "bytes",
+                rid,
+            )
+        expected = client_proof(self._token, server_nonce, client_nonce)
+        if not verify_proof(expected, proof):
+            return await refuse(
+                "token handshake failed: client proof does not verify "
+                "(wrong or stale token)",
+                rid,
+            )
+        await self._send(
+            writer,
+            write_lock,
+            {
+                "id": rid,
+                "event": "auth-ok",
+                "proof": server_proof(
+                    self._token, server_nonce, client_nonce
+                ).hex(),
+            },
+        )
+        return True
+
+    def _count_request_line(self, line: bytes) -> None:
+        self._wire.raw_received += len(line)
+        self._wire.wire_received += len(line)
+        if line.strip():
+            self._wire.frames_received += 1
+
     async def _handle_client(self, reader, writer):
         write_lock = asyncio.Lock()
         tasks: set[asyncio.Task] = set()
+        peer = writer.get_extra_info("peername")
+        if not self.allow.permits(peer[0] if peer else ""):
+            # Outside the allowlist: not even the greeting goes out.
+            self.stats.auth_failures += 1
+            try:
+                writer.close()
+            except Exception:
+                pass
+            return
         try:
+            if not await self._greet_and_authenticate(
+                reader, writer, write_lock
+            ):
+                try:
+                    writer.close()
+                except Exception:
+                    pass
+                return
             while True:
                 try:
                     line = await reader.readline()
@@ -504,6 +679,7 @@ class ReproServer:
                     break
                 if not line:
                     break
+                self._count_request_line(line)
                 if not line.strip():
                     continue
                 task = asyncio.get_running_loop().create_task(
@@ -578,6 +754,12 @@ class ReproServer:
                 inflight=len(self._inflight),
                 ledger=None if self.ledger is None else self.ledger.stats.snapshot(),
                 ledger_root=None if self.ledger is None else str(self.ledger.root),
+                # Same counter vocabulary as ClusterEvaluator.wire_stats
+                # (repro.net.framing.FrameCounters) — JSON lines carry
+                # no codec, so raw == wire here.
+                wire=self._wire.stats("none"),
+                transport="tls" if self._ssl_context is not None else "plaintext",
+                auth=self._token is not None,
             )
             await self._send(
                 writer,

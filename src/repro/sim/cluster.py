@@ -6,20 +6,20 @@ chunk specs (:class:`~repro.sim.shard.StratumChunk` & friends) across
 machines:
 
 * **Wire format** — length-prefixed pickle frames (8-byte big-endian
-  length + pickle payload) over a plain TCP socket. A versioned
-  handshake opens every connection: the coordinator sends the magic,
-  the protocol version, and a *digest-first* session header — the
-  SHA-256 of the pickled engine payload
-  (:func:`repro.sim.shard.engine_payload`), the slab bound, the noise
-  model, and the frame codecs it can read. A worker that already holds
-  the compiled engine for that digest (a previous coordinator session
-  shipped it) replies ``welcome`` immediately — **engine-cache reuse**:
-  consecutive sessions with the same (protocol, engine, judge) skip
-  both the payload transfer and the recompilation. On a cache miss the
-  worker answers ``need-payload`` and the coordinator ships the payload
-  once per worker, exactly as the spawn-pool fallback in ``shard.py``
-  does — so only registered engines and picklable judges cross the
-  wire, loudly.
+  length + pickle payload) over a TCP socket, plaintext or TLS
+  (:mod:`repro.net`). A versioned handshake opens every connection: the
+  coordinator sends the magic, the protocol version, and a
+  *digest-first* session header — the SHA-256 of the pickled engine
+  payload (:func:`repro.sim.shard.engine_payload`), the slab bound, the
+  noise model, and the frame codecs it can read. A worker that already
+  holds the compiled engine for that digest (a previous coordinator
+  session shipped it) replies ``welcome`` immediately — **engine-cache
+  reuse**: consecutive sessions with the same (protocol, engine, judge)
+  skip both the payload transfer and the recompilation. On a cache miss
+  the worker answers ``need-payload`` and the coordinator ships the
+  payload once per worker, exactly as the spawn-pool fallback in
+  ``shard.py`` does — so only registered engines and picklable judges
+  cross the wire, loudly.
 
 * **Compressed frames** (protocol 3) — every frame after ``welcome``
   carries a one-byte codec tag and a payload compressed with the codec
@@ -31,7 +31,22 @@ machines:
   preallocated buffers via ``recv_into`` (no per-recv copies), and the
   frame layer counts raw/wire bytes per direction
   (:meth:`ClusterEvaluator.wire_stats` — ``bench_cluster`` records
-  them).
+  them). The frame plumbing itself lives in :mod:`repro.net.framing`
+  (shared with the serve daemon) and is re-exported here.
+
+* **Transport security** (protocol 4, :mod:`repro.net`) — addresses are
+  endpoint specs (``HOST:PORT[?tls=1&token=...]``,
+  :func:`repro.net.parse_endpoint`). A worker or coordinator holding a
+  token (inline, ``token-file=``, or ambient ``REPRO_NET_TOKEN``) runs
+  the HMAC-SHA256 challenge–response handshake of :mod:`repro.net.auth`
+  immediately after the version hello: the coordinator proves token
+  knowledge over fresh per-connection nonces, the worker proves it
+  back, and either side that cannot is rejected with a readable reason
+  **before any engine payload or chunk crosses the wire**. ``tls=1``
+  wraps the socket in TLS below the frame layer (self-signed
+  quickstart in ``docs/net.md``); ``--allow`` CIDR/host allowlists are
+  checked at ``accept`` time, before even the hello. The handshake
+  stays raw-framed, so old peers still get a readable version reject.
 
 * :class:`ClusterWorker` — the server side (``repro cluster worker
   --listen HOST:PORT``). It accepts one coordinator at a time, rebuilds
@@ -59,18 +74,22 @@ machines:
   ``pipeline_depth=1`` degenerates to the old ack-per-chunk lockstep.
 
 **Bit-identity.** Results depend only on the chunk plan, never on which
-worker executed a chunk, in what order, or how many disconnect/retry
-cycles happened: sampled chunks carry their own ``SeedSequence``
-entropy, enumerated chunks carry index ranges, and ``merge_partials``
-folds in chunk-index order. A two-worker localhost run, a ten-node run,
-and ``workers=1`` inline therefore produce bit-identical tallies,
-histograms, evidence rows, and float masses — pinned in
-``tests/sim/test_cluster.py`` including under forced worker kills.
+worker executed a chunk, in what order, how many disconnect/retry
+cycles happened, or what transport carried it: sampled chunks carry
+their own ``SeedSequence`` entropy, enumerated chunks carry index
+ranges, and ``merge_partials`` folds in chunk-index order. A two-worker
+localhost run, a ten-node TLS+token run, and ``workers=1`` inline
+therefore produce bit-identical tallies, histograms, evidence rows, and
+float masses — pinned in ``tests/sim/test_cluster.py`` and
+``tests/net/test_secure_cluster.py`` including under forced worker
+kills.
 
 **Security note.** Frames are pickles: a cluster worker will execute
-whatever a coordinator sends it (and vice versa). Run workers only on
-trusted networks — localhost, a private cluster fabric, an SSH tunnel —
-exactly like ``multiprocessing``'s own socket listeners.
+whatever an *authenticated* coordinator sends it (and vice versa). The
+token handshake gates who gets that far and TLS keeps the stream
+private, but a peer holding the token is fully trusted — treat the
+token like an SSH key, and prefer ``token-file=`` over inline
+``token=`` where process listings are visible.
 """
 
 from __future__ import annotations
@@ -78,18 +97,39 @@ from __future__ import annotations
 import os
 import pickle
 import socket
-import struct
+import ssl
 import threading
 from collections import OrderedDict, deque
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
-from ..store import (
-    available_codecs,
-    compress_blob,
-    decompress_blob,
-    resolve_store,
+from ..net.auth import (
+    NONCE_BYTES,
+    client_proof,
+    make_nonce,
+    server_proof,
+    verify_proof,
 )
+from ..net.endpoint import (
+    AddressAllowlist,
+    Endpoint,
+    _warn_legacy_address,
+    ambient_token,
+    parse_endpoint,
+    parse_endpoints,
+)
+from ..net.framing import (
+    CODEC_IDS as _CODEC_IDS,
+    CODEC_NAMES as _CODEC_NAMES,
+    PickleFramer as _Framer,
+    WireProtocolError,
+    _recv_exact,
+    _recv_into_exact,
+    recv_frame,
+    send_frame,
+)
+from ..net.tls import client_ssl_context, server_ssl_context
+from ..store import available_codecs, resolve_store
 from ..store.keys import payload_digest
 from .shard import (
     AdaptiveSlabPolicy,
@@ -119,13 +159,14 @@ __all__ = [
 #: digest-first handshake (engine-cache reuse across coordinator
 #: sessions) and the noise model in the session header. Version 3:
 #: pipelined chunk streaming (a credit window of outstanding chunks per
-#: worker) and codec-tagged compressed frames after the handshake
-#: (negotiated via the ``codecs`` header field; the handshake itself
-#: keeps the version-2 raw layout so old peers reject cleanly).
-PROTOCOL_VERSION = 3
+#: worker) and codec-tagged compressed frames after the handshake.
+#: Version 4: the ``repro.net`` security layer — the hello header
+#: advertises ``auth`` and the token challenge–response runs between
+#: hello and ``need-payload``/``welcome`` (the handshake itself keeps
+#: the raw layout so old peers reject cleanly, never desync).
+PROTOCOL_VERSION = 4
 
 _MAGIC = b"RPRO-CLUSTER"
-_LENGTH = struct.Struct(">Q")
 
 #: Compiled engines a worker keeps across coordinator sessions.
 _ENGINE_CACHE_SLOTS = 8
@@ -138,14 +179,11 @@ _DEFAULT_PIPELINE_DEPTH = 4
 #: the window only buys memory pressure, not latency hiding).
 _MAX_PIPELINE_DEPTH = 32
 
-#: Wire ids of the codec names the frame layer can tag (repro.store's
-#: codec vocabulary). One byte leads every post-welcome frame.
-_CODEC_IDS = {"none": 0, "zlib": 1, "zstd": 2}
-_CODEC_NAMES = {wire_id: name for name, wire_id in _CODEC_IDS.items()}
-
-
-class ClusterProtocolError(RuntimeError):
-    """A peer spoke the wrong magic, version, or frame vocabulary."""
+#: The shared frame-protocol error: a peer spoke the wrong magic,
+#: version, codec, or frame vocabulary (alias so the cluster framer —
+#: now :class:`repro.net.framing.PickleFramer` — and this module raise
+#: one catchable type).
+ClusterProtocolError = WireProtocolError
 
 
 class ClusterError(RuntimeError):
@@ -153,149 +191,16 @@ class ClusterError(RuntimeError):
 
 
 def parse_hostports(spec) -> tuple[tuple[str, int], ...]:
-    """``"h1:p1,h2:p2"`` (or an iterable of same / (host, port) pairs)
-    into a tuple of ``(host, port)`` addresses."""
-    if isinstance(spec, str):
-        parts: Sequence = [s for s in spec.split(",") if s.strip()]
-    else:
-        parts = list(spec)
-    addresses = []
-    for part in parts:
-        if isinstance(part, str):
-            host, _, port = part.strip().rpartition(":")
-            if not host:
-                raise ValueError(f"expected HOST:PORT, got {part!r}")
-            addresses.append((host, int(port)))
-        else:
-            host, port = part
-            addresses.append((str(host), int(port)))
-    if not addresses:
-        raise ValueError(f"no worker addresses in {spec!r}")
-    return tuple(addresses)
+    """Deprecated: ``"h1:p1,h2:p2"`` (or an iterable of same /
+    (host, port) pairs) into a tuple of ``(host, port)`` addresses.
 
-
-# -- framing -------------------------------------------------------------------
-
-
-def send_frame(sock: socket.socket, obj) -> None:
-    """Pickle ``obj`` and send it as one length-prefixed frame."""
-    payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
-    sock.sendall(_LENGTH.pack(len(payload)) + payload)
-
-
-def _recv_into_exact(sock: socket.socket, view: memoryview) -> bool:
-    """Fill ``view`` from the socket; False on clean EOF at offset 0."""
-    size = len(view)
-    received = 0
-    while received < size:
-        count = sock.recv_into(view[received:])
-        if count == 0:
-            if received == 0:
-                return False
-            raise ConnectionError("peer closed mid-frame")
-        received += count
-    return True
-
-
-def _recv_exact(sock: socket.socket, size: int) -> bytes | None:
-    """``size`` bytes, ``None`` on clean EOF at a frame boundary.
-
-    One preallocated ``bytearray`` filled via ``recv_into`` — no
-    per-``recv`` slice copies (the old loop concatenated 1 MiB ``bytes``
-    chunks, doubling the transient footprint of big payload frames).
+    Superseded by :func:`repro.net.parse_endpoints`, which understands
+    the full endpoint grammar (TLS, tokens) and is what every repro
+    consumer now calls; this shim survives for old callers, warns once
+    per process, and drops any security fields a spec may carry.
     """
-    buffer = bytearray(size)
-    if not _recv_into_exact(sock, memoryview(buffer)):
-        return None
-    return bytes(buffer)
-
-
-def recv_frame(sock: socket.socket):
-    """One frame back as the unpickled object; ``None`` on clean EOF."""
-    header = _recv_exact(sock, _LENGTH.size)
-    if header is None:
-        return None
-    (length,) = _LENGTH.unpack(header)
-    payload = _recv_exact(sock, length)
-    if payload is None:
-        raise ConnectionError("peer closed between header and payload")
-    return pickle.loads(payload)
-
-
-class _Framer:
-    """Codec-tagged frame transport of one protocol-3 session.
-
-    After ``welcome`` both peers switch from raw frames to
-    ``8-byte length | 1 codec byte | payload``: the payload is the
-    pickle compressed with the session's negotiated codec, each frame
-    tags itself (a frame the codec cannot shrink ships raw under
-    ``"none"``, so compression never inflates the wire), and receives
-    land in one grow-only reusable buffer via ``recv_into`` — zero
-    per-frame allocation churn on the hot path. Byte counters on both
-    directions feed :meth:`ClusterEvaluator.wire_stats` and the bench
-    ledger.
-    """
-
-    __slots__ = (
-        "sock",
-        "codec",
-        "raw_sent",
-        "wire_sent",
-        "raw_received",
-        "wire_received",
-        "frames_sent",
-        "frames_received",
-        "_header",
-        "_buffer",
-    )
-
-    def __init__(self, sock: socket.socket, codec: str = "none"):
-        if codec not in _CODEC_IDS:
-            raise ClusterProtocolError(f"unknown frame codec {codec!r}")
-        self.sock = sock
-        self.codec = codec
-        self.raw_sent = 0
-        self.wire_sent = 0
-        self.raw_received = 0
-        self.wire_received = 0
-        self.frames_sent = 0
-        self.frames_received = 0
-        self._header = bytearray(_LENGTH.size)
-        self._buffer = bytearray(1 << 16)
-
-    def send(self, obj) -> None:
-        raw = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
-        codec, payload = compress_blob(raw, self.codec)
-        frame = (
-            _LENGTH.pack(1 + len(payload))
-            + bytes((_CODEC_IDS[codec],))
-            + payload
-        )
-        self.sock.sendall(frame)
-        self.raw_sent += len(raw)
-        self.wire_sent += len(frame)
-        self.frames_sent += 1
-
-    def recv(self):
-        """One frame back as the unpickled object; ``None`` on clean EOF."""
-        if not _recv_into_exact(self.sock, memoryview(self._header)):
-            return None
-        (length,) = _LENGTH.unpack(self._header)
-        if length < 1:
-            raise ClusterProtocolError("empty frame (missing codec byte)")
-        if length > len(self._buffer):
-            self._buffer = bytearray(max(length, 2 * len(self._buffer)))
-        body = memoryview(self._buffer)[:length]
-        if not _recv_into_exact(self.sock, body):
-            raise ConnectionError("peer closed between header and payload")
-        codec = _CODEC_NAMES.get(body[0])
-        if codec is None:
-            raise ClusterProtocolError(f"unknown frame codec id {body[0]}")
-        raw = decompress_blob(codec, body[1:])
-        self.raw_received += len(raw)
-        self.wire_received += _LENGTH.size + length
-        self.frames_received += 1
-        return pickle.loads(raw)
+    _warn_legacy_address("parse_hostports()")
+    return tuple(ep.address for ep in parse_endpoints(spec, use_env=False))
 
 
 def _negotiate_codec(peer_codecs) -> str:
@@ -325,6 +230,23 @@ class ClusterWorker:
         process. The coordinator must requeue that chunk elsewhere and
         still merge bit-identical totals; the CI cluster smoke job and
         ``tests/sim/test_cluster.py`` drive this path on purpose.
+    token:
+        Shared secret for the :mod:`repro.net.auth` handshake. ``None``
+        (the default) falls back to the ambient ``REPRO_NET_TOKEN``
+        environment variable; an empty string disables auth explicitly.
+        With a token set, every coordinator must prove knowledge of it
+        before the engine payload or any chunk is accepted.
+    ssl_context:
+        A server-side ``ssl.SSLContext`` (see
+        :func:`repro.net.server_ssl_context`); connections are wrapped
+        before any frame is read. ``None`` serves plaintext.
+    allow:
+        ``--allow`` entries (CIDRs, IPs, hostnames) or an
+        :class:`~repro.net.AddressAllowlist`; peers outside it are
+        dropped at ``accept`` time, before even the hello frame.
+
+    Prefer :meth:`from_endpoint` when starting from an endpoint spec —
+    it derives all three security knobs from the parsed fields.
 
     Coordinator connections are served **concurrently** (one thread per
     connection): a consumer that holds one evaluator session open while
@@ -352,8 +274,18 @@ class ClusterWorker:
         *,
         max_chunks: int | None = None,
         backlog: int = 8,
+        token: str | None = None,
+        ssl_context: ssl.SSLContext | None = None,
+        allow=None,
     ):
         self.max_chunks = max_chunks
+        self._token = ambient_token() if token is None else (token or None)
+        self._ssl_context = ssl_context
+        self.allow = (
+            allow
+            if isinstance(allow, AddressAllowlist)
+            else AddressAllowlist(allow)
+        )
         self._served = 0
         self._served_lock = threading.Lock()
         self._engines: OrderedDict[str, object] = OrderedDict()
@@ -364,6 +296,33 @@ class ClusterWorker:
         self._server.bind((host, port))
         self._server.listen(backlog)
         self.host, self.port = self._server.getsockname()[:2]
+
+    @classmethod
+    def from_endpoint(
+        cls,
+        endpoint,
+        *,
+        max_chunks: int | None = None,
+        backlog: int = 8,
+        allow=None,
+    ) -> "ClusterWorker":
+        """Build a worker from an endpoint spec: the listen address plus
+        every security field (``tls``/``certfile``/``keyfile``/``cafile``
+        and the resolved token) in one string."""
+        endpoint = parse_endpoint(endpoint)
+        worker = cls(
+            endpoint.connect_host,
+            endpoint.port,
+            max_chunks=max_chunks,
+            backlog=backlog,
+            # resolve_token already consulted the environment; "" keeps
+            # the constructor from consulting it a second time.
+            token=endpoint.resolve_token() or "",
+            ssl_context=server_ssl_context(endpoint),
+            allow=allow,
+        )
+        worker.endpoint = endpoint.with_address(endpoint.host, worker.port)
+        return worker
 
     @property
     def address(self) -> tuple[str, int]:
@@ -382,9 +341,14 @@ class ClusterWorker:
         try:
             while not self._stop.is_set():
                 try:
-                    conn, _ = self._server.accept()
+                    conn, peer = self._server.accept()
                 except OSError:
                     break
+                if not self.allow.permits(peer[0] if peer else ""):
+                    # Outside the allowlist: no handshake, no reject
+                    # frame, no TLS — the peer never gets a byte.
+                    conn.close()
+                    continue
                 # Chunk and partial frames are small; without NODELAY,
                 # Nagle batching against the peer's delayed ACKs stalls
                 # the pipelined window ~40ms per flight.
@@ -400,9 +364,20 @@ class ClusterWorker:
 
     def _serve_and_close(self, conn: socket.socket) -> None:
         try:
+            if self._ssl_context is not None:
+                # TLS below the frame layer: wrap before the first
+                # frame (a plaintext peer fails here, in *its* connect
+                # path, with nothing of ours ever sent in the clear).
+                conn = self._ssl_context.wrap_socket(conn, server_side=True)
             self._serve_connection(conn)
-        except (OSError, ConnectionError, EOFError, pickle.PickleError):
-            pass  # coordinator vanished mid-session; others continue
+        except (
+            OSError,
+            ConnectionError,
+            EOFError,
+            pickle.PickleError,
+            ClusterProtocolError,
+        ):
+            pass  # coordinator vanished or spoke garbage; others continue
         finally:
             conn.close()
 
@@ -430,7 +405,77 @@ class ClusterWorker:
                 ),
             )
             return None
-        return hello[3]  # {"digest", "max_slab", "model"}
+        return hello[3]  # {"digest", "max_slab", "model", "codecs", "auth"}
+
+    def _authenticate(self, conn: socket.socket, header) -> bool:
+        """The token challenge–response (:mod:`repro.net.auth`), before
+        any engine or chunk state exists for this connection. Every
+        failure path sends a readable ``reject`` and refuses the
+        session; a peer that cannot prove token knowledge never gets a
+        ``need-payload``/``welcome``, so no work is ever dispatched to
+        or accepted from it."""
+        peer_auth = bool(header.get("auth"))
+        if self._token is None:
+            if peer_auth:
+                send_frame(
+                    conn,
+                    (
+                        "reject",
+                        "coordinator requires a token but this worker runs "
+                        "open; restart the worker with ?token=... or "
+                        "REPRO_NET_TOKEN set",
+                    ),
+                )
+                return False
+            return True
+        if not peer_auth:
+            send_frame(
+                conn,
+                (
+                    "reject",
+                    "worker requires a token: connect with ?token=... / "
+                    "?token-file=... on the endpoint or set REPRO_NET_TOKEN",
+                ),
+            )
+            return False
+        server_nonce = make_nonce()
+        send_frame(conn, ("auth-challenge", server_nonce))
+        reply = recv_frame(conn)
+        if reply is None:
+            return False
+        if not (
+            isinstance(reply, tuple)
+            and len(reply) == 3
+            and reply[0] == "auth-proof"
+            and isinstance(reply[1], (bytes, bytearray))
+            and len(reply[1]) == NONCE_BYTES
+        ):
+            send_frame(
+                conn,
+                (
+                    "reject",
+                    "token handshake failed: expected an auth-proof frame "
+                    f"carrying a {NONCE_BYTES}-byte nonce",
+                ),
+            )
+            return False
+        client_nonce = bytes(reply[1])
+        expected = client_proof(self._token, server_nonce, client_nonce)
+        if not verify_proof(expected, reply[2]):
+            send_frame(
+                conn,
+                (
+                    "reject",
+                    "token handshake failed: coordinator proof does not "
+                    "verify (wrong or stale token)",
+                ),
+            )
+            return False
+        send_frame(
+            conn,
+            ("auth-ok", server_proof(self._token, server_nonce, client_nonce)),
+        )
+        return True
 
     def _cached_engine(self, digest: str):
         with self._engines_lock:
@@ -519,6 +564,8 @@ class ClusterWorker:
         header = self._handshake(conn)
         if header is None:
             return
+        if not self._authenticate(conn, header):
+            return
         resolved = self._resolve_engine(conn, header["digest"])
         if resolved is None:
             return
@@ -528,7 +575,7 @@ class ClusterWorker:
         )
         # Frame compression: pick the first codec in the coordinator's
         # preference list we can also speak; every frame after the raw
-        # welcome is codec-tagged (see _Framer).
+        # welcome is codec-tagged (see repro.net.framing.PickleFramer).
         codec = _negotiate_codec(header.get("codecs"))
         send_frame(
             conn,
@@ -544,6 +591,10 @@ class ClusterWorker:
                     "engine_cached": source != "payload",
                     "engine_source": source,
                     "codec": codec,
+                    # Security posture of this session, for wire_stats
+                    # and the bench ledger.
+                    "auth": self._token is not None,
+                    "tls": self._ssl_context is not None,
                 },
             ),
         )
@@ -625,18 +676,46 @@ class _WorkerLink:
     payload by hash, and the payload itself is shipped only when the
     worker answers ``need-payload`` (a worker that served this engine in
     a previous session replies ``welcome`` straight away — see
-    ``info["engine_cached"]``).
+    ``info["engine_cached"]``). With a token in play the
+    :mod:`repro.net.auth` challenge–response sits between hello and
+    that reply; with ``tls=1`` on the endpoint the socket is wrapped
+    before the first frame.
     """
 
-    def __init__(self, address: tuple[str, int], header, payload, timeout: float):
-        self.address = address
-        # Timeout applies to connect only: handshake replies can wait on
-        # a loaded worker compiling the engine payload.
-        self.sock = socket.create_connection(address, timeout=timeout)
-        self.sock.settimeout(None)
+    def __init__(
+        self,
+        endpoint: Endpoint,
+        header,
+        payload,
+        timeout: float,
+        *,
+        token: str | None = None,
+    ):
+        self.endpoint = endpoint
+        self.address = endpoint.address
+        self._token = token
+        # Timeout applies to connect (incl. the TLS handshake) only:
+        # frame replies can wait on a loaded worker compiling the
+        # engine payload.
+        self.sock = socket.create_connection(
+            (endpoint.connect_host, endpoint.port), timeout=timeout
+        )
         # See ClusterWorker.serve_forever: small frames + Nagle +
         # delayed ACKs would stall the credit window.
         self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        context = client_ssl_context(endpoint)
+        if context is not None:
+            try:
+                self.sock = context.wrap_socket(
+                    self.sock, server_hostname=endpoint.connect_host
+                )
+            except (ssl.SSLError, ConnectionError) as exc:
+                self.close()
+                raise ClusterProtocolError(
+                    f"worker {self.address}: TLS handshake failed: {exc} "
+                    "(tls=1 endpoint against a plaintext worker?)"
+                ) from exc
+        self.sock.settimeout(None)
         try:
             send_frame(
                 self.sock, ("hello", _MAGIC, PROTOCOL_VERSION, header)
@@ -645,11 +724,30 @@ class _WorkerLink:
             if (
                 isinstance(reply, tuple)
                 and reply
+                and reply[0] == "auth-challenge"
+            ):
+                reply = self._answer_challenge(reply)
+            elif (
+                token is not None
+                and isinstance(reply, tuple)
+                and reply
+                and reply[0] in ("need-payload", "welcome")
+            ):
+                # A token is configured here but the peer skipped the
+                # challenge: it cannot know the secret. Never ship an
+                # engine payload — or a chunk — to an impostor.
+                raise ClusterProtocolError(
+                    f"worker {self.address} skipped the token handshake; "
+                    "refusing to send work to an unauthenticated peer"
+                )
+            if (
+                isinstance(reply, tuple)
+                and reply
                 and reply[0] == "need-payload"
             ):
                 send_frame(self.sock, ("payload", payload))
                 reply = recv_frame(self.sock)
-        except (OSError, ConnectionError):
+        except (OSError, ConnectionError, ClusterProtocolError):
             self.close()
             raise
         if not (isinstance(reply, tuple) and reply and reply[0] == "welcome"):
@@ -657,13 +755,59 @@ class _WorkerLink:
                 reply[1]
                 if isinstance(reply, tuple) and len(reply) > 1
                 else "connection closed during handshake"
+                + ("" if endpoint.tls else " (does the worker require tls=1?)")
             )
             self.close()
-            raise ClusterProtocolError(f"worker {address}: {reason}")
+            raise ClusterProtocolError(f"worker {self.address}: {reason}")
         self.info = reply[2]
         # Everything after welcome is codec-tagged and compressed with
         # the codec the worker picked from our advertised preferences.
         self.framer = _Framer(self.sock, self.info.get("codec", "none"))
+
+    def _answer_challenge(self, challenge):
+        """Prove token knowledge, verify the worker's answering proof,
+        and return the next protocol frame (``need-payload``/``welcome``
+        — or the worker's ``reject``, handled by the caller)."""
+        if self._token is None:
+            raise ClusterProtocolError(
+                f"worker {self.address} requires a token but none is "
+                "configured here (pass ?token=... on the endpoint or set "
+                "REPRO_NET_TOKEN)"
+            )
+        if not (
+            isinstance(challenge, tuple)
+            and len(challenge) == 2
+            and isinstance(challenge[1], (bytes, bytearray))
+            and len(challenge[1]) == NONCE_BYTES
+        ):
+            raise ClusterProtocolError(
+                f"worker {self.address} sent a malformed auth challenge"
+            )
+        server_nonce = bytes(challenge[1])
+        client_nonce = make_nonce()
+        send_frame(
+            self.sock,
+            (
+                "auth-proof",
+                client_nonce,
+                client_proof(self._token, server_nonce, client_nonce),
+            ),
+        )
+        reply = recv_frame(self.sock)
+        if not (
+            isinstance(reply, tuple) and len(reply) == 2 and reply[0] == "auth-ok"
+        ):
+            return reply  # usually ("reject", readable-reason)
+        if not verify_proof(
+            server_proof(self._token, server_nonce, client_nonce), reply[1]
+        ):
+            # Mutual auth: the worker accepted *us* but cannot prove it
+            # holds the token itself — an impostor that let us in.
+            raise ClusterProtocolError(
+                f"worker {self.address}: server proof does not verify; "
+                "peer accepted the connection without knowing the token"
+            )
+        return recv_frame(self.sock)
 
     def close(self) -> None:
         try:
@@ -686,9 +830,11 @@ class ClusterEvaluator:
         :func:`~repro.sim.shard.engine_payload` crosses the wire; each
         worker compiles its own copy once per session.
     addresses:
-        Worker addresses — ``"host:port,host:port"`` or an iterable of
-        ``(host, port)`` pairs (:func:`parse_hostports`). Connections are
-        opened lazily on the first ``map`` and reused across calls.
+        Worker endpoints — ``"host:port[?tls=1&token=...],host:port"``
+        or an iterable of specs / :class:`~repro.net.Endpoint` objects
+        (:func:`repro.net.parse_endpoints`; legacy ``(host, port)``
+        pairs still work, with one deprecation warning). Connections
+        are opened lazily on the first ``map`` and reused across calls.
     max_slab / mem_budget:
         Chunk memory bound, forwarded to the planner *and* to every
         worker in the handshake header. ``mem_budget`` sizes the slab
@@ -700,12 +846,19 @@ class ClusterEvaluator:
         local planner would.
     connect_timeout:
         Per-worker TCP connect/handshake timeout in seconds.
+    token:
+        Fallback shared secret for endpoints that name neither
+        ``token=`` nor ``token-file=`` (those take precedence; the
+        ambient ``REPRO_NET_TOKEN`` applies when this is ``None`` too).
 
     A worker that cannot be reached at startup is skipped (recorded in
     :attr:`failed_addresses`) as long as at least one link comes up; a
     worker that dies mid-run has its unacknowledged chunk requeued to the
     survivors. Only when *every* worker is gone with work remaining does
-    the evaluator raise :class:`ClusterError`.
+    the evaluator raise :class:`ClusterError`. Security failures —
+    version, TLS, or token handshake rejections — abort the whole
+    evaluator with the worker's readable reason instead: silently
+    "skipping" a worker that *refused* us would mask a misconfiguration.
     """
 
     def __init__(
@@ -718,11 +871,14 @@ class ClusterEvaluator:
         connect_timeout: float = 10.0,
         model=None,
         pipeline_depth: int | None = None,
+        token: str | None = None,
     ):
         if mem_budget is not None:
             max_slab = AdaptiveSlabPolicy(mem_budget).slab_for(engine)
         self.engine = engine
-        self.addresses = parse_hostports(addresses)
+        self.endpoints = parse_endpoints(addresses)
+        self.addresses = tuple(ep.address for ep in self.endpoints)
+        self.token = token
         self.max_slab = int(max_slab)
         self.model = model
         self.connect_timeout = connect_timeout
@@ -776,18 +932,35 @@ class ClusterEvaluator:
 
     # -- connection lifecycle --------------------------------------------------
 
+    def _endpoint_token(self, endpoint: Endpoint) -> str | None:
+        """Effective secret for one link: the endpoint's own ``token=`` /
+        ``token-file=`` beat the evaluator-level fallback, which beats
+        the ambient ``REPRO_NET_TOKEN`` (resolved lazily, per link)."""
+        if (
+            endpoint.token is None
+            and endpoint.token_file is None
+            and self.token is not None
+        ):
+            return self.token
+        return endpoint.resolve_token()
+
     def _ensure_links(self) -> list[_WorkerLink]:
         if self._links is None:
             links: list[_WorkerLink] = []
             failed: list[tuple[tuple[str, int], str]] = []
-            for address in self.addresses:
+            for endpoint in self.endpoints:
+                token = self._endpoint_token(endpoint)
+                # The hello header advertises whether we will answer a
+                # token challenge — per link, since endpoints may mix.
+                header = dict(self._header, auth=token is not None)
                 try:
                     links.append(
                         _WorkerLink(
-                            address,
-                            self._header,
+                            endpoint,
+                            header,
                             self._payload_bytes,
                             self.connect_timeout,
+                            token=token,
                         )
                     )
                 except ClusterProtocolError:
@@ -795,7 +968,7 @@ class ClusterEvaluator:
                         link.close()
                     raise
                 except (OSError, ConnectionError) as exc:
-                    failed.append((address, repr(exc)))
+                    failed.append((endpoint.address, repr(exc)))
             if not links:
                 raise ClusterError(
                     f"no cluster worker reachable among {self.addresses}: "
@@ -819,6 +992,9 @@ class ClusterEvaluator:
         the bytes actually on the wire (length prefix + codec tag +
         payload); ``compression_ratio`` is raw/wire across both
         directions (1.0 = incompressible or ``codec == "none"``).
+        ``transport``/``auth`` record the security posture — TLS adds
+        record overhead *below* this layer, so wire counters are
+        transport-invariant by construction.
         """
         stats = dict(self._wire_totals)
         codecs = set()
@@ -835,6 +1011,12 @@ class ClusterEvaluator:
         stats["compression_ratio"] = (raw / wire) if wire else 1.0
         stats["codec"] = sorted(codecs)[0] if codecs else None
         stats["pipeline_depth"] = self.pipeline_depth
+        stats["transport"] = (
+            "tls" if any(ep.tls for ep in self.endpoints) else "plaintext"
+        )
+        stats["auth"] = any(
+            self._endpoint_token(ep) is not None for ep in self.endpoints
+        )
         return stats
 
     def close(self) -> None:
@@ -1058,9 +1240,14 @@ class ClusterExecutorFactory:
     ``resolve_evaluator(engine, executor=ClusterExecutorFactory(addrs))``
     hands every routed consumer a :class:`ClusterEvaluator`; being a
     frozen dataclass it survives the ``figure4`` code-level spawn pool.
+    Addresses are normalized to rendered endpoint strings
+    (:meth:`repro.net.Endpoint.render`) at construction, so TLS and
+    token fields survive that pickle round trip too — and ambient
+    ``REPRO_NET_TOKEN`` / ``REPRO_NET_TLS`` defaults are re-resolved in
+    the child, which inherits the environment.
     """
 
-    addresses: tuple[tuple[str, int], ...]
+    addresses: tuple[str, ...]
     connect_timeout: float = 10.0
     #: Outstanding chunks per worker (None = derive from ``mem_budget``
     #: via AdaptiveSlabPolicy when given, else the module default of 4).
@@ -1068,6 +1255,18 @@ class ClusterExecutorFactory:
     #: Byte budget that sizes the default pipeline depth (the CLI's
     #: ``--mem-budget``; the slab bound itself arrives pre-resolved).
     mem_budget: int | None = None
+    #: Evaluator-level token fallback (endpoint token=/token-file= and
+    #: the environment still apply; see ClusterEvaluator).
+    token: str | None = None
+
+    def __post_init__(self):
+        # Accept every historical shape — spec strings, Endpoint objects,
+        # (host, port) pairs — but *store* canonical endpoint strings:
+        # picklable, render/parse round-trip exact, environment-lazy.
+        endpoints = parse_endpoints(self.addresses, use_env=False)
+        object.__setattr__(
+            self, "addresses", tuple(ep.render() for ep in endpoints)
+        )
 
     def __call__(self, engine, max_slab: int, model=None) -> ClusterEvaluator:
         depth = self.pipeline_depth
@@ -1082,4 +1281,5 @@ class ClusterExecutorFactory:
             connect_timeout=self.connect_timeout,
             model=model,
             pipeline_depth=depth,
+            token=self.token,
         )

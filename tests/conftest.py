@@ -20,6 +20,12 @@ os.environ.setdefault("REPRO_STORE", "off")
 # test's sweep, and tests must not write there. Ledger tests opt back in
 # with tmp-path ledgers.
 os.environ.setdefault("REPRO_LEDGER", "off")
+# And for the transport layer (repro.net): an ambient token or tls
+# default in a developer's shell would silently arm the auth/TLS path in
+# every socket test. Security tests opt in explicitly (monkeypatch or
+# endpoint fields).
+os.environ.pop("REPRO_NET_TOKEN", None)
+os.environ.pop("REPRO_NET_TLS", None)
 
 import pytest
 

@@ -1,0 +1,49 @@
+"""Fixtures for the ``repro.net`` transport-security suite.
+
+TLS tests need a real certificate; a session-scoped fixture generates an
+ephemeral self-signed pair with the ``openssl`` CLI (skipping those
+tests on machines without it — the token-handshake and endpoint-grammar
+coverage runs everywhere).
+"""
+
+from __future__ import annotations
+
+import shutil
+import subprocess
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def tls_cert_pair(tmp_path_factory):
+    """(certfile, keyfile) of an ephemeral self-signed localhost cert."""
+    openssl = shutil.which("openssl")
+    if openssl is None:
+        pytest.skip("openssl CLI not available for TLS tests")
+    root = tmp_path_factory.mktemp("net-tls")
+    cert, key = root / "cert.pem", root / "key.pem"
+    proc = subprocess.run(
+        [
+            openssl,
+            "req",
+            "-x509",
+            "-newkey",
+            "rsa:2048",
+            "-keyout",
+            str(key),
+            "-out",
+            str(cert),
+            "-days",
+            "2",
+            "-nodes",
+            "-subj",
+            "/CN=127.0.0.1",
+            "-addext",
+            "subjectAltName=IP:127.0.0.1,DNS:localhost",
+        ],
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        pytest.skip(f"openssl could not mint a test cert: {proc.stderr[:200]}")
+    return str(cert), str(key)
