@@ -384,6 +384,13 @@ def main() -> int:
             except subprocess.TimeoutExpired:
                 process.kill()
 
+    # The coordinator runs in this process, so the registry holds the
+    # cluster-side numbers: requeues, chunk latency histograms, wire
+    # byte counters (repro.obs.metrics).
+    from repro.obs.metrics import get_registry
+
+    record["metrics"] = get_registry().snapshot()
+
     print(json.dumps(record, indent=2))
     args.out.parent.mkdir(parents=True, exist_ok=True)
     args.out.write_text(json.dumps(record, indent=2) + "\n")

@@ -188,6 +188,10 @@ def run_recorder(args, endpoint) -> dict:
         "dedup_clean": dedup_clean,
         "bit_identical_warm": bit_identical_warm,
         "bit_identical_library": bit_identical_library,
+        # The daemon's full metrics registry (repro.obs.metrics) as
+        # reported by the stats op — per-chunk latency histograms,
+        # ledger/store counters, wire bytes.
+        "metrics": stats.get("metrics"),
     }
     return record
 

@@ -134,6 +134,23 @@ def _add_shard_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_trace_flags(parser: argparse.ArgumentParser) -> None:
+    """The observability knob shared by every traced subcommand."""
+    parser.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=(
+            "append a span-based JSONL trace of this invocation to PATH "
+            "(default: the REPRO_TRACE environment variable; one stitched "
+            "trace spans the CLI, pool children, and cluster workers; "
+            "traced runs are bit-identical to untraced ones — inspect "
+            "with 'repro trace summarize PATH')"
+        ),
+    )
+
+
 def _add_store_flags(parser: argparse.ArgumentParser) -> None:
     """The artifact-store knobs shared by every pipeline subcommand."""
     group = parser.add_mutually_exclusive_group()
@@ -243,6 +260,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--load", type=Path, help="check a protocol JSON instead"
     )
     _add_shard_flags(check)
+    _add_trace_flags(check)
     _add_store_flags(check)
 
     ftcheck = sub.add_parser(
@@ -279,6 +297,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=2025, help="survey sampling seed"
     )
     _add_shard_flags(ftcheck)
+    _add_trace_flags(ftcheck)
     _add_store_flags(ftcheck)
 
     simulate = sub.add_parser(
@@ -315,6 +334,7 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     _add_shard_flags(simulate)
+    _add_trace_flags(simulate)
     _add_store_flags(simulate)
     _add_ledger_flags(simulate)
 
@@ -336,6 +356,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the batched FT certificate per row (adds an FT column)",
     )
     _add_shard_flags(table1)
+    _add_trace_flags(table1)
     _add_store_flags(table1)
 
     figure4 = sub.add_parser("figure4", help="regenerate the paper's Fig. 4")
@@ -361,6 +382,7 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     _add_shard_flags(figure4)
+    _add_trace_flags(figure4)
     _add_store_flags(figure4)
     _add_ledger_flags(figure4)
 
@@ -382,6 +404,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="evaluation engine (bit-identical budgets; batched is faster)",
     )
     _add_shard_flags(budget)
+    _add_trace_flags(budget)
     _add_store_flags(budget)
 
     cluster = sub.add_parser(
@@ -445,8 +468,14 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     store_sub = store_cmd.add_subparsers(dest="store_command", required=True)
-    store_sub.add_parser(
+    store_ls = store_sub.add_parser(
         "ls", help="list every entry: kind, key, size, age"
+    )
+    store_ls.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit one JSON object of entries instead of the table",
     )
     store_sub.add_parser(
         "verify",
@@ -517,6 +546,7 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     _add_shard_flags(serve)
+    _add_trace_flags(serve)
     _add_store_flags(serve)
     _add_ledger_flags(serve)
 
@@ -560,6 +590,7 @@ def build_parser() -> argparse.ArgumentParser:
     query_sub = query.add_subparsers(dest="query_command", required=True)
 
     def _add_query_protocol_flags(p: argparse.ArgumentParser) -> None:
+        _add_trace_flags(p)
         p.add_argument("code", help="catalog code key")
         p.add_argument(
             "--prep", choices=["heuristic", "optimal"], default="heuristic"
@@ -622,9 +653,16 @@ def build_parser() -> argparse.ArgumentParser:
     q_direct.add_argument("p", type=float, help="physical error rate")
     q_direct.add_argument("--shots", type=int, default=4000)
     q_direct.add_argument("--seed", type=int, default=2025)
-    query_sub.add_parser("ping", help="liveness + protocol version check")
-    query_sub.add_parser("stats", help="daemon counters and resident state")
-    query_sub.add_parser("shutdown", help="ask the daemon to exit")
+    for control_op, control_help in (
+        ("ping", "liveness + protocol version check"),
+        ("stats", "daemon counters, resident state, and metrics registry"),
+        (
+            "metrics",
+            "daemon metrics registry as Prometheus text exposition",
+        ),
+        ("shutdown", "ask the daemon to exit"),
+    ):
+        _add_trace_flags(query_sub.add_parser(control_op, help=control_help))
 
     ledger_cmd = sub.add_parser(
         "ledger",
@@ -641,8 +679,14 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     ledger_sub = ledger_cmd.add_subparsers(dest="ledger_command", required=True)
-    ledger_sub.add_parser(
+    ledger_ls = ledger_sub.add_parser(
         "ls", help="list every record: kind, key, size, age"
+    )
+    ledger_ls.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit one JSON object of records instead of the table",
     )
     show = ledger_sub.add_parser(
         "show", help="print one record's JSON payload"
@@ -669,6 +713,37 @@ def build_parser() -> argparse.ArgumentParser:
             "64M); oldest records are evicted first after compaction"
         ),
     )
+
+    trace_cmd = sub.add_parser(
+        "trace",
+        help=(
+            "inspect a --trace JSONL file (repro.obs.trace): span tree, "
+            "critical path, structural verification"
+        ),
+    )
+    trace_sub = trace_cmd.add_subparsers(dest="trace_command", required=True)
+    summarize = trace_sub.add_parser(
+        "summarize",
+        help=(
+            "render the span tree with per-phase totals and the "
+            "critical path"
+        ),
+    )
+    summarize.add_argument("path", type=Path, help="trace JSONL file")
+    summarize.add_argument(
+        "--max-depth",
+        type=int,
+        default=6,
+        help="deepest tree level rendered (deeper spans are elided)",
+    )
+    verify = trace_sub.add_parser(
+        "verify",
+        help=(
+            "structural check: every span well-formed, one trace id, one "
+            "root, no orphans (a crashed process leaves orphans)"
+        ),
+    )
+    verify.add_argument("path", type=Path, help="trace JSONL file")
 
     return parser
 
@@ -1023,6 +1098,30 @@ def _cmd_store(args) -> int:
     if args.store_command == "ls":
         now = time.time()
         entries = list(store.entries())
+        total = sum(entry.size for entry in entries)
+        if getattr(args, "as_json", False):
+            import json
+
+            print(
+                json.dumps(
+                    {
+                        "root": str(store.root),
+                        "entries": [
+                            {
+                                "kind": entry.kind,
+                                "key": entry.key,
+                                "bytes": entry.size,
+                                "atime": entry.atime,
+                            }
+                            for entry in entries
+                        ],
+                        "total_bytes": total,
+                    },
+                    indent=2,
+                    sort_keys=True,
+                )
+            )
+            return 0
         if entries:
             print(f"{'kind':<9} {'key':<64} {'bytes':>12} {'age':>6}")
             for entry in entries:
@@ -1030,7 +1129,6 @@ def _cmd_store(args) -> int:
                     f"{entry.kind:<9} {entry.key:<64} {entry.size:>12} "
                     f"{_format_age(now - entry.atime):>6}"
                 )
-        total = sum(entry.size for entry in entries)
         print(f"{len(entries)} entries, {total} bytes in {store.root}")
         return 0
     if args.store_command == "verify":
@@ -1165,6 +1263,10 @@ def _render_query_result(op: str, line: dict) -> None:
             f"{result['failures']}/{result['trials']} failures "
             f"(source={source})"
         )
+    elif op == "metrics":
+        # The Prometheus exposition is the payload; print it verbatim
+        # so the output pipes straight into a scraper or textfile dir.
+        print(result.get("exposition", "").rstrip("\n"))
     else:  # ping / stats / shutdown
         import json
 
@@ -1244,6 +1346,28 @@ def _cmd_ledger(args) -> int:
     if args.ledger_command == "ls":
         now = time.time()
         entries = list(ledger.entries())
+        total = sum(entry.size for entry in entries)
+        if getattr(args, "as_json", False):
+            print(
+                json.dumps(
+                    {
+                        "root": str(ledger.root),
+                        "records": [
+                            {
+                                "kind": entry.kind,
+                                "key": entry.key,
+                                "bytes": entry.size,
+                                "ts": entry.ts,
+                            }
+                            for entry in entries
+                        ],
+                        "total_bytes": total,
+                    },
+                    indent=2,
+                    sort_keys=True,
+                )
+            )
+            return 0
         if entries:
             print(f"{'kind':<9} {'key':<64} {'bytes':>12} {'age':>6}")
             for entry in entries:
@@ -1251,7 +1375,6 @@ def _cmd_ledger(args) -> int:
                     f"{entry.kind:<9} {entry.key:<64} {entry.size:>12} "
                     f"{_format_age(now - entry.ts):>6}"
                 )
-        total = sum(entry.size for entry in entries)
         print(f"{len(entries)} records, {total} bytes in {ledger.root}")
         return 0
     if args.ledger_command == "show":
@@ -1283,6 +1406,35 @@ def _cmd_ledger(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from .obs.summary import load_trace, render_summary, verify_trace
+
+    try:
+        spans = load_trace(args.path)
+    except (OSError, ValueError) as exc:
+        print(f"error: {args.path}: {exc}", file=sys.stderr)
+        return 2
+    report = verify_trace(spans)
+    if args.trace_command == "verify":
+        for error in report["errors"]:
+            print(f"  {error}")
+        verdict = "ok" if report["ok"] else "NOT ok"
+        roots = report["roots"]
+        roots_label = ", ".join(roots) if roots else "no roots"
+        print(
+            f"{args.path}: {verdict} — {report['spans']} spans, "
+            f"root: {roots_label}, {report['processes']} process(es)"
+        )
+        return 0 if report["ok"] else 1
+    # summarize renders whatever structure is there, but a broken trace
+    # is flagged first so a truncated file never reads as a clean run.
+    if not report["ok"]:
+        for error in report["errors"]:
+            print(f"warning: {error}", file=sys.stderr)
+    print(render_summary(spans, max_depth=args.max_depth))
+    return 0
+
+
 _COMMANDS = {
     "codes": _cmd_codes,
     "synthesize": _cmd_synthesize,
@@ -1297,6 +1449,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "query": _cmd_query,
     "ledger": _cmd_ledger,
+    "trace": _cmd_trace,
 }
 
 
@@ -1304,6 +1457,17 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     _apply_store_flags(args)
     _apply_ledger_flags(args)
+    # --trace (or ambient REPRO_TRACE) wraps the whole invocation in the
+    # trace's root span; every descendant — pool children via the
+    # environment, cluster workers and the serve daemon via their wires
+    # — stitches into the same JSONL file under this root. Observation
+    # only: a traced run is bit-identical to the same run untraced.
+    trace_path = getattr(args, "trace", None) or os.environ.get("REPRO_TRACE")
+    if trace_path:
+        from .obs.trace import trace_command
+
+        with trace_command(trace_path, f"repro.{args.command}"):
+            return _COMMANDS[args.command](args)
     return _COMMANDS[args.command](args)
 
 

@@ -27,6 +27,7 @@ import numpy as np
 
 from ..codes.catalog import get_code
 from ..core.protocol import DeterministicProtocol, synthesize_protocol
+from ..obs.trace import span as _obs_span
 from ..sim.noise import E1_1
 from ..sim.subset import DirectEstimate, SubsetEstimate, SubsetSampler, direct_mc
 
@@ -185,10 +186,13 @@ def run_series(
         )
         record = ledger_obj.get("series", series_key)
         if record is not None:
-            return _series_from_record(
-                code_key, record, protocol, model, sweep, start
-            )
-    with SubsetSampler.for_protocol(
+            with _obs_span("figure4.series", code=code_key, replay=True):
+                return _series_from_record(
+                    code_key, record, protocol, model, sweep, start
+                )
+    with _obs_span(
+        "figure4.series", code=code_key, shots=shots
+    ), SubsetSampler.for_protocol(
         protocol,
         engine=engine,
         k_max=k_max,
@@ -253,32 +257,35 @@ def run_series(
         direct=direct,
     )
     if series_key is not None:
-        ledger_obj.put(
-            "series",
-            series_key,
-            {
-                "code": code_key,
-                "k_max": int(sampler.k_max),
-                "strata": {
-                    str(k): {
-                        "trials": int(s.trials),
-                        "failures": int(s.failures),
-                        "exact": bool(s.exact),
-                    }
-                    for k, s in sampler.strata.items()
+        with _obs_span("ledger.put", kind="series", code=code_key):
+            ledger_obj.put(
+                "series",
+                series_key,
+                {
+                    "code": code_key,
+                    "k_max": int(sampler.k_max),
+                    "strata": {
+                        str(k): {
+                            "trials": int(s.trials),
+                            "failures": int(s.failures),
+                            "exact": bool(s.exact),
+                        }
+                        for k, s in sampler.strata.items()
+                    },
+                    "f1_exact": None
+                    if math.isnan(series.f1_exact)
+                    else series.f1_exact,
+                    "shots": int(series.shots),
+                    "engine": engine,
+                    "direct": None
+                    if direct is None
+                    else {
+                        "p": float(direct.p),
+                        "trials": int(direct.trials),
+                        "failures": int(direct.failures),
+                    },
                 },
-                "f1_exact": None if math.isnan(series.f1_exact) else series.f1_exact,
-                "shots": int(series.shots),
-                "engine": engine,
-                "direct": None
-                if direct is None
-                else {
-                    "p": float(direct.p),
-                    "trials": int(direct.trials),
-                    "failures": int(direct.failures),
-                },
-            },
-        )
+            )
     return series
 
 

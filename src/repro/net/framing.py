@@ -37,6 +37,7 @@ __all__ = [
     "JsonLinesTransport",
     "PickleFramer",
     "WireProtocolError",
+    "publish_wire_counters",
     "recv_frame",
     "send_frame",
 ]
@@ -147,6 +148,24 @@ class FrameCounters:
         snapshot["compression_ratio"] = (raw / wire) if wire else 1.0
         snapshot["codec"] = codec
         return snapshot
+
+
+def publish_wire_counters(counters: FrameCounters, prefix: str) -> None:
+    """Fold one retiring transport's byte counters into the process-global
+    metrics registry (``<prefix>.raw_sent`` etc.).
+
+    Called exactly once per framer lifetime, at the same absorb/close
+    seams that fold link counters into session totals — so the registry
+    keeps the numbers that used to vanish with the per-connection (or
+    per-request) object that held them.
+    """
+    from ..obs.metrics import get_registry
+
+    registry = get_registry()
+    for field in FrameCounters.FIELDS:
+        value = getattr(counters, field)
+        if value:
+            registry.counter(f"{prefix}.{field}").inc(value)
 
 
 # -- codec-tagged pickle frames (cluster sessions) -----------------------------

@@ -1,0 +1,45 @@
+"""``repro.obs`` — observability: structured tracing and a metrics registry.
+
+Two substrates, deliberately independent of every other ``repro``
+subsystem (nothing here imports engines, stores, or transports, so any
+layer can instrument itself without import cycles):
+
+* :mod:`repro.obs.trace` — span-based structured tracing. A
+  contextvar-scoped :class:`~repro.obs.trace.Tracer` writes one JSONL
+  record per closed span; ``span(name, **attrs)`` is a no-op unless a
+  tracer is active (``--trace PATH`` / ``REPRO_TRACE``), and trace
+  context propagates across process and TCP boundaries (pool children
+  via the environment, cluster workers via the handshake header, the
+  serve daemon via a request field) so one file holds one stitched
+  tree. Timestamps come from the wall/monotonic clocks only — tracing
+  never consumes RNG state or alters a chunk plan, so traced runs stay
+  bit-identical to untraced runs.
+* :mod:`repro.obs.metrics` — a process-local named registry of
+  counters, gauges, and histograms behind one ``snapshot()``, with
+  Prometheus text exposition (the serve daemon's ``metrics`` op).
+
+:mod:`repro.obs.summary` loads, verifies, and renders trace files
+(``repro trace summarize|verify``). See ``docs/observability.md``.
+"""
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, get_registry
+from .trace import (
+    Tracer,
+    current_tracer,
+    propagation_context,
+    span,
+    trace_command,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Tracer",
+    "current_tracer",
+    "get_registry",
+    "propagation_context",
+    "span",
+    "trace_command",
+]

@@ -1,0 +1,200 @@
+"""``repro.obs.metrics`` — a process-local named metrics registry.
+
+Counters, gauges, and histograms behind one :meth:`MetricsRegistry
+.snapshot`, absorbing the tallies that used to live scattered across
+subsystems (frame wire/raw bytes, store hit/miss/quarantine, ledger
+hit/coalesce, engine-LRU hit/evict, cluster requeues, auth failures,
+per-chunk latency histograms). Names are dotted (``store.hits``,
+``cluster.wire.raw_sent``, ``shard.chunk_seconds``); the Prometheus
+text exposition (:meth:`MetricsRegistry.render_prometheus`, the serve
+daemon's ``metrics`` op) sanitizes them to ``repro_store_hits`` form.
+
+The registry is **process-local and process-lifetime**: per-request or
+per-session objects (serve evaluators, cluster worker links) fold
+their counters in at their close/absorb seams, so operator-visible
+numbers survive reconnects and server-object restarts instead of
+vanishing with the object that happened to hold them. Instruments are
+thread-safe (one registry lock, per-instrument atomic updates under
+the GIL) and never touch RNG or results — metrics are observation
+only, exactly like :mod:`repro.obs.trace`.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+]
+
+#: Latency-oriented default histogram bounds (seconds): sub-millisecond
+#: chunks through minute-scale synthesis, roughly x2.5 per step.
+DEFAULT_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self):
+        self._value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self._value += amount
+
+    @property
+    def value(self):
+        return self._value
+
+
+class Gauge:
+    """A value that goes both ways (inflight requests, resident engines)."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self):
+        self._value = 0
+
+    def set(self, value) -> None:
+        self._value = value
+
+    def inc(self, amount=1) -> None:
+        self._value += amount
+
+    def dec(self, amount=1) -> None:
+        self._value -= amount
+
+    @property
+    def value(self):
+        return self._value
+
+
+class Histogram:
+    """Cumulative-bucket histogram (Prometheus semantics: each bucket
+    counts observations ``<= le``, with an implicit ``+Inf``)."""
+
+    __slots__ = ("bounds", "bucket_counts", "count", "sum")
+
+    def __init__(self, buckets=None):
+        bounds = tuple(sorted(buckets if buckets is not None else DEFAULT_BUCKETS))
+        if not bounds:
+            raise ValueError("a histogram needs at least one bucket bound")
+        self.bounds = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)  # last = +Inf
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    def snapshot(self) -> dict:
+        cumulative, total = {}, 0
+        for bound, bucket in zip(self.bounds, self.bucket_counts):
+            total += bucket
+            cumulative[format(bound, "g")] = total
+        cumulative["+Inf"] = self.count
+        return {"count": self.count, "sum": self.sum, "buckets": cumulative}
+
+
+def _prometheus_name(name: str) -> str:
+    return "repro_" + re.sub(r"[^a-zA-Z0-9_]", "_", name)
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        return repr(value)
+    return str(value)
+
+
+class MetricsRegistry:
+    """Get-or-create instruments by name; one ``snapshot()`` for all."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._instruments: dict[str, object] = {}
+
+    def _get(self, name: str, kind, **kwargs):
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = kind(**kwargs)
+                self._instruments[name] = instrument
+            elif not isinstance(instrument, kind):
+                raise TypeError(
+                    f"metric {name!r} is a {type(instrument).__name__}, "
+                    f"not a {kind.__name__}"
+                )
+            return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str, buckets=None) -> Histogram:
+        return self._get(name, Histogram, buckets=buckets)
+
+    def snapshot(self) -> dict:
+        """``{name: value}`` for counters/gauges, ``{name: {count, sum,
+        buckets}}`` for histograms — plain JSON-serializable types."""
+        with self._lock:
+            items = sorted(self._instruments.items())
+        out = {}
+        for name, instrument in items:
+            if isinstance(instrument, Histogram):
+                out[name] = instrument.snapshot()
+            else:
+                out[name] = instrument.value
+        return out
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition format 0.0.4."""
+        with self._lock:
+            items = sorted(self._instruments.items())
+        lines = []
+        for name, instrument in items:
+            metric = _prometheus_name(name)
+            if isinstance(instrument, Counter):
+                lines.append(f"# TYPE {metric} counter")
+                lines.append(f"{metric} {_format_value(instrument.value)}")
+            elif isinstance(instrument, Gauge):
+                lines.append(f"# TYPE {metric} gauge")
+                lines.append(f"{metric} {_format_value(instrument.value)}")
+            else:
+                lines.append(f"# TYPE {metric} histogram")
+                snap = instrument.snapshot()
+                for le, count in snap["buckets"].items():
+                    lines.append(f'{metric}_bucket{{le="{le}"}} {count}')
+                lines.append(f"{metric}_sum {_format_value(snap['sum'])}")
+                lines.append(f"{metric}_count {snap['count']}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global default registry every subsystem reports to."""
+    return _REGISTRY

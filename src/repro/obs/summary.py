@@ -1,0 +1,243 @@
+"""``repro.obs.summary`` — load, verify, and render JSONL trace files.
+
+``repro trace verify PATH`` gates CI on trace well-formedness; ``repro
+trace summarize PATH`` renders the span tree with a critical path and a
+per-phase time breakdown. Verification checks, in order:
+
+* every line parses as JSON and carries the span schema with sane types
+  (``dur`` present, finite, and non-negative — records are written at
+  span close, so a missing/invalid ``dur`` is an unclosed span);
+* all records belong to one trace id, span ids are unique;
+* every non-null parent resolves to a span in the file (no orphans —
+  the check that catches a peer that died with spans buffered);
+* exactly one root (the CLI command span).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+__all__ = ["load_trace", "render_summary", "summarize_trace", "verify_trace"]
+
+_REQUIRED = ("trace", "span", "name", "ts", "dur", "pid", "status")
+
+
+def load_trace(path) -> list[dict]:
+    """Parse a JSONL trace file; raises ``ValueError`` on a bad line."""
+    spans = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: not JSON: {exc}") from exc
+            if not isinstance(record, dict):
+                raise ValueError(f"{path}:{lineno}: span record is not an object")
+            spans.append(record)
+    return spans
+
+
+def _schema_errors(record: dict, lineno: int) -> list[str]:
+    errors = []
+    for key in _REQUIRED:
+        if key not in record:
+            errors.append(f"line {lineno}: missing {key!r}")
+    for key in ("trace", "span", "name", "status"):
+        if key in record and not isinstance(record[key], str):
+            errors.append(f"line {lineno}: {key!r} is not a string")
+    dur = record.get("dur")
+    if "dur" in record and (
+        not isinstance(dur, (int, float))
+        or isinstance(dur, bool)
+        or not math.isfinite(dur)
+        or dur < 0
+    ):
+        errors.append(f"line {lineno}: unclosed or corrupt span (dur={dur!r})")
+    ts = record.get("ts")
+    if "ts" in record and (
+        not isinstance(ts, (int, float)) or isinstance(ts, bool)
+    ):
+        errors.append(f"line {lineno}: 'ts' is not a number")
+    parent = record.get("parent")
+    if parent is not None and not isinstance(parent, str):
+        errors.append(f"line {lineno}: 'parent' is neither null nor a string")
+    if "attrs" in record and not isinstance(record["attrs"], dict):
+        errors.append(f"line {lineno}: 'attrs' is not an object")
+    return errors
+
+
+def verify_trace(spans: list[dict]) -> dict:
+    """Structural verification; returns ``{"ok", "errors", "spans",
+    "roots", "processes"}`` (never raises on malformed content)."""
+    errors: list[str] = []
+    ids: set[str] = set()
+    traces: set[str] = set()
+    pids: set = set()
+    for lineno, record in enumerate(spans, start=1):
+        errors.extend(_schema_errors(record, lineno))
+        span_id = record.get("span")
+        if isinstance(span_id, str):
+            if span_id in ids:
+                errors.append(f"line {lineno}: duplicate span id {span_id}")
+            ids.add(span_id)
+        if isinstance(record.get("trace"), str):
+            traces.add(record["trace"])
+        pids.add(record.get("pid"))
+    if not spans:
+        errors.append("empty trace: no spans")
+    if len(traces) > 1:
+        errors.append(f"{len(traces)} distinct trace ids in one file")
+    roots = []
+    for lineno, record in enumerate(spans, start=1):
+        parent = record.get("parent")
+        if parent is None:
+            roots.append(record)
+        elif isinstance(parent, str) and parent not in ids:
+            errors.append(
+                f"line {lineno}: orphan span {record.get('span')} "
+                f"({record.get('name')!r}): parent {parent} is not in the trace"
+            )
+    if spans and len(roots) != 1:
+        errors.append(f"expected exactly one root span, found {len(roots)}")
+    return {
+        "ok": not errors,
+        "errors": errors,
+        "spans": len(spans),
+        "roots": [record.get("name") for record in roots],
+        "processes": len(pids),
+    }
+
+
+# -- summary -------------------------------------------------------------------
+
+
+def _build_tree(spans: list[dict]):
+    children: dict[str | None, list[dict]] = {}
+    by_id = {record["span"]: record for record in spans if "span" in record}
+    for record in spans:
+        parent = record.get("parent")
+        if parent is not None and parent not in by_id:
+            parent = None  # render orphans at top level rather than dropping
+        children.setdefault(parent, []).append(record)
+    for siblings in children.values():
+        siblings.sort(key=lambda record: record.get("ts", 0.0))
+    return children
+
+
+def _critical_path(children, root: dict) -> list[dict]:
+    """Greedy latest-finisher walk from the root: at each span, descend
+    into the child whose end time is the maximum — the chain that
+    bounded the wall clock."""
+    path = [root]
+    node = root
+    while True:
+        kids = children.get(node.get("span"), [])
+        if not kids:
+            return path
+        node = max(kids, key=lambda r: r.get("ts", 0.0) + r.get("dur", 0.0))
+        path.append(node)
+
+
+def summarize_trace(spans: list[dict]) -> dict:
+    """Aggregate view: per-phase (span name) totals with self time, the
+    critical path, and process/root facts. ``self`` is a span's
+    duration minus its children's (clamped at zero), so phase rows sum
+    to roughly the traced wall clock instead of double-counting."""
+    children = _build_tree(spans)
+    child_time: dict[str | None, float] = {}
+    for parent, kids in children.items():
+        child_time[parent] = sum(record.get("dur", 0.0) for record in kids)
+    phases: dict[str, dict] = {}
+    for record in spans:
+        entry = phases.setdefault(
+            record.get("name", "?"),
+            {"count": 0, "total": 0.0, "self": 0.0, "errors": 0},
+        )
+        dur = record.get("dur", 0.0)
+        entry["count"] += 1
+        entry["total"] += dur
+        entry["self"] += max(0.0, dur - child_time.get(record.get("span"), 0.0))
+        if record.get("status") != "ok":
+            entry["errors"] += 1
+    roots = children.get(None, [])
+    critical = _critical_path(children, roots[0]) if roots else []
+    return {
+        "spans": len(spans),
+        "processes": len({record.get("pid") for record in spans}),
+        "root": roots[0] if roots else None,
+        "phases": phases,
+        "critical_path": critical,
+        "children": children,
+    }
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    return f"{seconds * 1000:.1f}ms"
+
+
+def _fmt_attrs(record: dict) -> str:
+    attrs = record.get("attrs") or {}
+    body = " ".join(f"{key}={value}" for key, value in sorted(attrs.items()))
+    return f" [{body}]" if body else ""
+
+
+def render_summary(spans: list[dict], *, max_depth: int = 6,
+                   max_children: int = 12) -> str:
+    """Human rendering: span tree, critical path, per-phase table."""
+    summary = summarize_trace(spans)
+    children = summary["children"]
+    lines = []
+    root = summary["root"]
+    header = (
+        f"{summary['spans']} spans across {summary['processes']} "
+        f"process(es)"
+    )
+    if root is not None:
+        header += f"; trace {root.get('trace', '?')[:16]}"
+    lines.append(header)
+
+    def walk(record: dict, depth: int) -> None:
+        flag = "" if record.get("status") == "ok" else f" !{record['status']}"
+        lines.append(
+            f"{'  ' * depth}{record.get('name')}  "
+            f"{_fmt_seconds(record.get('dur', 0.0))}"
+            f"{flag}  (pid {record.get('pid')}){_fmt_attrs(record)}"
+        )
+        if depth >= max_depth:
+            return
+        kids = children.get(record.get("span"), [])
+        for kid in kids[:max_children]:
+            walk(kid, depth + 1)
+        if len(kids) > max_children:
+            rest = kids[max_children:]
+            lines.append(
+                f"{'  ' * (depth + 1)}… {len(rest)} more sibling span(s), "
+                f"{_fmt_seconds(sum(k.get('dur', 0.0) for k in rest))} total"
+            )
+
+    for top in children.get(None, []):
+        walk(top, 0)
+    if summary["critical_path"]:
+        rendered = " -> ".join(
+            f"{record.get('name')} ({_fmt_seconds(record.get('dur', 0.0))})"
+            for record in summary["critical_path"]
+        )
+        lines.append(f"critical path: {rendered}")
+    lines.append("")
+    lines.append(f"{'phase':<28} {'count':>6} {'total':>10} {'self':>10}")
+    for name, entry in sorted(
+        summary["phases"].items(), key=lambda item: -item[1]["self"]
+    ):
+        errors = f"  ({entry['errors']} error)" if entry["errors"] else ""
+        lines.append(
+            f"{name:<28} {entry['count']:>6} "
+            f"{_fmt_seconds(entry['total']):>10} "
+            f"{_fmt_seconds(entry['self']):>10}{errors}"
+        )
+    return "\n".join(lines)

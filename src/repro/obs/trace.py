@@ -1,0 +1,335 @@
+"""``repro.obs.trace`` — span-based structured tracing.
+
+One trace is one JSONL file: each line is one **closed** span::
+
+    {"trace": "6f…", "span": "a1…", "parent": "b2…" | null,
+     "name": "shard.chunk", "ts": 1754650000.123, "dur": 0.0042,
+     "pid": 4242, "status": "ok", "attrs": {"index": 7}}
+
+``ts`` is the wall-clock start (``time.time()``); ``dur`` is measured
+on the monotonic clock. Records are appended with a single
+``O_APPEND`` write per line, so any number of processes (the CLI, pool
+children, a cluster coordinator ingesting worker-shipped spans) can
+share one file without interleaving corruption. Spans are written at
+close, children before parents — the root is the last line of a clean
+trace, and a crashed process simply never writes its open spans (its
+already-closed descendants then fail ``verify``'s orphan check).
+
+**Determinism contract:** tracing reads the wall and monotonic clocks
+and ``os.urandom`` (for ids) only. It never touches a seed, an RNG
+stream, a chunk plan, or a cache key, so a traced run is bit-identical
+to the same run untraced.
+
+Activation and propagation:
+
+* The CLI installs a root tracer via :func:`trace_command` (``--trace
+  PATH`` / ``REPRO_TRACE``), which also exports ``REPRO_TRACE`` +
+  ``REPRO_TRACE_CTX`` so pool children inherit the file and parent
+  their spans under the command's root span. Child processes install
+  lazily: the first :func:`span` call in a process with ``REPRO_TRACE``
+  set self-installs from the environment.
+* Remote peers (cluster workers, the serve daemon) cannot share the
+  file; they get :func:`propagation_context` over their own wire
+  (handshake header / request field), buffer spans in a
+  :class:`BufferSink`, and ship the records back for the local tracer
+  to :meth:`~Tracer.ingest`.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import os
+import time
+from contextlib import contextmanager
+
+__all__ = [
+    "BufferSink",
+    "FileSink",
+    "TRACE_CTX_ENV",
+    "TRACE_ENV",
+    "Tracer",
+    "buffering_tracer",
+    "current_span_id",
+    "current_tracer",
+    "new_span_id",
+    "propagation_context",
+    "span",
+    "trace_command",
+]
+
+#: Environment variable naming the JSONL sink (also the ``--trace`` flag).
+TRACE_ENV = "REPRO_TRACE"
+#: ``trace_id:parent_span_id`` exported for child processes.
+TRACE_CTX_ENV = "REPRO_TRACE_CTX"
+
+_TRACER: contextvars.ContextVar["Tracer | None"] = contextvars.ContextVar(
+    "repro_obs_tracer", default=None
+)
+_SPAN: contextvars.ContextVar["str | None"] = contextvars.ContextVar(
+    "repro_obs_span", default=None
+)
+
+_UNSET = object()
+
+
+def _new_id(nbytes: int) -> str:
+    # os.urandom never touches the NumPy/random seed path — span ids
+    # must not perturb the deterministic compute streams.
+    return os.urandom(nbytes).hex()
+
+
+def new_span_id() -> str:
+    """Pre-allocate a span id, for records whose id must be known before
+    the window closes (a coordinator parents per-chunk dispatch records
+    under the map span while the map is still running)."""
+    return _new_id(8)
+
+
+class FileSink:
+    """Append records to a JSONL file, one atomic ``O_APPEND`` write each.
+
+    The descriptor is opened lazily and has no user-space buffer, so it
+    survives ``fork`` (children share the kernel offset; ``O_APPEND``
+    keeps concurrent line writes whole).
+    """
+
+    def __init__(self, path):
+        self.path = str(path)
+        self._fd: int | None = None
+
+    def __call__(self, record: dict) -> None:
+        line = json.dumps(record, separators=(",", ":"), sort_keys=True)
+        if self._fd is None:
+            self._fd = os.open(
+                self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+            )
+        os.write(self._fd, (line + "\n").encode("utf-8"))
+
+
+class BufferSink:
+    """Collect records in memory — for peers that ship spans over a wire
+    (cluster workers, the serve daemon) instead of sharing the file."""
+
+    def __init__(self):
+        self.records: list[dict] = []
+
+    def __call__(self, record: dict) -> None:
+        self.records.append(record)
+
+    def drain(self) -> list[dict]:
+        records, self.records = self.records, []
+        return records
+
+
+class _SpanHandle:
+    """What ``with span(...) as handle`` yields: the span id (for
+    explicit parenting across threads) and a mutable attrs dict."""
+
+    __slots__ = ("span_id", "attrs")
+
+    def __init__(self, span_id: str | None, attrs: dict):
+        self.span_id = span_id
+        self.attrs = attrs
+
+    def set(self, **attrs) -> None:
+        self.attrs.update(attrs)
+
+
+_NULL_HANDLE = _SpanHandle(None, {})
+
+
+class Tracer:
+    """One trace: an id, a sink, and an ambient parent for spans opened
+    with no active parent (the propagated cross-process context)."""
+
+    def __init__(self, sink, *, trace_id: str | None = None,
+                 root_parent: str | None = None):
+        self.sink = sink
+        self.trace_id = trace_id or _new_id(16)
+        self.root_parent = root_parent
+
+    # -- emission --------------------------------------------------------------
+
+    def emit(self, record: dict) -> None:
+        self.sink(record)
+
+    def record(
+        self,
+        name: str,
+        *,
+        start_wall: float,
+        duration: float,
+        parent: str | None = None,
+        status: str = "ok",
+        span_id: str | None = None,
+        **attrs,
+    ) -> str:
+        """Fabricate one closed span from explicit timestamps — for
+        windows measured outside a ``with`` block (per-chunk dispatch
+        round-trips in the coordinator's worker threads). ``span_id``
+        accepts a :func:`new_span_id` allocated up front."""
+        span_id = span_id or _new_id(8)
+        record = {
+            "trace": self.trace_id,
+            "span": span_id,
+            "parent": parent if parent is not None else self.root_parent,
+            "name": name,
+            "ts": start_wall,
+            "dur": max(0.0, duration),
+            "pid": os.getpid(),
+            "status": status,
+        }
+        if attrs:
+            record["attrs"] = attrs
+        self.emit(record)
+        return span_id
+
+    def ingest(self, records) -> None:
+        """Write spans a remote peer shipped back (already fully formed
+        records carrying the peer's pid and this trace's id)."""
+        for record in records:
+            if isinstance(record, dict) and record.get("trace") == self.trace_id:
+                self.emit(record)
+
+    # -- scoping ---------------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, *, parent=_UNSET, **attrs):
+        """Open a child of the active span (or of ``parent`` / the
+        tracer's ambient root parent), close and emit it on exit."""
+        if parent is _UNSET:
+            parent_id = _SPAN.get()
+            if parent_id is None:
+                parent_id = self.root_parent
+        else:
+            parent_id = parent
+        span_id = _new_id(8)
+        handle = _SpanHandle(span_id, dict(attrs))
+        tracer_token = _TRACER.set(self)
+        span_token = _SPAN.set(span_id)
+        start_wall = time.time()
+        start = time.monotonic()
+        status = "ok"
+        try:
+            yield handle
+        except BaseException:
+            status = "error"
+            raise
+        finally:
+            duration = time.monotonic() - start
+            _SPAN.reset(span_token)
+            _TRACER.reset(tracer_token)
+            record = {
+                "trace": self.trace_id,
+                "span": span_id,
+                "parent": parent_id,
+                "name": name,
+                "ts": start_wall,
+                "dur": duration,
+                "pid": os.getpid(),
+                "status": status,
+            }
+            if handle.attrs:
+                record["attrs"] = handle.attrs
+            self.emit(record)
+
+
+# -- ambient access ------------------------------------------------------------
+
+
+def _install_from_env() -> "Tracer | None":
+    """Self-install in a process (or thread) whose environment carries
+    trace context — how pool children join the parent's trace file."""
+    path = os.environ.get(TRACE_ENV)
+    if not path:
+        return None
+    trace_id, _, parent = os.environ.get(TRACE_CTX_ENV, "").partition(":")
+    tracer = Tracer(
+        FileSink(path),
+        trace_id=trace_id or None,
+        root_parent=parent or None,
+    )
+    _TRACER.set(tracer)
+    return tracer
+
+
+def current_tracer(*, install: bool = True) -> "Tracer | None":
+    """The context's tracer; lazily installed from the environment so
+    spawned/forked workers need no explicit initialization."""
+    tracer = _TRACER.get()
+    if tracer is None and install:
+        tracer = _install_from_env()
+    return tracer
+
+
+def current_span_id() -> str | None:
+    span_id = _SPAN.get()
+    if span_id is not None:
+        return span_id
+    tracer = _TRACER.get()
+    return tracer.root_parent if tracer is not None else None
+
+
+@contextmanager
+def span(name: str, **attrs):
+    """Module-level convenience: a span under the ambient tracer, or a
+    no-op (zero I/O, zero ids drawn) when tracing is inactive."""
+    tracer = current_tracer()
+    if tracer is None:
+        yield _NULL_HANDLE
+        return
+    with tracer.span(name, **attrs) as handle:
+        yield handle
+
+
+def propagation_context() -> dict | None:
+    """The ``{"id": trace_id, "parent": span_id}`` dict a remote peer
+    needs to parent its spans correctly, or ``None`` when not tracing.
+    Rides the cluster handshake header and the serve request line."""
+    tracer = current_tracer()
+    if tracer is None:
+        return None
+    return {"id": tracer.trace_id, "parent": current_span_id()}
+
+
+def buffering_tracer(context: dict) -> "Tracer | None":
+    """A :class:`BufferSink`-backed tracer for a propagated context (a
+    cluster worker's handshake, a serve request); ``None`` for a
+    malformed context. Drain ``tracer.sink`` and ship the records back."""
+    if not isinstance(context, dict) or not context.get("id"):
+        return None
+    return Tracer(
+        BufferSink(),
+        trace_id=str(context["id"]),
+        root_parent=context.get("parent") or None,
+    )
+
+
+@contextmanager
+def trace_command(path, name: str, **attrs):
+    """The CLI entry: install a file tracer, open the trace's root span,
+    and export ``REPRO_TRACE``/``REPRO_TRACE_CTX`` so every child
+    process stitches into the same file under the same root."""
+    tracer = Tracer(FileSink(path))
+    token = _TRACER.set(tracer)
+    prior_env = os.environ.get(TRACE_ENV)
+    prior_ctx = os.environ.get(TRACE_CTX_ENV)
+    os.environ[TRACE_ENV] = str(path)
+    try:
+        with tracer.span(name, **attrs) as handle:
+            os.environ[TRACE_CTX_ENV] = f"{tracer.trace_id}:{handle.span_id}"
+            yield handle
+    finally:
+        # Restore (not just pop) both variables: an embedding process
+        # (tests drive cli.main() in-process) must not stay traced after
+        # the command returns.
+        if prior_env is None:
+            os.environ.pop(TRACE_ENV, None)
+        else:
+            os.environ[TRACE_ENV] = prior_env
+        if prior_ctx is None:
+            os.environ.pop(TRACE_CTX_ENV, None)
+        else:
+            os.environ[TRACE_CTX_ENV] = prior_ctx
+        _TRACER.reset(token)

@@ -34,6 +34,7 @@ from ..net.auth import server_proof as _server_proof
 from ..net.endpoint import Endpoint, _env_tls_default, parse_endpoint
 from ..net.framing import JsonLinesTransport, WireProtocolError
 from ..net.tls import client_ssl_context
+from ..obs import trace as obs_trace
 from .schema import SERVE_PROTOCOL_VERSION
 
 __all__ = ["DEFAULT_SERVE_PORT", "ServeClient", "ServeError", "parse_hostport"]
@@ -227,10 +228,21 @@ class ServeClient:
     # -- core ------------------------------------------------------------------
 
     def submit(self, op: str, **params) -> int:
-        """Send one request line; returns its correlation id."""
+        """Send one request line; returns its correlation id.
+
+        When this process is tracing, the request carries the trace
+        context as a *top-level* field (never a param — the daemon keys
+        its ledger off params, so a traced request dedups with its
+        untraced twin) and the daemon ships its spans back on the result
+        event for :meth:`collect` to ingest.
+        """
         self._next_id += 1
         rid = self._next_id
-        self._transport.send_obj({"id": rid, "op": op, "params": params})
+        payload = {"id": rid, "op": op, "params": params}
+        ctx = obs_trace.propagation_context()
+        if ctx is not None:
+            payload["trace"] = ctx
+        self._transport.send_obj(payload)
         self._pending[rid] = deque()
         return rid
 
@@ -260,6 +272,11 @@ class ServeClient:
             kind = event.get("event")
             if kind == "result":
                 self._pending.pop(rid, None)
+                shipped = event.get("trace")
+                if shipped:
+                    tracer = obs_trace.current_tracer()
+                    if tracer is not None:
+                        tracer.ingest(shipped)
                 return event
             if kind == "error":
                 self._pending.pop(rid, None)
@@ -269,7 +286,10 @@ class ServeClient:
 
     def request(self, op: str, *, on_progress=None, **params) -> dict:
         """Submit one request and block for its result line."""
-        return self.collect(self.submit(op, **params), on_progress=on_progress)
+        with obs_trace.span(f"query.{op}"):
+            return self.collect(
+                self.submit(op, **params), on_progress=on_progress
+            )
 
     # -- op helpers ------------------------------------------------------------
 
@@ -285,6 +305,11 @@ class ServeClient:
 
     def stats(self) -> dict:
         return self.request("stats")["result"]
+
+    def metrics(self) -> dict:
+        """The daemon's metrics registry as Prometheus text exposition:
+        ``{"content_type": ..., "exposition": ...}``."""
+        return self.request("metrics")["result"]
 
     def shutdown(self) -> dict:
         return self.request("shutdown")["result"]

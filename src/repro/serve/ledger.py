@@ -95,6 +95,16 @@ class LedgerStats:
     def snapshot(self) -> dict:
         return dict(vars(self))
 
+    def count(self, name: str, amount: int = 1) -> None:
+        """Increment a counter here *and* in the process-global metrics
+        registry (``ledger.<name>``) — ledger instances are ephemeral
+        (``active_ledger`` builds a fresh one per call, the daemon one
+        per request), so the registry is what survives them."""
+        from ..obs.metrics import get_registry
+
+        setattr(self, name, getattr(self, name) + amount)
+        get_registry().counter(f"ledger.{name}").inc(amount)
+
 
 @dataclass(frozen=True)
 class LedgerEntry:
@@ -154,7 +164,7 @@ class ResultsLedger:
         with open(qdir / name, "wb") as fh:
             for raw in bad_lines:
                 fh.write(raw.rstrip(b"\n") + b"\n")
-        self.stats.quarantined += len(bad_lines)
+        self.stats.count("quarantined", len(bad_lines))
 
     def _rewrite(self, kind: str, good_lines: list[bytes]) -> None:
         """Atomically replace a segment with its verified lines only."""
@@ -226,9 +236,9 @@ class ResultsLedger:
             return None
         entry = self._load(kind).get(key)
         if entry is None:
-            self.stats.misses += 1
+            self.stats.count("misses")
             return None
-        self.stats.hits += 1
+        self.stats.count("hits")
         return entry["record"]
 
     def put(self, kind: str, key: str | None, record) -> bool:
@@ -245,7 +255,7 @@ class ResultsLedger:
         # stored one (floats and all) is recognized as a duplicate.
         record = json.loads(_canonical(record))
         if live is not None and live["record"] == record:
-            self.stats.dedup_puts += 1
+            self.stats.count("dedup_puts")
             return False
         ts = time.time()
         line = (
@@ -265,7 +275,7 @@ class ResultsLedger:
         with open(path, "ab") as fh:
             fh.write(line)
         index[key] = {"record": record, "ts": ts, "size": len(line)}
-        self.stats.puts += 1
+        self.stats.count("puts")
         return True
 
     # -- maintenance (repro ledger ls|show|verify|gc) --------------------------
@@ -483,14 +493,19 @@ class LedgerEvaluator:
         )
         try:
             miss_at = {pos: key for pos, _, key in misses}
+            from ..obs.metrics import get_registry
+
+            registry = get_registry()
             for pos, chunk in enumerate(specs):
                 if cached[pos] is not None:
                     self.chunk_hits += 1
+                    registry.counter("ledger.chunk_hits").inc()
                     partial = cached[pos]
                     source = "ledger"
                 else:
                     partial = next(computed)
                     self.chunk_computes += 1
+                    registry.counter("ledger.chunk_computes").inc()
                     key = miss_at[pos]
                     if key is not None:
                         self.ledger.put("chunk", key, partial_to_jsonable(partial))
@@ -510,4 +525,12 @@ class LedgerEvaluator:
                 close()
 
     def reduce(self, chunks: Iterable):
-        return merge_partials(self.map(chunks))
+        from ..obs.trace import span as _obs_span
+
+        # The merge span lives here, not only in the inner evaluator's
+        # reduce: wrapping bypasses the inner reduce, and the map
+        # generator must fully close (shipping every cluster span) before
+        # the merge window opens.
+        partials = list(self.map(chunks))
+        with _obs_span("merge", partials=len(partials)):
+            return merge_partials(partials)

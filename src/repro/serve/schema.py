@@ -53,9 +53,19 @@ __all__ = [
 SERVE_PROTOCOL_VERSION = 2
 
 #: Every operation the daemon understands. ``ping``/``stats``/
-#: ``shutdown`` are control ops (no ledger key); the other four are the
-#: paper's headline quantities.
-OPS = ("ping", "stats", "shutdown", "sweep", "ftcheck", "budget", "direct")
+#: ``metrics``/``shutdown`` are control ops (no ledger key; ``metrics``
+#: returns the Prometheus text exposition of the daemon's registry);
+#: the other four are the paper's headline quantities.
+OPS = (
+    "ping",
+    "stats",
+    "metrics",
+    "shutdown",
+    "sweep",
+    "ftcheck",
+    "budget",
+    "direct",
+)
 
 #: Default physical-rate sweep (mirrors ``FIGURE4_SWEEP`` without
 #: importing the experiments layer client-side).
@@ -103,7 +113,7 @@ def normalize_request(op: str, params: dict | None) -> dict:
     params = dict(params or {})
     if op not in OPS:
         raise ServeRequestError(f"unknown op {op!r}")
-    if op in ("ping", "stats", "shutdown"):
+    if op in ("ping", "stats", "metrics", "shutdown"):
         return {}
     norm = _common(params)
     if op == "sweep":

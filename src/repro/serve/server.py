@@ -48,6 +48,7 @@ import asyncio
 import json
 import ssl
 import threading
+import time
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
@@ -64,6 +65,8 @@ from ..net.auth import (
 from ..net.endpoint import AddressAllowlist, ambient_token, parse_endpoint
 from ..net.framing import FrameCounters
 from ..net.tls import server_ssl_context
+from ..obs import trace as obs_trace
+from ..obs.metrics import get_registry
 from ..store import keys as store_keys
 from .ledger import LedgerEvaluator, ResultsLedger, resolve_ledger
 from .schema import (
@@ -303,6 +306,7 @@ class ReproServer:
             self.stats.engine_compiles += 1
             while len(self._engines) > self.engine_slots:
                 self._engines.popitem(last=False)
+                get_registry().counter("serve.engine_evictions").inc()
             return entry
 
     def _model_for(self, norm: dict):
@@ -541,6 +545,50 @@ class ReproServer:
 
         return model.with_p(norm["p"]) if model is not None else E1_1(p=norm["p"])
 
+    # -- observability ---------------------------------------------------------
+
+    def _registry_snapshot(self) -> dict:
+        """The process-global metrics registry with daemon-lifetime state
+        mirrored in. ServeStats, the resident-tier sizes, and the
+        line-layer wire counters are mirrored into ``serve.*`` gauges at
+        snapshot time rather than counted at their increment sites — the
+        hot paths stay untouched and repeated snapshots never double
+        count. Everything the compute path already counts directly
+        (``ledger.*``, ``store.*``, ``shard.*``, ``cluster.*`` — the
+        latter folded in at link teardown, which is what keeps operator
+        numbers monotone across worker reconnects) is in the registry
+        already."""
+        registry = get_registry()
+        for name, value in self.stats.snapshot().items():
+            registry.gauge(f"serve.{name}").set(value)
+        registry.gauge("serve.engines").set(len(self._engines))
+        registry.gauge("serve.protocols").set(len(self._protocols))
+        registry.gauge("serve.inflight").set(len(self._inflight))
+        for field in FrameCounters.FIELDS:
+            registry.gauge(f"serve.wire.{field}").set(
+                getattr(self._wire, field)
+            )
+        return registry.snapshot()
+
+    def _control_trace(
+        self, trace_ctx, op: str, start_wall: float, start_mono: float, **attrs
+    ):
+        """Fabricated ``serve.<op>`` span records for a traced request
+        answered without a compute thread (control ops, ledger hits,
+        coalesced waits). Returns a list of records to attach to the
+        result event, or ``None`` when the request carried no (valid)
+        trace context."""
+        tracer = obs_trace.buffering_tracer(trace_ctx) if trace_ctx else None
+        if tracer is None:
+            return None
+        tracer.record(
+            f"serve.{op}",
+            start_wall=start_wall,
+            duration=time.monotonic() - start_mono,
+            **attrs,
+        )
+        return tracer.sink.drain()
+
     # -- the wire --------------------------------------------------------------
 
     async def _send(self, writer, lock: asyncio.Lock, payload: dict) -> bool:
@@ -705,6 +753,10 @@ class ReproServer:
             request = json.loads(raw)
             rid = request.get("id")
             op = request.get("op")
+            # Top-level, *not* in params: trace context never reaches
+            # normalize_request, so ledger keys are trace-blind and a
+            # traced request dedups with its untraced twin.
+            trace_ctx = request.get("trace")
             norm = normalize_request(op, request.get("params"))
         except ServeRequestError as exc:
             self.stats.errors += 1
@@ -721,7 +773,7 @@ class ReproServer:
             )
             return
         try:
-            await self._dispatch(rid, op, norm, writer, write_lock)
+            await self._dispatch(rid, op, norm, writer, write_lock, trace_ctx)
         except Exception as exc:  # compute/protocol errors -> error event
             self.stats.errors += 1
             await self._send(
@@ -730,20 +782,27 @@ class ReproServer:
                 {"id": rid, "event": "error", "error": f"{type(exc).__name__}: {exc}"},
             )
 
-    async def _dispatch(self, rid, op, norm, writer, write_lock) -> None:
+    async def _dispatch(
+        self, rid, op, norm, writer, write_lock, trace_ctx=None
+    ) -> None:
+        start_wall = time.time()
+        start_mono = time.monotonic()
+
+        async def send_result(result: dict) -> None:
+            payload = {
+                "id": rid,
+                "event": "result",
+                "result": result,
+                "source": "server",
+            }
+            spans = self._control_trace(trace_ctx, op, start_wall, start_mono)
+            if spans:
+                payload["trace"] = spans
+            await self._send(writer, write_lock, payload)
+
         if op == "ping":
-            await self._send(
-                writer,
-                write_lock,
-                {
-                    "id": rid,
-                    "event": "result",
-                    "result": {
-                        "ok": True,
-                        "protocol_version": SERVE_PROTOCOL_VERSION,
-                    },
-                    "source": "server",
-                },
+            await send_result(
+                {"ok": True, "protocol_version": SERVE_PROTOCOL_VERSION}
             )
             return
         if op == "stats":
@@ -760,24 +819,25 @@ class ReproServer:
                 wire=self._wire.stats("none"),
                 transport="tls" if self._ssl_context is not None else "plaintext",
                 auth=self._token is not None,
+                # The full metrics registry: every counter/gauge/
+                # histogram the process has touched, including cluster
+                # wire totals folded in at link teardown (so reconnects
+                # never zero them) and the serve.* gauge mirror.
+                metrics=self._registry_snapshot(),
             )
-            await self._send(
-                writer,
-                write_lock,
-                {"id": rid, "event": "result", "result": snapshot, "source": "server"},
+            await send_result(snapshot)
+            return
+        if op == "metrics":
+            self._registry_snapshot()  # refresh the serve.* gauge mirror
+            await send_result(
+                {
+                    "content_type": "text/plain; version=0.0.4; charset=utf-8",
+                    "exposition": get_registry().render_prometheus(),
+                }
             )
             return
         if op == "shutdown":
-            await self._send(
-                writer,
-                write_lock,
-                {
-                    "id": rid,
-                    "event": "result",
-                    "result": {"stopping": True},
-                    "source": "server",
-                },
-            )
+            await send_result({"stopping": True})
             assert self._stop_event is not None
             self._stop_event.set()
             return
@@ -809,31 +869,38 @@ class ReproServer:
             mem_budget=self.mem_budget,
         )
 
-        async def respond(record, source: str) -> None:
+        async def respond(record, source: str, spans=None) -> None:
             if op == "sweep":
                 result = await loop.run_in_executor(
                     self._pool, self._sweep_response, record, protocol, model, norm
                 )
             else:
                 result = record
-            await self._send(
-                writer,
-                write_lock,
-                {
-                    "id": rid,
-                    "event": "result",
-                    "result": result,
-                    "source": source,
-                    "key": key,
-                },
-            )
+            payload = {
+                "id": rid,
+                "event": "result",
+                "result": result,
+                "source": source,
+                "key": key,
+            }
+            if spans:
+                payload["trace"] = spans
+            await self._send(writer, write_lock, payload)
 
         # 1. Ledger hit: no compute, no engine touch.
         if key is not None and self.ledger is not None:
             record = await loop.run_in_executor(self._pool, self.ledger.get, kind, key)
             if record is not None:
                 self.stats.ledger_hits += 1
-                await respond(record, "ledger")
+                spans = self._control_trace(
+                    trace_ctx,
+                    op,
+                    start_wall,
+                    start_mono,
+                    source="ledger",
+                    code=norm.get("code"),
+                )
+                await respond(record, "ledger", spans)
                 return
 
         # 2. Identical request in flight: await it (exactly-one-compute).
@@ -844,7 +911,15 @@ class ReproServer:
                 await inflight.event.wait()
                 if inflight.error is not None:
                     raise inflight.error
-                await respond(inflight.record, "coalesced")
+                spans = self._control_trace(
+                    trace_ctx,
+                    op,
+                    start_wall,
+                    start_mono,
+                    source="coalesced",
+                    code=norm.get("code"),
+                )
+                await respond(inflight.record, "coalesced", spans)
                 return
 
         # 3. Compute, streaming progress events as chunks land.
@@ -860,9 +935,32 @@ class ReproServer:
                 pass
 
         self.stats.computes += 1
-        compute_future = loop.run_in_executor(
-            self._pool, compute, protocol, digest, norm, compute_model, progress
-        )
+
+        def run_compute():
+            # Executor threads do not inherit the loop's contextvars, so
+            # the request's tracer is installed here, inside the compute
+            # thread: the serve.<op> span becomes ambient for the whole
+            # computation (shard chunk spans run in-thread; a cluster
+            # backend propagates it over its handshake and ingests the
+            # workers' shipped spans). Drained records ride back on the
+            # result event; an untraced request takes the bare call.
+            tracer = (
+                obs_trace.buffering_tracer(trace_ctx) if trace_ctx else None
+            )
+            if tracer is None:
+                return (
+                    compute(protocol, digest, norm, compute_model, progress),
+                    None,
+                )
+            with tracer.span(
+                f"serve.{op}", source="computed", code=norm.get("code")
+            ):
+                record = compute(
+                    protocol, digest, norm, compute_model, progress
+                )
+            return record, tracer.sink.drain()
+
+        compute_future = loop.run_in_executor(self._pool, run_compute)
         try:
             while True:
                 getter = asyncio.ensure_future(queue.get())
@@ -876,7 +974,7 @@ class ReproServer:
                     continue
                 getter.cancel()
                 break
-            record = await compute_future
+            record, shipped = await compute_future
         except BaseException as exc:
             inflight.error = exc
             raise
@@ -886,7 +984,7 @@ class ReproServer:
                 await loop.run_in_executor(
                     self._pool, self.ledger.put, kind, key, record
                 )
-            await respond(record, "computed")
+            await respond(record, "computed", shipped)
         finally:
             # Drain any progress events raced in after the compute
             # finished, then wake coalesced waiters.

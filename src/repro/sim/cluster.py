@@ -99,6 +99,7 @@ import pickle
 import socket
 import ssl
 import threading
+import time
 from collections import OrderedDict, deque
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
@@ -125,10 +126,13 @@ from ..net.framing import (
     WireProtocolError,
     _recv_exact,
     _recv_into_exact,
+    publish_wire_counters,
     recv_frame,
     send_frame,
 )
 from ..net.tls import client_ssl_context, server_ssl_context
+from ..obs import trace as obs_trace
+from ..obs.metrics import get_registry
 from ..store import available_codecs, resolve_store
 from ..store.keys import payload_digest
 from .shard import (
@@ -405,7 +409,10 @@ class ClusterWorker:
                 ),
             )
             return None
-        return hello[3]  # {"digest", "max_slab", "model", "codecs", "auth"}
+        # {"digest", "max_slab", "model", "codecs", "auth"} plus, from a
+        # tracing coordinator, "trace": {"id", "parent"} — read with
+        # .get() everywhere, so peers without it stay compatible.
+        return hello[3]
 
     def _authenticate(self, conn: socket.socket, header) -> bool:
         """The token challenge–response (:mod:`repro.net.auth`), before
@@ -599,6 +606,13 @@ class ClusterWorker:
             ),
         )
         framer = _Framer(conn, codec)
+        # A tracing coordinator put its {"id", "parent"} context in the
+        # handshake header; we cannot share its trace file, so chunk
+        # spans are buffered here and shipped back on each reply frame
+        # (a 4th element the coordinator ingests — absent for untraced
+        # sessions, so the reply shape old coordinators read is intact).
+        tracer = obs_trace.buffering_tracer(header.get("trace"))
+        worker_id = f"{self.host}:{self.port}"
         # The coordinator streams up to its credit window of chunk frames
         # ahead of our replies; we execute and acknowledge strictly in
         # arrival order (the socket buffers the rest), which is exactly
@@ -617,17 +631,52 @@ class ClusterWorker:
                     if self._served >= self.max_chunks:
                         # Drill: die mid-stream — this chunk and every
                         # later one already in the pipeline unacknowledged.
+                        # A tracing coordinator sees it exactly like a
+                        # crash: no span is ever shipped for this chunk.
                         self.stop()
                         return
             spec = message[1]
+            start_wall = time.time()
+            start = time.monotonic()
             try:
                 partial = _run_chunk(context, spec)
             except Exception as exc:  # deterministic failure: report, don't retry
-                framer.send(("error", spec.index, repr(exc)))
+                if tracer is not None:
+                    tracer.record(
+                        "cluster.chunk",
+                        start_wall=start_wall,
+                        duration=time.monotonic() - start,
+                        status="error",
+                        kind=type(spec).__name__,
+                        index=spec.index,
+                        worker=worker_id,
+                    )
+                    framer.send(
+                        ("error", spec.index, repr(exc), tracer.sink.drain())
+                    )
+                else:
+                    framer.send(("error", spec.index, repr(exc)))
                 return
             with self._served_lock:
                 self._served += 1
-            framer.send(("partial", partial.index, partial))
+            get_registry().histogram("cluster.worker_chunk_seconds").observe(
+                time.monotonic() - start
+            )
+            if tracer is not None:
+                tracer.record(
+                    "cluster.chunk",
+                    start_wall=start_wall,
+                    duration=time.monotonic() - start,
+                    kind=type(spec).__name__,
+                    index=spec.index,
+                    worker=worker_id,
+                    engine_source=source,
+                )
+                framer.send(
+                    ("partial", partial.index, partial, tracer.sink.drain())
+                )
+            else:
+                framer.send(("partial", partial.index, partial))
 
 
 # -- the coordinator (client) side ---------------------------------------------
@@ -636,7 +685,7 @@ class ClusterWorker:
 class _MapState:
     """Shared scheduling state of one :meth:`ClusterEvaluator.map` run."""
 
-    def __init__(self, source: Iterator):
+    def __init__(self, source: Iterator, *, tracer=None, map_span=None):
         self.source = source
         self.exhausted = False
         self.requeue: deque = deque()  # chunks orphaned by dead workers
@@ -648,6 +697,12 @@ class _MapState:
         self.live = 0
         self.failure: Exception | None = None
         self.stop = False
+        #: Tracing context for the worker-loop threads, which do not
+        #: inherit the caller's contextvars: fabricated dispatch records
+        #: parent explicitly under the pre-allocated map span id.
+        self.tracer = tracer
+        self.map_span = map_span
+        self.requeues = 0  # delivery attempts lost to dead workers
 
     def next_chunk(self):
         """Requeued work first (it blocks completion), else the source."""
@@ -948,11 +1003,18 @@ class ClusterEvaluator:
         if self._links is None:
             links: list[_WorkerLink] = []
             failed: list[tuple[tuple[str, int], str]] = []
+            # A tracing session propagates its context in the handshake
+            # header so worker chunk spans stitch into the caller's
+            # trace file; untraced sessions send no "trace" key and the
+            # worker behaves exactly as before.
+            trace_ctx = obs_trace.propagation_context()
             for endpoint in self.endpoints:
                 token = self._endpoint_token(endpoint)
                 # The hello header advertises whether we will answer a
                 # token challenge — per link, since endpoints may mix.
                 header = dict(self._header, auth=token is not None)
+                if trace_ctx is not None:
+                    header["trace"] = trace_ctx
                 try:
                     links.append(
                         _WorkerLink(
@@ -984,6 +1046,9 @@ class ClusterEvaluator:
             return
         for key in self._wire_totals:
             self._wire_totals[key] += getattr(framer, key)
+        # Same seam, second audience: the process-global metrics
+        # registry keeps the bytes after this evaluator is gone.
+        publish_wire_counters(framer, "cluster.wire")
 
     def wire_stats(self) -> dict:
         """Frame-layer transport counters of this evaluator's sessions.
@@ -1072,6 +1137,11 @@ class ClusterEvaluator:
         # acknowledges strictly in order, so each reply acks the head.
         depth = self.pipeline_depth
         pending: deque = deque()
+        #: (wall, monotonic) send times aligned index-for-index with
+        #: ``pending`` — the dispatch span/latency window per attempt.
+        sent_at: deque = deque()
+        addr = f"{link.address[0]}:{link.address[1]}"
+        registry = get_registry()
         with cond:
             state.in_flight[link_id] = pending
         while True:
@@ -1087,6 +1157,7 @@ class ClusterEvaluator:
                     if chunk is None:
                         break
                     pending.append(chunk)
+                    sent_at.append((time.time(), time.monotonic()))
                     to_send.append(chunk)
                 if not pending:
                     if state.finished():
@@ -1113,8 +1184,31 @@ class ClusterEvaluator:
                         # link's window, oldest first — exactly-once
                         # merging is preserved because only unacked work
                         # is ever retried (and `done` guards the merge).
+                        if pending:
+                            state.requeues += len(pending)
+                            registry.counter("cluster.requeues").inc(
+                                len(pending)
+                            )
+                            if state.tracer is not None:
+                                # One "requeued" dispatch record per lost
+                                # attempt; the retry lands as a sibling
+                                # under the same map span.
+                                now = time.monotonic()
+                                for chunk, (wall, mono) in zip(
+                                    pending, sent_at
+                                ):
+                                    state.tracer.record(
+                                        "cluster.dispatch",
+                                        start_wall=wall,
+                                        duration=now - mono,
+                                        parent=state.map_span,
+                                        status="requeued",
+                                        index=chunk.index,
+                                        worker=addr,
+                                    )
                         state.requeue.extend(pending)
                         pending.clear()
+                        sent_at.clear()
                         if state.live == 0 and not state.finished():
                             state.failure = ClusterError(
                                 "all cluster workers disconnected with "
@@ -1142,13 +1236,44 @@ class ClusterEvaluator:
                 return
             with cond:
                 chunk = pending.popleft()
+                sent_wall, sent_mono = sent_at.popleft()
+                elapsed = time.monotonic() - sent_mono
                 try:
                     if reply[0] == "partial":
                         index, partial = reply[1], reply[2]
+                        # A tracing worker appends its buffered chunk
+                        # spans as a 4th element; copy them into our
+                        # trace file under their original ids.
+                        if len(reply) > 3 and state.tracer is not None:
+                            state.tracer.ingest(reply[3])
                         if index not in state.done:
                             state.done.add(index)
                             state.completed[index] = partial
+                        registry.histogram("cluster.chunk_seconds").observe(
+                            elapsed
+                        )
+                        if state.tracer is not None:
+                            state.tracer.record(
+                                "cluster.dispatch",
+                                start_wall=sent_wall,
+                                duration=elapsed,
+                                parent=state.map_span,
+                                index=chunk.index,
+                                worker=addr,
+                            )
                     elif reply[0] == "error":
+                        if len(reply) > 3 and state.tracer is not None:
+                            state.tracer.ingest(reply[3])
+                        if state.tracer is not None:
+                            state.tracer.record(
+                                "cluster.dispatch",
+                                start_wall=sent_wall,
+                                duration=elapsed,
+                                parent=state.map_span,
+                                status="error",
+                                index=chunk.index,
+                                worker=addr,
+                            )
                         state.failure = ClusterError(
                             f"worker {link.address} failed chunk "
                             f"{reply[1]}: {reply[2]}"
@@ -1181,8 +1306,24 @@ class ClusterEvaluator:
         next call).
         """
         links = self._ensure_links()
+        tracer = obs_trace.current_tracer()
+        map_span = map_parent = None
+        map_start_wall = map_start = 0.0
+        if tracer is not None:
+            # Materialize the (tiny) spec list under a plan span — same
+            # trade as ShardedEvaluator.map, traced sessions only — and
+            # pre-allocate the map span id so the worker-loop threads
+            # (which see no contextvars) can parent dispatch records
+            # under it while the map is still open.
+            with tracer.span("plan", backend="cluster") as planning:
+                chunks = list(chunks)
+                planning.set(chunks=len(chunks))
+            map_parent = obs_trace.current_span_id()
+            map_span = obs_trace.new_span_id()
+            map_start_wall = time.time()
+            map_start = time.monotonic()
         self._active = True
-        state = _MapState(iter(chunks))
+        state = _MapState(iter(chunks), tracer=tracer, map_span=map_span)
         cond = threading.Condition()
         state.live = len(links)
         threads = [
@@ -1227,10 +1368,23 @@ class ClusterEvaluator:
             for thread in threads:
                 thread.join(timeout=10.0)
             self._active = False
+            if tracer is not None:
+                tracer.record(
+                    "cluster.map",
+                    span_id=map_span,
+                    start_wall=map_start_wall,
+                    duration=time.monotonic() - map_start,
+                    parent=map_parent,
+                    status="error" if state.failure is not None else "ok",
+                    workers=len(links),
+                    requeues=state.requeues,
+                )
 
     def reduce(self, chunks: Iterable) -> ShardPartial:
         """:meth:`map` + :func:`merge_partials` in one call."""
-        return merge_partials(self.map(chunks))
+        partials = list(self.map(chunks))
+        with obs_trace.span("merge", partials=len(partials)):
+            return merge_partials(partials)
 
 
 @dataclass(frozen=True)

@@ -52,6 +52,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
 
@@ -1076,6 +1077,27 @@ def _run_chunk(ctx: _EngineContext, chunk) -> ShardPartial:
     raise TypeError(f"unknown chunk spec {chunk!r}")
 
 
+def _observed_run_chunk(ctx: _EngineContext, chunk) -> ShardPartial:
+    """:func:`_run_chunk` under observability: a ``shard.chunk`` span
+    (no-op unless a tracer is active — pool children self-install from
+    ``REPRO_TRACE``) plus the per-chunk latency histogram. Observation
+    only: the compute, its seeds, and the partial are untouched, so
+    traced runs stay bit-identical to untraced ones."""
+    from ..obs import metrics, trace
+
+    start = time.perf_counter()
+    with trace.span(
+        "shard.chunk", kind=type(chunk).__name__, index=chunk.index
+    ):
+        partial = _run_chunk(ctx, chunk)
+    registry = metrics.get_registry()
+    registry.counter("shard.chunks").inc()
+    registry.histogram("shard.chunk_seconds").observe(
+        time.perf_counter() - start
+    )
+    return partial
+
+
 # Module globals for pool workers. ``_FORK_PAYLOAD`` is set in the parent
 # immediately before forking so children inherit the *built* engine (the
 # whole point: CompiledProtocol compiles once and is never re-pickled);
@@ -1108,7 +1130,7 @@ def _init_spawn_worker(
 
 
 def _pool_task(chunk) -> ShardPartial:
-    return _run_chunk(_WORKER_CONTEXT, chunk)
+    return _observed_run_chunk(_WORKER_CONTEXT, chunk)
 
 
 def default_start_method() -> str:
@@ -1251,16 +1273,30 @@ class ShardedEvaluator:
         remaining chunks are never executed inline, and pool work is
         abandoned on :meth:`close`.
         """
+        from ..obs import trace
+
+        tracer = trace.current_tracer()
+        if tracer is not None:
+            # Materialize the (tiny) spec list under a plan span so the
+            # trace shows planning as its own phase; the chunk contents
+            # are identical either way.
+            with tracer.span("plan", backend="shard") as planning:
+                chunks = list(chunks)
+                planning.set(chunks=len(chunks))
         pool = self._ensure_pool()
         if pool is None:
             for chunk in chunks:
-                yield _run_chunk(self._context, chunk)
+                yield _observed_run_chunk(self._context, chunk)
             return
         yield from pool.imap(_pool_task, chunks)
 
     def reduce(self, chunks: Iterable) -> ShardPartial:
         """:meth:`map` + :func:`merge_partials` in one call."""
-        return merge_partials(self.map(chunks))
+        from ..obs import trace
+
+        partials = list(self.map(chunks))
+        with trace.span("merge", partials=len(partials)):
+            return merge_partials(partials)
 
 
 # -- the executor seam ---------------------------------------------------------

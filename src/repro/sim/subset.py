@@ -44,6 +44,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs.trace import span as _obs_span
 from .frame import Injection, protocol_locations
 from .noise import (
     draw_tables,
@@ -264,11 +265,12 @@ def direct_mc(
                 model=model,
             )
         try:
-            merged = merge_partials(
-                evaluator.map(
-                    evaluator.planner.plan_bernoulli(model, shots, entropy)
+            with _obs_span("subset.direct_mc", shots=shots):
+                merged = merge_partials(
+                    evaluator.map(
+                        evaluator.planner.plan_bernoulli(model, shots, entropy)
+                    )
                 )
-            )
         finally:
             if owned:
                 evaluator.close()
@@ -634,9 +636,10 @@ class SubsetSampler:
         its own conditional probability.
         """
         if self.engine is not None:
-            merged = self.evaluator.reduce(
-                self.evaluator.planner.plan_rows(checkable_only=False)
-            )
+            with _obs_span("subset.enumerate_k1"):
+                merged = self.evaluator.reduce(
+                    self.evaluator.planner.plan_rows(checkable_only=False)
+                )
             total = merged.weighted_mass
         else:
             configurations: list[dict] = []
@@ -691,7 +694,8 @@ class SubsetSampler:
                     f"exact k=2 enumeration needs {total_runs} runs "
                     f"(> max_runs={max_runs})"
                 )
-            merged = self.evaluator.reduce(planner.plan_pairs())
+            with _obs_span("subset.enumerate_k2", runs=total_runs):
+                merged = self.evaluator.reduce(planner.plan_pairs())
             total = merged.weighted_mass
             stats = self.strata[2]
             stats.exact = True
@@ -806,10 +810,15 @@ class SubsetSampler:
                     stats.failures += 1
             return stats
         if self._sharded:
+            # The entropy draw happens before the span opens — tracing
+            # must sit strictly outside the seed path either way (spans
+            # never consume RNG state), but keeping the order explicit
+            # makes the contract easy to audit.
             entropy = int(self.rng.integers(0, 2**63))
-            merged = self.evaluator.reduce(
-                self.evaluator.planner.plan_stratum(k, shots, entropy)
-            )
+            with _obs_span("subset.stratum", k=k, shots=shots):
+                merged = self.evaluator.reduce(
+                    self.evaluator.planner.plan_stratum(k, shots, entropy)
+                )
             stats.trials += merged.trials
             stats.failures += merged.failures
             return stats

@@ -174,13 +174,26 @@ class StoreEntry:
 
 @dataclass
 class StoreStats:
-    """Per-instance counters (observability for benchmarks and tests)."""
+    """Per-instance counters (observability for benchmarks and tests).
+
+    Instances are ephemeral (``active_store`` constructs a fresh store
+    per call), so every increment is mirrored into the process-global
+    :mod:`repro.obs.metrics` registry under ``store.*`` — the numbers an
+    operator sees never reset with the object that happened to count
+    them.
+    """
 
     hits: int = 0
     misses: int = 0
     puts: int = 0
     quarantined: int = 0
     put_errors: int = 0
+
+    def count(self, name: str, amount: int = 1) -> None:
+        from ..obs.metrics import get_registry
+
+        setattr(self, name, getattr(self, name) + amount)
+        get_registry().counter(f"store.{name}").inc(amount)
 
 
 @dataclass
@@ -259,9 +272,9 @@ class ArtifactStore:
                     pass
                 raise
         except OSError:
-            self.stats.put_errors += 1
+            self.stats.count("put_errors")
             return None
-        self.stats.puts += 1
+        self.stats.count("puts")
         return path
 
     def get_bytes(self, kind: str, key: str) -> bytes | None:
@@ -275,19 +288,19 @@ class ArtifactStore:
         try:
             blob = path.read_bytes()
         except OSError:
-            self.stats.misses += 1
+            self.stats.count("misses")
             return None
         try:
             raw = self._verify_blob(blob, kind, key)
         except _CodecUnavailable:
-            self.stats.misses += 1
+            self.stats.count("misses")
             return None
         except _Corrupt as exc:
             self._quarantine(path, str(exc))
-            self.stats.misses += 1
+            self.stats.count("misses")
             return None
         self._touch(path)
-        self.stats.hits += 1
+        self.stats.count("hits")
         return raw
 
     def _verify_blob(self, blob: bytes, kind: str | None, key: str | None) -> bytes:
@@ -327,7 +340,7 @@ class ArtifactStore:
         try:
             self._quarantine_dir.mkdir(parents=True, exist_ok=True)
             os.replace(path, self._quarantine_dir / path.name)
-            self.stats.quarantined += 1
+            self.stats.count("quarantined")
         except OSError:
             # Even quarantine failed (e.g. read-only store): drop the
             # reference; the caller still just sees a miss.
@@ -356,7 +369,7 @@ class ArtifactStore:
         try:
             raw = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
         except Exception:
-            self.stats.put_errors += 1
+            self.stats.count("put_errors")
             return None
         return self.put_bytes(kind, key, raw)
 
@@ -371,8 +384,10 @@ class ArtifactStore:
         except Exception:
             self._quarantine(self._object_path(kind, key), "unpicklable")
             # get_bytes counted a hit; correct the books: this was a miss.
+            # (The registry mirror is monotone, so only the miss side is
+            # mirrored — one overcounted global hit per quarantined pickle.)
             self.stats.hits -= 1
-            self.stats.misses += 1
+            self.stats.count("misses")
             return None
 
     # -- maintenance (repro store ls / verify / gc) --------------------------

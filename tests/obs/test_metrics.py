@@ -1,0 +1,110 @@
+"""Unit tests for the ``repro.obs.metrics`` registry.
+
+The registry is process-local and process-lifetime; these tests build
+private :class:`MetricsRegistry` instances so they never depend on (or
+perturb) whatever the rest of the suite has counted globally.
+"""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("store.hits")
+        counter.inc()
+        counter.inc(4)
+        assert registry.counter("store.hits").value == 5
+
+    def test_counter_rejects_negative(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("c").inc(-1)
+
+    def test_gauge_set_inc_dec(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("serve.inflight")
+        gauge.set(3)
+        gauge.inc()
+        gauge.dec(2)
+        assert registry.gauge("serve.inflight").value == 2
+
+    def test_histogram_buckets_are_cumulative(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("chunk_seconds", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 5.0):
+            hist.observe(value)
+        snap = hist.snapshot()
+        assert snap["count"] == 3
+        assert snap["sum"] == pytest.approx(5.55)
+        assert snap["buckets"]["0.1"] == 1
+        assert snap["buckets"]["1"] == 2  # bounds render via format(x, "g")
+        assert snap["buckets"]["+Inf"] == 3
+
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+
+class TestSnapshot:
+    def test_snapshot_is_sorted_and_json_safe(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("b.count").inc(2)
+        registry.gauge("a.level").set(1.5)
+        registry.histogram("c.seconds").observe(0.2)
+        snap = registry.snapshot()
+        assert list(snap) == sorted(snap)
+        json.dumps(snap)  # must not raise
+        assert snap["b.count"] == 2
+        assert snap["a.level"] == 1.5
+        assert snap["c.seconds"]["count"] == 1
+
+
+class TestPrometheus:
+    def test_render_prometheus_exposition(self):
+        registry = MetricsRegistry()
+        registry.counter("store.hits").inc(3)
+        registry.gauge("serve.engines").set(2)
+        registry.histogram("shard.chunk_seconds", buckets=(0.5,)).observe(0.1)
+        text = registry.render_prometheus()
+        assert "# TYPE repro_store_hits counter" in text
+        assert "repro_store_hits 3" in text
+        assert "repro_serve_engines 2" in text
+        assert 'repro_shard_chunk_seconds_bucket{le="0.5"} 1' in text
+        assert 'repro_shard_chunk_seconds_bucket{le="+Inf"} 1' in text
+        assert "repro_shard_chunk_seconds_count 1" in text
+
+    def test_names_are_sanitized(self):
+        registry = MetricsRegistry()
+        registry.counter("cluster.wire.raw-sent").inc()
+        text = registry.render_prometheus()
+        assert "repro_cluster_wire_raw_sent 1" in text
+
+
+class TestGlobalRegistry:
+    def test_instrumented_layers_share_one_registry(self):
+        assert get_registry() is get_registry()
+
+    def test_wire_counters_publish(self):
+        from repro.net.framing import FrameCounters, publish_wire_counters
+
+        counters = FrameCounters()
+        counters.raw_sent = 100
+        counters.frames_sent = 3
+        before = get_registry().counter("test.wire.raw_sent").value
+        publish_wire_counters(counters, "test.wire")
+        after = get_registry().counter("test.wire.raw_sent").value
+        assert after - before == 100
+        # Zero-valued fields never materialize spurious counters.
+        publish_wire_counters(FrameCounters(), "test.zero")
+        assert "test.zero.raw_sent" not in get_registry().snapshot()

@@ -1,0 +1,164 @@
+"""Serve-daemon observability: shipped spans, ``metrics`` op, and
+registry-backed counters that survive daemon restarts (the operator
+numbers must never zero when the object holding them goes away)."""
+
+import os
+
+import pytest
+
+from repro.obs.metrics import get_registry
+from repro.obs.summary import verify_trace
+from repro.obs.trace import BufferSink, Tracer, trace_command
+from repro.serve.client import ServeClient
+from repro.serve.server import ReproServer
+from repro.store import keys as store_keys
+
+from ..conftest import cached_protocol
+
+SWEEP = dict(shots=400, k_max=2, seed=5, sweep=[1e-3])
+
+
+def _server(ledger_root) -> ReproServer:
+    instance = ReproServer("127.0.0.1", 0, ledger=ledger_root)
+    protocol = cached_protocol("steane")
+    instance._protocols[("steane", "heuristic", "optimal")] = (
+        protocol,
+        store_keys.protocol_digest(protocol),
+    )
+    instance.start_background()
+    return instance
+
+
+@pytest.fixture
+def server(tmp_path):
+    instance = _server(tmp_path / "ledger")
+    yield instance
+    instance.stop()
+
+
+class TestTracedQueries:
+    def test_computed_query_ships_daemon_spans(self, server, tmp_path):
+        trace_path = tmp_path / "query.jsonl"
+        with trace_command(trace_path, "repro.query"):
+            with ServeClient(server.host, server.port) as client:
+                line = client.sweep("steane", **SWEEP)
+        assert line["source"] == "computed"
+        spans = trace_path.read_text().splitlines()
+        import json
+
+        records = [json.loads(s) for s in spans]
+        report = verify_trace(records)
+        assert report["ok"], report["errors"]
+        names = {r["name"] for r in records}
+        # Client-side query span, daemon-side compute span, and the
+        # compute's interior (sharded evaluation) all in one tree.
+        assert {"repro.query", "query.sweep", "serve.sweep"} <= names
+        assert {"plan", "shard.chunk", "merge"} <= names
+        (serve_span,) = [r for r in records if r["name"] == "serve.sweep"]
+        assert serve_span["attrs"]["source"] == "computed"
+        (query_span,) = [r for r in records if r["name"] == "query.sweep"]
+        assert serve_span["parent"] == query_span["span"]
+
+    def test_ledger_hit_and_control_ops_ship_spans(self, server, tmp_path):
+        import json
+
+        with ServeClient(server.host, server.port) as client:
+            client.sweep("steane", **SWEEP)  # populate the ledger
+        trace_path = tmp_path / "warm.jsonl"
+        with trace_command(trace_path, "repro.query"):
+            with ServeClient(server.host, server.port) as client:
+                warm = client.sweep("steane", **SWEEP)
+                client.ping()
+        assert warm["source"] == "ledger"
+        records = [
+            json.loads(s) for s in trace_path.read_text().splitlines()
+        ]
+        assert verify_trace(records)["ok"]
+        by_name = {r["name"]: r for r in records}
+        assert by_name["serve.sweep"]["attrs"]["source"] == "ledger"
+        assert "serve.ping" in by_name
+
+    def test_untraced_requests_carry_no_trace_field(self, server):
+        with ServeClient(server.host, server.port) as client:
+            line = client.sweep("steane", **SWEEP)
+        assert "trace" not in line
+
+    def test_traced_and_untraced_results_identical(self, server, tmp_path):
+        with ServeClient(server.host, server.port) as client:
+            plain = client.sweep("steane", **SWEEP)
+        with trace_command(tmp_path / "t.jsonl", "repro.query"):
+            with ServeClient(server.host, server.port) as client:
+                traced = client.sweep("steane", **SWEEP)
+        # Same ledger key, same payload — tracing never perturbs results
+        # (the trace context rides outside params, so the keys match).
+        assert traced["key"] == plain["key"]
+        assert traced["result"] == plain["result"]
+
+
+class TestMetricsSurfaces:
+    def test_stats_carries_the_registry(self, server):
+        with ServeClient(server.host, server.port) as client:
+            client.sweep("steane", **SWEEP)
+            stats = client.stats()
+        metrics = stats["metrics"]
+        assert metrics["serve.computes"] == stats["computes"] == 1
+        assert metrics["serve.requests"] >= 1
+        assert metrics["ledger.puts"] >= 1
+        assert metrics["shard.chunks"] >= 1
+        assert metrics["shard.chunk_seconds"]["count"] >= 1
+
+    def test_metrics_op_renders_prometheus(self, server):
+        with ServeClient(server.host, server.port) as client:
+            client.sweep("steane", **SWEEP)
+            result = client.metrics()
+        assert result["content_type"].startswith("text/plain; version=0.0.4")
+        text = result["exposition"]
+        assert "# TYPE repro_serve_computes gauge" in text
+        assert "repro_serve_computes 1" in text
+        assert "# TYPE repro_ledger_puts counter" in text
+        assert "repro_shard_chunk_seconds_bucket" in text
+
+    def test_counters_survive_daemon_restart(self, tmp_path):
+        """The satellite fix: ledger/store counters live in the
+        process registry, so a daemon restart (new ServeStats, new
+        ledger instance) never zeroes the operator-visible numbers."""
+        ledger_root = tmp_path / "ledger"
+        first = _server(ledger_root)
+        try:
+            with ServeClient(first.host, first.port) as client:
+                client.sweep("steane", **SWEEP)
+                puts_after_compute = client.stats()["metrics"]["ledger.puts"]
+        finally:
+            first.stop()
+        second = _server(ledger_root)
+        try:
+            with ServeClient(second.host, second.port) as client:
+                warm = client.sweep("steane", **SWEEP)
+                stats = client.stats()
+        finally:
+            second.stop()
+        assert warm["source"] == "ledger"
+        assert stats["computes"] == 0  # the instance counters reset...
+        metrics = stats["metrics"]
+        # ...but the registry only ever moves forward.
+        assert metrics["ledger.puts"] >= puts_after_compute
+        assert metrics["ledger.hits"] >= 1
+
+
+class TestDeterminismContract:
+    def test_tracing_draws_no_numpy_entropy(self):
+        """Span ids come from os.urandom: opening spans must not advance
+        any seeded RNG stream."""
+        import numpy as np
+
+        rng = np.random.default_rng(7)
+        before = rng.bit_generator.state
+        tracer = Tracer(BufferSink())
+        with tracer.span("a", pid=os.getpid()):
+            with tracer.span("b"):
+                pass
+        assert rng.bit_generator.state == before
+        registry = get_registry()
+        registry.counter("determinism.probe").inc()
+        registry.histogram("determinism.seconds").observe(0.1)
+        assert rng.bit_generator.state == before

@@ -1,0 +1,234 @@
+"""Unit tests for ``repro.obs.trace`` and the summarize/verify layer."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs import trace as trace_mod
+from repro.obs.summary import (
+    load_trace,
+    render_summary,
+    summarize_trace,
+    verify_trace,
+)
+from repro.obs.trace import (
+    BufferSink,
+    FileSink,
+    Tracer,
+    buffering_tracer,
+    current_tracer,
+    new_span_id,
+    propagation_context,
+    span,
+    trace_command,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_ambient(monkeypatch):
+    """No test leaks a tracer (contextvar) or trace env into the next."""
+    monkeypatch.delenv(trace_mod.TRACE_ENV, raising=False)
+    monkeypatch.delenv(trace_mod.TRACE_CTX_ENV, raising=False)
+    token = trace_mod._TRACER.set(None)
+    yield
+    trace_mod._TRACER.reset(token)
+
+
+class TestSpans:
+    def test_children_close_before_parents_root_last(self):
+        sink = BufferSink()
+        tracer = Tracer(sink)
+        with tracer.span("root"):
+            with tracer.span("child"):
+                with tracer.span("grandchild"):
+                    pass
+        names = [r["name"] for r in sink.records]
+        assert names == ["grandchild", "child", "root"]
+        by_name = {r["name"]: r for r in sink.records}
+        assert by_name["root"]["parent"] is None
+        assert by_name["child"]["parent"] == by_name["root"]["span"]
+        assert by_name["grandchild"]["parent"] == by_name["child"]["span"]
+        assert all(r["trace"] == tracer.trace_id for r in sink.records)
+
+    def test_attrs_and_late_set(self):
+        sink = BufferSink()
+        tracer = Tracer(sink)
+        with tracer.span("plan", backend="shard") as handle:
+            handle.set(chunks=7)
+        (record,) = sink.records
+        assert record["attrs"] == {"backend": "shard", "chunks": 7}
+
+    def test_exception_marks_status_error_and_still_emits(self):
+        sink = BufferSink()
+        tracer = Tracer(sink)
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("no")
+        (record,) = sink.records
+        assert record["status"] == "error"
+
+    def test_module_span_is_noop_without_tracer(self):
+        with span("anything", key="value") as handle:
+            assert handle.span_id is None  # the shared null handle
+
+    def test_record_fabricates_closed_span_with_preallocated_id(self):
+        sink = BufferSink()
+        tracer = Tracer(sink)
+        span_id = new_span_id()
+        returned = tracer.record(
+            "cluster.map",
+            span_id=span_id,
+            start_wall=123.0,
+            duration=0.5,
+            parent=None,
+            workers=2,
+        )
+        assert returned == span_id
+        (record,) = sink.records
+        assert record["span"] == span_id
+        assert record["ts"] == 123.0
+        assert record["dur"] == 0.5
+        assert record["attrs"] == {"workers": 2}
+
+    def test_ingest_filters_foreign_traces(self):
+        sink = BufferSink()
+        tracer = Tracer(sink)
+        tracer.ingest(
+            [
+                {"trace": tracer.trace_id, "span": "aa", "name": "mine"},
+                {"trace": "somebody-else", "span": "bb", "name": "theirs"},
+                "not even a dict",
+            ]
+        )
+        assert [r["name"] for r in sink.records] == ["mine"]
+
+
+class TestPropagation:
+    def test_propagation_context_carries_trace_and_active_span(self):
+        tracer = Tracer(BufferSink())
+        token = trace_mod._TRACER.set(tracer)
+        try:
+            with tracer.span("outer") as handle:
+                ctx = propagation_context()
+                assert ctx == {"id": tracer.trace_id, "parent": handle.span_id}
+        finally:
+            trace_mod._TRACER.reset(token)
+
+    def test_buffering_tracer_parents_under_context(self):
+        remote = buffering_tracer({"id": "cafe", "parent": "feed"})
+        with remote.span("cluster.chunk"):
+            pass
+        (record,) = remote.sink.drain()
+        assert record["trace"] == "cafe"
+        assert record["parent"] == "feed"
+        assert remote.sink.records == []  # drained
+
+    def test_buffering_tracer_rejects_malformed_context(self):
+        assert buffering_tracer(None) is None
+        assert buffering_tracer("not-a-dict") is None
+        assert buffering_tracer({"parent": "x"}) is None
+
+    def test_child_process_self_install_from_env(self, tmp_path, monkeypatch):
+        path = tmp_path / "trace.jsonl"
+        monkeypatch.setenv(trace_mod.TRACE_ENV, str(path))
+        monkeypatch.setenv(trace_mod.TRACE_CTX_ENV, "abcd:ef01")
+        tracer = current_tracer()
+        assert tracer is not None
+        assert tracer.trace_id == "abcd"
+        with span("shard.chunk", index=0):
+            pass
+        (record,) = load_trace(path)
+        assert record["trace"] == "abcd"
+        assert record["parent"] == "ef01"
+
+    def test_trace_command_restores_environment(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(trace_mod.TRACE_ENV, "/elsewhere.jsonl")
+        path = tmp_path / "trace.jsonl"
+        with trace_command(path, "repro.test"):
+            assert os.environ[trace_mod.TRACE_ENV] == str(path)
+            assert ":" in os.environ[trace_mod.TRACE_CTX_ENV]
+        assert os.environ[trace_mod.TRACE_ENV] == "/elsewhere.jsonl"
+        assert trace_mod.TRACE_CTX_ENV not in os.environ
+        records = load_trace(path)
+        assert [r["name"] for r in records] == ["repro.test"]
+
+
+class TestFileSink:
+    def test_appends_one_json_line_per_record(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = FileSink(path)
+        tracer = Tracer(sink)
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert all(json.loads(line)["trace"] == tracer.trace_id for line in lines)
+
+
+def _closed_trace():
+    """A small well-formed trace (root + two children, two pids)."""
+    sink = BufferSink()
+    tracer = Tracer(sink)
+    with tracer.span("repro.test"):
+        with tracer.span("plan", chunks=2):
+            pass
+        with tracer.span("merge"):
+            pass
+    records = sink.drain()
+    records[0]["pid"] = records[0]["pid"] + 1  # simulate a second process
+    return records
+
+
+class TestVerify:
+    def test_clean_trace_verifies(self):
+        report = verify_trace(_closed_trace())
+        assert report["ok"], report["errors"]
+        assert report["spans"] == 3
+        assert report["roots"] == ["repro.test"]
+        assert report["processes"] == 2
+
+    def test_orphan_detected(self):
+        records = _closed_trace()
+        records[0]["parent"] = "feedfacedeadbeef"  # nonexistent parent
+        report = verify_trace(records)
+        assert not report["ok"]
+        assert any("orphan" in error for error in report["errors"])
+
+    def test_unclosed_span_detected(self):
+        records = _closed_trace()
+        records[1]["dur"] = None  # a span that never closed cleanly
+        report = verify_trace(records)
+        assert not report["ok"]
+        assert any("unclosed" in error for error in report["errors"])
+        del records[1]["dur"]
+        report = verify_trace(records)
+        assert not report["ok"]
+        assert any("dur" in error for error in report["errors"])
+
+    def test_duplicate_ids_and_multiple_traces_detected(self):
+        records = _closed_trace()
+        records[1]["span"] = records[0]["span"]
+        report = verify_trace(records)
+        assert not report["ok"]
+        foreign = dict(records[2], trace="another-trace")
+        report = verify_trace(_closed_trace() + [foreign])
+        assert not report["ok"]
+
+    def test_empty_trace_is_not_ok(self):
+        assert not verify_trace([])["ok"]
+
+
+class TestSummary:
+    def test_phases_and_critical_path(self):
+        records = _closed_trace()
+        summary = summarize_trace(records)
+        assert set(summary["phases"]) == {"repro.test", "plan", "merge"}
+        assert summary["phases"]["plan"]["count"] == 1
+        path_names = [record["name"] for record in summary["critical_path"]]
+        assert path_names[0] == "repro.test"
+        text = render_summary(records)
+        assert "repro.test" in text
+        assert "critical path" in text
